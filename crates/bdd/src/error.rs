@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Errors produced by the BDD engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BddError {
+    /// The diagram exceeded the configured node budget.
+    TooManyNodes {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// A custom variable order did not cover every basic event exactly
+    /// once.
+    InvalidOrder {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::TooManyNodes { limit } => {
+                write!(f, "BDD exceeded the node budget of {limit}")
+            }
+            BddError::InvalidOrder { reason } => write!(f, "invalid variable order: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BddError {}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Reduced ordered binary decision diagrams for exact static fault tree
+//! analysis.
+//!
+//! The SD analysis of Krčál & Krčál (DSN 2015) relies on MOCUS plus the
+//! rare-event approximation; this crate provides the *exact* counterpart
+//! used to validate it: a small ROBDD engine with
+//!
+//! * hash-consed nodes and memoized apply,
+//! * exact top-event probability by Shannon expansion,
+//! * minimal cutset extraction via Rauzy's `minsol`/`without`
+//!   construction on monotone functions.
+//!
+//! # Example
+//!
+//! ```
+//! use sdft_bdd::Bdd;
+//! use sdft_ft::{EventProbabilities, FaultTreeBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FaultTreeBuilder::new();
+//! let x = b.static_event("x", 0.3)?;
+//! let y = b.static_event("y", 0.2)?;
+//! let g = b.or("g", [x, y])?;
+//! b.top(g);
+//! let tree = b.build()?;
+//! let mut bdd = Bdd::new(&tree)?;
+//! let probs = EventProbabilities::from_static(&tree)?;
+//! let p = bdd.top_probability(&probs);
+//! assert!((p - (1.0 - 0.7 * 0.8)).abs() < 1e-12);
+//! assert_eq!(bdd.minimal_cutsets()?.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod manager;
+
+pub use error::BddError;
+pub use manager::{Bdd, BddOptions};

@@ -1,0 +1,674 @@
+use crate::error::BddError;
+use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
+use std::collections::HashMap;
+
+type Ref = u32;
+
+const FALSE: Ref = 0;
+const TRUE: Ref = 1;
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    level: u32,
+    low: Ref,
+    high: Ref,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+}
+
+/// Options for the BDD engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddOptions {
+    /// Abort construction once this many BDD nodes exist.
+    pub max_nodes: usize,
+}
+
+impl Default for BddOptions {
+    fn default() -> Self {
+        BddOptions {
+            max_nodes: 20_000_000,
+        }
+    }
+}
+
+/// A reduced ordered BDD of a fault tree's top-gate function.
+///
+/// The diagram is built once from a [`FaultTree`]; afterwards it answers
+/// exact probability queries ([`Bdd::top_probability`]) and extracts the
+/// complete list of minimal cutsets ([`Bdd::minimal_cutsets`]).
+///
+/// Dynamic basic events are treated as opaque variables (their triggers
+/// and chains are ignored), exactly like in MOCUS.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    apply_cache: HashMap<(Op, Ref, Ref), Ref>,
+    /// level -> basic event.
+    vars: Vec<NodeId>,
+    root: Ref,
+    max_nodes: usize,
+}
+
+impl Bdd {
+    /// Build the BDD of `tree`'s top gate with a DFS variable order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diagram exceeds the default node budget.
+    pub fn new(tree: &FaultTree) -> Result<Self, BddError> {
+        Self::with_options(tree, &BddOptions::default())
+    }
+
+    /// Build with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diagram exceeds `options.max_nodes`.
+    pub fn with_options(tree: &FaultTree, options: &BddOptions) -> Result<Self, BddError> {
+        let order = dfs_order(tree);
+        Self::with_order(tree, order, options)
+    }
+
+    /// Build with a caller-supplied variable order (a permutation of all
+    /// basic events; earlier events are closer to the root).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `order` is not a permutation of the tree's
+    /// basic events or the diagram exceeds the node budget.
+    pub fn with_order(
+        tree: &FaultTree,
+        order: Vec<NodeId>,
+        options: &BddOptions,
+    ) -> Result<Self, BddError> {
+        let events: Vec<NodeId> = tree.basic_events().collect();
+        if order.len() != events.len() {
+            return Err(BddError::InvalidOrder {
+                reason: format!(
+                    "order has {} entries for {} basic events",
+                    order.len(),
+                    events.len()
+                ),
+            });
+        }
+        let mut level_of: HashMap<NodeId, u32> = HashMap::new();
+        for (level, &event) in order.iter().enumerate() {
+            if !tree.is_basic(event) {
+                return Err(BddError::InvalidOrder {
+                    reason: format!("{} is not a basic event", tree.name(event)),
+                });
+            }
+            if level_of.insert(event, level as u32).is_some() {
+                return Err(BddError::InvalidOrder {
+                    reason: format!("{} appears twice", tree.name(event)),
+                });
+            }
+        }
+
+        let mut bdd = Bdd {
+            nodes: vec![
+                Node {
+                    level: TERMINAL_LEVEL,
+                    low: FALSE,
+                    high: FALSE,
+                },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    low: TRUE,
+                    high: TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            vars: order,
+            root: FALSE,
+            max_nodes: options.max_nodes,
+        };
+
+        // Bottom-up construction: node ids are topological, so every
+        // gate's inputs already have a function when we reach it.
+        let mut func: Vec<Ref> = vec![FALSE; tree.len()];
+        for id in tree.node_ids() {
+            func[id.index()] = if tree.is_basic(id) {
+                bdd.mk(level_of[&id], FALSE, TRUE)?
+            } else {
+                let inputs: Vec<Ref> = tree
+                    .gate_inputs(id)
+                    .iter()
+                    .map(|i| func[i.index()])
+                    .collect();
+                match tree.gate_kind(id).expect("gate") {
+                    GateKind::And => {
+                        let mut acc = TRUE;
+                        for f in inputs {
+                            acc = bdd.apply(Op::And, acc, f)?;
+                        }
+                        acc
+                    }
+                    GateKind::Or => {
+                        let mut acc = FALSE;
+                        for f in inputs {
+                            acc = bdd.apply(Op::Or, acc, f)?;
+                        }
+                        acc
+                    }
+                    GateKind::AtLeast(k) => bdd.atleast(k as usize, &inputs)?,
+                }
+            };
+        }
+        bdd.root = func[tree.top().index()];
+        Ok(bdd)
+    }
+
+    /// Number of live nodes (including the two terminals).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the top function is constant true/false.
+    #[must_use]
+    pub fn is_constant(&self) -> Option<bool> {
+        match self.root {
+            FALSE => Some(false),
+            TRUE => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The exact top-event probability under `probs` (Shannon expansion
+    /// with memoization). This is the exact `p(FT)` of §II, free of the
+    /// rare-event approximation.
+    #[must_use]
+    pub fn top_probability(&self, probs: &EventProbabilities) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        memo.insert(FALSE, 0.0);
+        memo.insert(TRUE, 1.0);
+        self.probability_rec(self.root, probs, &mut memo)
+    }
+
+    fn probability_rec(
+        &self,
+        f: Ref,
+        probs: &EventProbabilities,
+        memo: &mut HashMap<Ref, f64>,
+    ) -> f64 {
+        if let Some(&p) = memo.get(&f) {
+            return p;
+        }
+        let node = self.nodes[f as usize];
+        let p_var = probs.get(self.vars[node.level as usize]);
+        let p_low = self.probability_rec(node.low, probs, memo);
+        let p_high = self.probability_rec(node.high, probs, memo);
+        let p = (1.0 - p_var) * p_low + p_var * p_high;
+        memo.insert(f, p);
+        p
+    }
+
+    /// The complete list of minimal cutsets of the top function, via
+    /// Rauzy's `minsol` construction (sound for the coherent functions
+    /// produced by fault trees).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the intermediate diagrams exceed the node
+    /// budget.
+    pub fn minimal_cutsets(&mut self) -> Result<CutsetList, BddError> {
+        let mut minsol_cache: HashMap<Ref, Ref> = HashMap::new();
+        let mut without_cache: HashMap<(Ref, Ref), Ref> = HashMap::new();
+        let root = self.root;
+        let sol = self.minsol(root, &mut minsol_cache, &mut without_cache)?;
+        let mut out = CutsetList::new();
+        let mut path: Vec<NodeId> = Vec::new();
+        self.enumerate_sets(sol, &mut path, &mut out);
+        Ok(out)
+    }
+
+    /// `minsol(f)`: the antichain of minimal solutions of a monotone `f`.
+    fn minsol(
+        &mut self,
+        f: Ref,
+        minsol_cache: &mut HashMap<Ref, Ref>,
+        without_cache: &mut HashMap<(Ref, Ref), Ref>,
+    ) -> Result<Ref, BddError> {
+        if f == FALSE || f == TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = minsol_cache.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let low = self.minsol(node.low, minsol_cache, without_cache)?;
+        let high0 = self.minsol(node.high, minsol_cache, without_cache)?;
+        let high = self.without(high0, low, without_cache)?;
+        let result = self.mk_set(node.level, low, high)?;
+        minsol_cache.insert(f, result);
+        Ok(result)
+    }
+
+    /// `without(f, g)`: the sets of family `f` that are not supersets of
+    /// (or equal to) any set of family `g`. Families are read structurally:
+    /// a high edge includes the variable, a low or skipped edge excludes
+    /// it.
+    fn without(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        cache: &mut HashMap<(Ref, Ref), Ref>,
+    ) -> Result<Ref, BddError> {
+        if f == FALSE || g == TRUE || f == g {
+            return Ok(FALSE);
+        }
+        if g == FALSE {
+            return Ok(f);
+        }
+        if f == TRUE {
+            // f = {∅}; ∅ is a superset only of ∅, which is in g iff the
+            // all-low path of g reaches TRUE.
+            let g_low = self.nodes[g as usize].low;
+            return self.without(TRUE, g_low, cache);
+        }
+        if let Some(&r) = cache.get(&(f, g)) {
+            return Ok(r);
+        }
+        let fn_ = self.nodes[f as usize];
+        let gn = self.nodes[g as usize];
+        let result = if fn_.level < gn.level {
+            // Sets of g never contain f's top variable here.
+            let low = self.without(fn_.low, g, cache)?;
+            let high = self.without(fn_.high, g, cache)?;
+            self.mk_set(fn_.level, low, high)?
+        } else if gn.level < fn_.level {
+            // Sets of g that contain gn's variable cannot be subsets of
+            // f's sets (which never contain it); only gn.low matters.
+            self.without(f, gn.low, cache)?
+        } else {
+            let low = self.without(fn_.low, gn.low, cache)?;
+            let partial = self.without(fn_.high, gn.low, cache)?;
+            let high = self.without(partial, gn.high, cache)?;
+            self.mk_set(fn_.level, low, high)?
+        };
+        cache.insert((f, g), result);
+        Ok(result)
+    }
+
+    fn enumerate_sets(&self, f: Ref, path: &mut Vec<NodeId>, out: &mut CutsetList) {
+        if f == FALSE {
+            return;
+        }
+        if f == TRUE {
+            out.push(Cutset::new(path.iter().copied()));
+            return;
+        }
+        let node = self.nodes[f as usize];
+        self.enumerate_sets(node.low, path, out);
+        path.push(self.vars[node.level as usize]);
+        self.enumerate_sets(node.high, path, out);
+        path.pop();
+    }
+
+    /// At-least-k over arbitrary input functions via a threshold network:
+    /// `c[j]` = "at least j of the inputs processed so far hold".
+    fn atleast(&mut self, k: usize, inputs: &[Ref]) -> Result<Ref, BddError> {
+        let mut counts: Vec<Ref> = vec![FALSE; k + 1];
+        counts[0] = TRUE;
+        for &input in inputs {
+            for j in (1..=k).rev() {
+                let took = self.apply(Op::And, counts[j - 1], input)?;
+                counts[j] = self.apply(Op::Or, counts[j], took)?;
+            }
+        }
+        Ok(counts[k])
+    }
+
+    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Result<Ref, BddError> {
+        match (op, f, g) {
+            (Op::And, FALSE, _) | (Op::And, _, FALSE) => return Ok(FALSE),
+            (Op::And, TRUE, x) | (Op::And, x, TRUE) => return Ok(x),
+            (Op::Or, TRUE, _) | (Op::Or, _, TRUE) => return Ok(TRUE),
+            (Op::Or, FALSE, x) | (Op::Or, x, FALSE) => return Ok(x),
+            _ => {}
+        }
+        if f == g {
+            return Ok(f);
+        }
+        let key = (op, f.min(g), f.max(g));
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return Ok(r);
+        }
+        let fnode = self.nodes[f as usize];
+        let gnode = self.nodes[g as usize];
+        let level = fnode.level.min(gnode.level);
+        let (f_low, f_high) = if fnode.level == level {
+            (fnode.low, fnode.high)
+        } else {
+            (f, f)
+        };
+        let (g_low, g_high) = if gnode.level == level {
+            (gnode.low, gnode.high)
+        } else {
+            (g, g)
+        };
+        let low = self.apply(op, f_low, g_low)?;
+        let high = self.apply(op, f_high, g_high)?;
+        let result = self.mk(level, low, high)?;
+        self.apply_cache.insert(key, result);
+        Ok(result)
+    }
+
+    /// Hash-consed node constructor with the standard (function) reduction
+    /// rule `low == high → low`.
+    fn mk(&mut self, level: u32, low: Ref, high: Ref) -> Result<Ref, BddError> {
+        if low == high {
+            return Ok(low);
+        }
+        let node = Node { level, low, high };
+        if let Some(&r) = self.unique.get(&node) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.max_nodes {
+            return Err(BddError::TooManyNodes {
+                limit: self.max_nodes,
+            });
+        }
+        let r = Ref::try_from(self.nodes.len()).map_err(|_| BddError::TooManyNodes {
+            limit: self.max_nodes,
+        })?;
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        Ok(r)
+    }
+
+    /// Node constructor for set families: an empty high branch adds
+    /// nothing to the family, so the node collapses to its low branch
+    /// (zero-suppressed-style reduction).
+    fn mk_set(&mut self, level: u32, low: Ref, high: Ref) -> Result<Ref, BddError> {
+        if high == FALSE {
+            return Ok(low);
+        }
+        if low == high {
+            // Cannot happen for antichains (s and s∪{x} would both be
+            // members); keep the node anyway for structural safety.
+            debug_assert!(low == FALSE || low == TRUE, "antichain violation");
+        }
+        let node = Node { level, low, high };
+        if let Some(&r) = self.unique.get(&node) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.max_nodes {
+            return Err(BddError::TooManyNodes {
+                limit: self.max_nodes,
+            });
+        }
+        let r = Ref::try_from(self.nodes.len()).map_err(|_| BddError::TooManyNodes {
+            limit: self.max_nodes,
+        })?;
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        Ok(r)
+    }
+}
+
+/// Default variable order: first occurrence in a depth-first traversal
+/// from the top gate, with unreachable events appended.
+fn dfs_order(tree: &FaultTree) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![tree.top()];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        if tree.is_basic(id) {
+            order.push(id);
+        } else {
+            // Push in reverse so the first input is visited first.
+            for &input in tree.gate_inputs(id).iter().rev() {
+                stack.push(input);
+            }
+        }
+    }
+    for event in tree.basic_events() {
+        if !seen[event.index()] {
+            order.push(event);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn sorted_names(tree: &FaultTree, list: &CutsetList) -> Vec<Vec<String>> {
+        let mut v: Vec<Vec<String>> = list
+            .iter()
+            .map(|c| {
+                c.events()
+                    .iter()
+                    .map(|&e| tree.name(e).to_owned())
+                    .collect()
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn exact_probability_matches_enumeration() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let bdd = Bdd::new(&t).unwrap();
+        let p = bdd.top_probability(&probs);
+        let exact = t.exact_static_probability().unwrap();
+        assert!((p - exact).abs() < 1e-15, "{p} vs {exact}");
+    }
+
+    #[test]
+    fn minimal_cutsets_match_example7() {
+        let t = example1();
+        let mut bdd = Bdd::new(&t).unwrap();
+        let mcs = bdd.minimal_cutsets().unwrap();
+        assert_eq!(
+            sorted_names(&t, &mcs),
+            vec![
+                vec!["a".to_owned(), "c".to_owned()],
+                vec!["a".to_owned(), "d".to_owned()],
+                vec!["b".to_owned(), "c".to_owned()],
+                vec!["b".to_owned(), "d".to_owned()],
+                vec!["e".to_owned()],
+            ]
+        );
+    }
+
+    #[test]
+    fn atleast_probability_is_binomial() {
+        let mut b = FaultTreeBuilder::new();
+        let p = 0.3;
+        let events: Vec<_> = (0..4)
+            .map(|i| b.static_event(&format!("e{i}"), p).unwrap())
+            .collect();
+        let g = b.atleast("g", 2, events).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let bdd = Bdd::new(&t).unwrap();
+        let got = bdd.top_probability(&probs);
+        // P[X >= 2], X ~ Binomial(4, 0.3).
+        let q: f64 = 1.0 - p;
+        let exact = 1.0 - q.powi(4) - 4.0 * p * q.powi(3);
+        assert!((got - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_functions_are_detected() {
+        // AND(x, x) is x; OR over one event likewise — not constant.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.5).unwrap();
+        let g = b.and("g", [x, x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let bdd = Bdd::new(&t).unwrap();
+        assert_eq!(bdd.is_constant(), None);
+        assert_eq!(bdd.node_count(), 3); // two terminals + one variable
+    }
+
+    #[test]
+    fn shared_events_collapse() {
+        // top = OR(AND(x,y), AND(x,y)) — both branches identical.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.5).unwrap();
+        let y = b.static_event("y", 0.5).unwrap();
+        let g1 = b.and("g1", [x, y]).unwrap();
+        let g2 = b.and("g2", [y, x]).unwrap();
+        let top = b.or("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mut bdd = Bdd::new(&t).unwrap();
+        let mcs = bdd.minimal_cutsets().unwrap();
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs.get(0).unwrap().order(), 2);
+    }
+
+    #[test]
+    fn custom_order_changes_nothing_semantically() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mut order: Vec<NodeId> = t.basic_events().collect();
+        order.reverse();
+        let bdd = Bdd::with_order(&t, order, &BddOptions::default()).unwrap();
+        let p = bdd.top_probability(&probs);
+        let exact = t.exact_static_probability().unwrap();
+        assert!((p - exact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let t = example1();
+        let opts = BddOptions::default();
+        let a = t.node_by_name("a").unwrap();
+        let err = Bdd::with_order(&t, vec![a], &opts);
+        assert!(matches!(err, Err(BddError::InvalidOrder { .. })));
+        let events: Vec<NodeId> = t.basic_events().collect();
+        let mut dup = events.clone();
+        dup[1] = dup[0];
+        assert!(matches!(
+            Bdd::with_order(&t, dup, &opts),
+            Err(BddError::InvalidOrder { .. })
+        ));
+        let mut with_gate = events;
+        with_gate[0] = t.node_by_name("pumps").unwrap();
+        assert!(matches!(
+            Bdd::with_order(&t, with_gate, &opts),
+            Err(BddError::InvalidOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let mut b = FaultTreeBuilder::new();
+        // A 2-of-20 structure has a quadratic but non-trivial BDD.
+        let events: Vec<_> = (0..20)
+            .map(|i| b.static_event(&format!("e{i}"), 0.1).unwrap())
+            .collect();
+        let g = b.atleast("g", 10, events).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let err = Bdd::with_options(&t, &BddOptions { max_nodes: 16 });
+        assert!(matches!(err, Err(BddError::TooManyNodes { limit: 16 })));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+
+    #[test]
+    fn minsol_on_or_of_and_is_exactly_two_sets() {
+        // f = x ∨ (y ∧ z): naive path enumeration on the function BDD
+        // would also surface {x, y} style implicants; minsol must not.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let inner = b.and("inner", [y, z]).unwrap();
+        let top = b.or("top", [x, inner]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mut bdd = Bdd::new(&t).unwrap();
+        let mcs = bdd.minimal_cutsets().unwrap();
+        assert_eq!(mcs.len(), 2);
+        assert!(mcs.contains_set(&sdft_ft::Cutset::new([x])));
+        assert!(mcs.contains_set(&sdft_ft::Cutset::new([y, z])));
+    }
+
+    #[test]
+    fn deep_alternating_tree_stays_small() {
+        // A balanced alternating AND/OR tree over 32 distinct events has
+        // a linear-size BDD in the DFS order.
+        let mut b = FaultTreeBuilder::new();
+        let mut layer: Vec<NodeId> = (0..32)
+            .map(|i| b.static_event(&format!("e{i}"), 0.3).unwrap())
+            .collect();
+        let mut and_layer = true;
+        let mut g = 0;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    g += 1;
+                    if and_layer {
+                        b.and(&format!("g{g}"), pair.iter().copied()).unwrap()
+                    } else {
+                        b.or(&format!("g{g}"), pair.iter().copied()).unwrap()
+                    }
+                })
+                .collect();
+            and_layer = !and_layer;
+        }
+        b.top(layer[0]);
+        let t = b.build().unwrap();
+        let bdd = Bdd::new(&t).unwrap();
+        assert!(bdd.node_count() < 200, "nodes: {}", bdd.node_count());
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let p = bdd.top_probability(&probs);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn repeated_minimal_cutsets_calls_are_consistent() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.2).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let g = b.atleast("g", 1, [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let mut bdd = Bdd::new(&t).unwrap();
+        let a = bdd.minimal_cutsets().unwrap();
+        let b2 = bdd.minimal_cutsets().unwrap();
+        assert_eq!(a, b2);
+    }
+}

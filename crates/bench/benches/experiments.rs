@@ -1,0 +1,246 @@
+//! Criterion benchmarks, one group per table/figure of the paper's
+//! evaluation (§VI) plus a substrate group for the underlying engines.
+//!
+//! The experiment benches run reduced workloads (the `repro` binary runs
+//! the full tables); these benches exist to track the performance of the
+//! operations each experiment exercises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdft_bdd::Bdd;
+use sdft_core::{quantify_cutset, FtcContext, QuantifyOptions};
+use sdft_ctmc::{erlang, PoissonWeights};
+use sdft_ft::{Cutset, EventProbabilities, FaultTree, FaultTreeBuilder};
+use sdft_importance::fussell_vesely_ranking;
+use sdft_mocus::{minimal_cutsets, MocusOptions};
+use sdft_models::annotate::{annotate, AnnotationConfig};
+use sdft_models::{bwr, industrial, toy};
+use sdft_product::{ProductChain, ProductOptions};
+use std::hint::black_box;
+
+/// Substrate engines: transient analysis, Poisson weights, BDD, MOCUS,
+/// product chain construction.
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    let chain = erlang::repairable(3, 1e-3, 0.05).unwrap();
+    group.bench_function("ctmc_transient_erlang3_24h", |b| {
+        b.iter(|| {
+            chain
+                .reach_failed_probability(black_box(24.0), 1e-12)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("poisson_weights_1000", |b| {
+        b.iter(|| PoissonWeights::new(black_box(1000.0), 1e-12).unwrap());
+    });
+
+    let bwr_static = bwr::build(&bwr::BwrConfig::static_model());
+    group.bench_function("bdd_build_bwr", |b| {
+        b.iter(|| Bdd::new(black_box(&bwr_static)).unwrap().node_count());
+    });
+
+    let probs = EventProbabilities::from_static(&bwr_static).unwrap();
+    group.bench_function("mocus_bwr", |b| {
+        b.iter(|| {
+            minimal_cutsets(black_box(&bwr_static), &probs, &MocusOptions::default())
+                .unwrap()
+                .len()
+        });
+    });
+
+    let example3 = toy::example3();
+    group.bench_function("product_chain_example3", |b| {
+        b.iter(|| {
+            ProductChain::build(black_box(&example3), &ProductOptions::default())
+                .unwrap()
+                .num_states()
+        });
+    });
+
+    group.finish();
+}
+
+/// T1: the full pipeline on the BWR study (fully dynamic).
+fn t1_bwr_pipeline(c: &mut Criterion) {
+    let tree = bwr::build(&bwr::BwrConfig::fully_dynamic(0.01, 1));
+    let mut group = c.benchmark_group("t1_bwr_pipeline");
+    group.sample_size(10);
+    group.bench_function("analyze_24h", |b| {
+        b.iter(|| sdft_bench::analyze_tree(black_box(&tree), 24.0).frequency);
+    });
+    group.finish();
+}
+
+/// T2: MCS generation on a scaled industrial model.
+fn t2_industrial_mcs(c: &mut Criterion) {
+    let tree = industrial::generate(&industrial::model1().scaled(0.05));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mut group = c.benchmark_group("t2_industrial_mcs");
+    group.sample_size(10);
+    group.bench_function("model1_scaled_0.05", |b| {
+        b.iter(|| {
+            minimal_cutsets(black_box(&tree), &probs, &MocusOptions::default())
+                .unwrap()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn annotated_model(scale: f64, percent: f64) -> FaultTree {
+    let tree = industrial::generate(&industrial::model1().scaled(scale));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).unwrap();
+    let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(percent))
+        .unwrap()
+        .tree
+}
+
+/// T3 / F2: the full pipeline over growing dynamic fractions.
+fn t3_dyn_fraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_dyn_fraction");
+    group.sample_size(10);
+    for percent in [10.0, 50.0] {
+        let tree = annotated_model(0.05, percent);
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{percent}pct")),
+            &tree,
+            |b, tree| {
+                b.iter(|| sdft_bench::analyze_tree(black_box(tree), 24.0).frequency);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// F3: per-cutset quantification cost in the number of dynamic events
+/// and phases.
+fn f3_mcs_quantify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_mcs_quantify");
+    for (d, k) in [(2usize, 1usize), (4, 1), (4, 3), (6, 3)] {
+        let mut b = FaultTreeBuilder::new();
+        let events: Vec<_> = (0..d)
+            .map(|i| {
+                let chain = erlang::repairable(k, 1e-3, 0.01).unwrap();
+                b.dynamic_event(&format!("d{i}"), chain).unwrap()
+            })
+            .collect();
+        let top = b.and("top", events.clone()).unwrap();
+        b.top(top);
+        let tree = b.build().unwrap();
+        let ctx = FtcContext::new(&tree).unwrap();
+        let cutset = Cutset::new(events);
+        let opts = QuantifyOptions::new(24.0);
+        group.bench_function(BenchmarkId::new("quantify", format!("d{d}_k{k}")), |bch| {
+            bch.iter(|| {
+                quantify_cutset(black_box(&tree), &ctx, &cutset, &opts)
+                    .unwrap()
+                    .probability
+            });
+        });
+    }
+    group.finish();
+}
+
+/// T4: phase sweep on a scaled annotated model.
+fn t4_phases_sweep(c: &mut Criterion) {
+    let tree = industrial::generate(&industrial::model1().scaled(0.05));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).unwrap();
+    let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    let mut group = c.benchmark_group("t4_phases_sweep");
+    group.sample_size(10);
+    for k in [1usize, 3] {
+        let mut cfg = AnnotationConfig::percent_dynamic(100.0);
+        cfg.phases = k;
+        let annotated = annotate(&tree, &ranking, &cfg).unwrap().tree;
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("k{k}")),
+            &annotated,
+            |b, tree| {
+                b.iter(|| sdft_bench::analyze_tree(black_box(tree), 24.0).frequency);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// T5: horizon sweep on the BWR model (small, so the bench stays fast).
+fn t5_horizon_sweep(c: &mut Criterion) {
+    let tree = bwr::build(&bwr::BwrConfig::fully_dynamic(0.01, 1));
+    let mut group = c.benchmark_group("t5_horizon_sweep");
+    group.sample_size(10);
+    for horizon in [24.0, 96.0] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{horizon}h")),
+            &horizon,
+            |b, &h| {
+                b.iter(|| sdft_bench::analyze_tree(black_box(&tree), h).frequency);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablations of the design choices DESIGN.md calls out: the MOCUS
+/// look-ahead bound and the per-cutset triggering treatment.
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    let tree = industrial::generate(&industrial::model1().scaled(0.02));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    group.bench_function("mocus_lookahead_on", |b| {
+        b.iter(|| {
+            minimal_cutsets(black_box(&tree), &probs, &MocusOptions::default())
+                .unwrap()
+                .len()
+        });
+    });
+    let blind = MocusOptions {
+        lookahead: false,
+        ..MocusOptions::default()
+    };
+    group.bench_function("mocus_lookahead_off", |b| {
+        b.iter(|| {
+            minimal_cutsets(black_box(&tree), &probs, &blind)
+                .unwrap()
+                .len()
+        });
+    });
+
+    let bwr = bwr::build(&bwr::BwrConfig::fully_dynamic(0.01, 1));
+    group.bench_function("treatment_classified", |b| {
+        b.iter(|| {
+            let opts = sdft_core::AnalysisOptions::new(24.0);
+            sdft_core::analyze(black_box(&bwr), &opts)
+                .unwrap()
+                .frequency
+        });
+    });
+    group.bench_function("treatment_cutset_only", |b| {
+        b.iter(|| {
+            let mut opts = sdft_core::AnalysisOptions::new(24.0);
+            opts.treatment = sdft_core::TriggerTreatment::CutsetOnly;
+            sdft_core::analyze(black_box(&bwr), &opts)
+                .unwrap()
+                .frequency
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    substrates,
+    t1_bwr_pipeline,
+    t2_industrial_mcs,
+    t3_dyn_fraction,
+    f3_mcs_quantify,
+    t4_phases_sweep,
+    t5_horizon_sweep,
+    ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+use sdft_ft::EventProbabilities;
+use sdft_mocus::{minimal_cutsets, MocusOptions};
+use sdft_models::industrial::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(0.1);
+    let which = args.get(2).map(|s| s.as_str()).unwrap_or("1");
+    let cfg = if which == "2" { model2() } else { model1() }.scaled(scale);
+    let t0 = Instant::now();
+    let tree = generate(&cfg);
+    println!(
+        "gen: BE={} gates={} ({:?})",
+        tree.num_basic_events(),
+        tree.num_gates(),
+        t0.elapsed()
+    );
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let t0 = Instant::now();
+    match minimal_cutsets(&tree, &probs, &MocusOptions::default()) {
+        Ok(mcs) => {
+            let rea = mcs.rare_event_approximation(|e| probs.get(e));
+            let max_order = mcs.iter().map(|c| c.order()).max().unwrap_or(0);
+            println!(
+                "MCS={} REA={:.3e} max_order={} time={:?}",
+                mcs.len(),
+                rea,
+                max_order,
+                t0.elapsed()
+            );
+        }
+        Err(e) => println!("MOCUS failed after {:?}: {e}", t0.elapsed()),
+    }
+}

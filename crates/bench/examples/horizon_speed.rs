@@ -1,0 +1,24 @@
+use sdft_core::{analyze, analyze_horizons, AnalysisOptions};
+use sdft_models::bwr::{build, BwrConfig};
+use std::time::Instant;
+
+fn main() {
+    let tree = build(&BwrConfig::fully_dynamic(0.01, 1));
+    let horizons = [24.0, 48.0, 72.0, 96.0];
+    let t0 = Instant::now();
+    let batched = analyze_horizons(&tree, &AnalysisOptions::new(96.0), &horizons).unwrap();
+    let batched_time = t0.elapsed();
+    let t0 = Instant::now();
+    let mut singles = Vec::new();
+    for &h in &horizons {
+        singles.push(analyze(&tree, &AnalysisOptions::new(h)).unwrap());
+    }
+    let single_time = t0.elapsed();
+    println!("batched: {batched_time:?}, singles: {single_time:?}");
+    for (b, s) in batched.iter().zip(&singles) {
+        println!(
+            "h={}: batched {:.6e} vs single {:.6e} (batched MCS {}, single {})",
+            b.horizon, b.frequency, s.frequency, b.stats.num_cutsets, s.stats.num_cutsets
+        );
+    }
+}

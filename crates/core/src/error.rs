@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by the SD fault tree analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error from the fault tree layer.
+    Ft(sdft_ft::FtError),
+    /// An error from the Markov chain layer.
+    Ctmc(sdft_ctmc::CtmcError),
+    /// An error from the cutset generator.
+    Mocus(sdft_mocus::MocusError),
+    /// An error from the product chain builder (per-cutset quantification).
+    Product(sdft_product::ProductError),
+    /// The analysis horizon is negative or not finite.
+    InvalidHorizon {
+        /// The offending horizon.
+        horizon: f64,
+    },
+    /// A node expected to be a basic event / gate was not.
+    UnexpectedNode {
+        /// Name of the offending node.
+        name: String,
+        /// What was expected of the node.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ft(e) => write!(f, "fault tree error: {e}"),
+            CoreError::Ctmc(e) => write!(f, "markov chain error: {e}"),
+            CoreError::Mocus(e) => write!(f, "cutset generation error: {e}"),
+            CoreError::Product(e) => write!(f, "cutset quantification error: {e}"),
+            CoreError::InvalidHorizon { horizon } => {
+                write!(f, "invalid analysis horizon {horizon}")
+            }
+            CoreError::UnexpectedNode { name, expected } => {
+                write!(f, "node {name:?} is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ft(e) => Some(e),
+            CoreError::Ctmc(e) => Some(e),
+            CoreError::Mocus(e) => Some(e),
+            CoreError::Product(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sdft_ft::FtError> for CoreError {
+    fn from(e: sdft_ft::FtError) -> Self {
+        CoreError::Ft(e)
+    }
+}
+
+impl From<sdft_ctmc::CtmcError> for CoreError {
+    fn from(e: sdft_ctmc::CtmcError) -> Self {
+        CoreError::Ctmc(e)
+    }
+}
+
+impl From<sdft_mocus::MocusError> for CoreError {
+    fn from(e: sdft_mocus::MocusError) -> Self {
+        CoreError::Mocus(e)
+    }
+}
+
+impl From<sdft_product::ProductError> for CoreError {
+    fn from(e: sdft_product::ProductError) -> Self {
+        CoreError::Product(e)
+    }
+}

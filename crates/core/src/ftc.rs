@@ -1,0 +1,605 @@
+use crate::classify::{classify_gate, TriggerClass};
+use crate::error::CoreError;
+use crate::translate::unique_name;
+use sdft_ft::{Behavior, Cutset, EventProbabilities, FaultTree, FaultTreeBuilder, NodeId};
+use sdft_mocus::{minimal_cutsets_rooted, Assumptions, MocusOptions};
+use std::collections::{HashMap, HashSet};
+
+/// Precomputed, cutset-independent data for [`build_ftc`]: the
+/// classification of every triggering gate and the dynamic/static events
+/// of its subtree. Build it once per tree and reuse it for every cutset.
+#[derive(Debug, Clone)]
+pub struct FtcContext {
+    classes: HashMap<NodeId, TriggerClass>,
+    /// Triggering gate → (dynamic events, static events) of its subtree.
+    subtree_events: HashMap<NodeId, (Vec<NodeId>, Vec<NodeId>)>,
+    /// Unit probabilities (statics keep their own values) — MOCUS runs on
+    /// trigger subtrees without a cutoff, so values are irrelevant.
+    probs: EventProbabilities,
+}
+
+impl FtcContext {
+    /// Precompute the context for `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree has an invalid probability (cannot
+    /// happen for built trees).
+    pub fn new(tree: &FaultTree) -> Result<Self, CoreError> {
+        let mut classes = HashMap::new();
+        let mut subtree_events = HashMap::new();
+        for gate in tree.gates() {
+            if tree.triggers_of(gate).is_empty() {
+                continue;
+            }
+            classes.insert(gate, classify_gate(tree, gate));
+            let events = tree.subtree_basic_events(gate);
+            let (dynamic, stat): (Vec<NodeId>, Vec<NodeId>) = events
+                .into_iter()
+                .partition(|&e| tree.behavior(e).is_some_and(Behavior::is_dynamic));
+            subtree_events.insert(gate, (dynamic, stat));
+        }
+        let probs = EventProbabilities::with_dynamic(tree, |_| Ok(1.0))?;
+        Ok(FtcContext {
+            classes,
+            subtree_events,
+            probs,
+        })
+    }
+
+    /// The classification of a triggering gate, if `gate` is one.
+    #[must_use]
+    pub fn class_of(&self, gate: NodeId) -> Option<TriggerClass> {
+        self.classes.get(&gate).copied()
+    }
+}
+
+/// The per-cutset SD fault tree `FT_C` (§V-C) together with bookkeeping
+/// for quantification and reporting.
+#[derive(Debug, Clone)]
+pub struct CutsetModel {
+    /// The model tree whose top gate is the AND of the cutset's dynamic
+    /// events; `None` when the cutset is purely static.
+    pub tree: Option<FaultTree>,
+    /// Original ids of the cutset's static events (conditioned out of the
+    /// model; their probability product multiplies the chain result).
+    pub static_events: Vec<NodeId>,
+    /// Original ids of the cutset's dynamic events.
+    pub dynamic_events: Vec<NodeId>,
+    /// Dynamic events added beyond the cutset (triggering logic).
+    pub added_dynamic: usize,
+    /// Static events added by the triggering logic (random frozen bits in
+    /// the product chain).
+    pub added_static: usize,
+    /// Whether any triggering gate was modeled with the general case.
+    pub used_general: bool,
+    /// The classification used per modeled triggering gate (original id).
+    pub classes_used: Vec<(NodeId, TriggerClass)>,
+}
+
+impl CutsetModel {
+    /// Total number of dynamic events in the model (cutset + added).
+    #[must_use]
+    pub fn total_dynamic(&self) -> usize {
+        self.dynamic_events.len() + self.added_dynamic
+    }
+}
+
+/// How much triggering logic the per-cutset models carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TriggerTreatment {
+    /// Follow the paper's classification (§V-A): static branching keeps
+    /// only the cutset's events, static joins adds the subtree dynamics,
+    /// the general case adds everything relevant.
+    #[default]
+    Classified,
+    /// Treat every triggering gate as if it had static branching: only
+    /// dynamic events of the cutset itself are kept. This is the
+    /// *under-approximation* sketched in the paper's conclusion
+    /// ("disregarding interplays of several dynamic basic events") — it
+    /// can only miss failure runs, never invent them, and keeps every
+    /// per-cutset chain as small as possible.
+    CutsetOnly,
+}
+
+/// Build the quantification model `FT_C` for `cutset` (§V-C).
+///
+/// The construction follows the paper's three steps:
+///
+/// 1. the top gate is an AND over the cutset's dynamic events;
+/// 2. for each triggered event the logic of its triggering gate is
+///    rebuilt from the *relevant* events `Rel_a` — chosen by the gate's
+///    classification — as an OR over ANDs of the minimal failing subsets
+///    `A_i` (computed by rooted MOCUS with the cutset's statics assumed
+///    failed and irrelevant events assumed functional);
+/// 3. newly introduced triggered events whose gates are not yet modeled
+///    are processed with the general case.
+///
+/// # Errors
+///
+/// Returns an error if the cutset references gates or the construction
+/// exceeds MOCUS budgets (possible for hostile general-case subtrees).
+pub fn build_ftc(
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    cutset: &Cutset,
+) -> Result<CutsetModel, CoreError> {
+    build_ftc_with(tree, ctx, cutset, TriggerTreatment::Classified)
+}
+
+/// Like [`build_ftc`], with control over the triggering treatment
+/// ([`TriggerTreatment::CutsetOnly`] gives the fast under-approximation).
+///
+/// # Errors
+///
+/// Same as [`build_ftc`].
+pub fn build_ftc_with(
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    cutset: &Cutset,
+    treatment: TriggerTreatment,
+) -> Result<CutsetModel, CoreError> {
+    let mut static_events = Vec::new();
+    let mut dynamic_events = Vec::new();
+    for &event in cutset.events() {
+        match tree.behavior(event) {
+            Some(Behavior::Static { .. }) => static_events.push(event),
+            Some(_) => dynamic_events.push(event),
+            None => {
+                return Err(CoreError::UnexpectedNode {
+                    name: tree.name(event).to_owned(),
+                    expected: "a basic event",
+                })
+            }
+        }
+    }
+    if dynamic_events.is_empty() {
+        return Ok(CutsetModel {
+            tree: None,
+            static_events,
+            dynamic_events,
+            added_dynamic: 0,
+            added_static: 0,
+            used_general: false,
+            classes_used: Vec::new(),
+        });
+    }
+
+    let statics_in_c: HashSet<NodeId> = static_events.iter().copied().collect();
+    let mut builder = FaultTreeBuilder::new();
+    let mut event_map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut gate_map: HashMap<NodeId, NodeId> = HashMap::new();
+    // FIFO: cutset events are modeled before the events their triggering
+    // logic introduces. This matters for chained uniform triggering
+    // (footnote 3 of the paper): by the time a step-3 event comes up,
+    // the gate it shares with a cutset event is already in the model,
+    // so no general-case fallback is needed.
+    let mut worklist: std::collections::VecDeque<(NodeId, bool)> =
+        std::collections::VecDeque::new();
+    let mut added_dynamic = 0usize;
+    let mut added_static = 0usize;
+    let mut used_general = false;
+    let mut classes_used = Vec::new();
+
+    let add_event = |event: NodeId,
+                     builder: &mut FaultTreeBuilder,
+                     worklist: &mut std::collections::VecDeque<(NodeId, bool)>,
+                     event_map: &mut HashMap<NodeId, NodeId>,
+                     in_cutset: bool,
+                     added_dynamic: &mut usize,
+                     added_static: &mut usize|
+     -> Result<NodeId, CoreError> {
+        if let Some(&id) = event_map.get(&event) {
+            return Ok(id);
+        }
+        let name = tree.name(event);
+        let id = match tree.behavior(event).expect("basic event") {
+            Behavior::Static { probability } => {
+                if !in_cutset {
+                    *added_static += 1;
+                }
+                builder.static_event(name, *probability)?
+            }
+            Behavior::Dynamic(chain) => {
+                if !in_cutset {
+                    *added_dynamic += 1;
+                }
+                builder.dynamic_event(name, chain.clone())?
+            }
+            Behavior::Triggered(chain) => {
+                if !in_cutset {
+                    *added_dynamic += 1;
+                }
+                let id = builder.triggered_event(name, chain.clone())?;
+                worklist.push_back((event, in_cutset));
+                id
+            }
+        };
+        event_map.insert(event, id);
+        Ok(id)
+    };
+
+    // Step 1: cutset dynamic events (their triggers enqueue themselves).
+    for &event in &dynamic_events {
+        add_event(
+            event,
+            &mut builder,
+            &mut worklist,
+            &mut event_map,
+            true,
+            &mut added_dynamic,
+            &mut added_static,
+        )?;
+    }
+
+    // Steps 2 & 3: model the triggering logic of every triggered event.
+    while let Some((event, first_pass)) = worklist.pop_front() {
+        let gate = tree
+            .trigger_source(event)
+            .expect("triggered event has a source");
+        if let Some(&new_gate) = gate_map.get(&gate) {
+            builder.trigger(new_gate, event_map[&event])?;
+            continue;
+        }
+        let class = match treatment {
+            TriggerTreatment::CutsetOnly => TriggerClass::StaticBranching,
+            TriggerTreatment::Classified if first_pass => ctx
+                .class_of(gate)
+                .unwrap_or_else(|| classify_gate(tree, gate)),
+            TriggerTreatment::Classified => TriggerClass::General,
+        };
+        classes_used.push((gate, class));
+        let fallback: (Vec<NodeId>, Vec<NodeId>);
+        let (dyn_events, sta_events) = match ctx.subtree_events.get(&gate) {
+            Some(pair) => pair,
+            None => {
+                let events = tree.subtree_basic_events(gate);
+                fallback = events
+                    .into_iter()
+                    .partition(|&e| tree.behavior(e).is_some_and(Behavior::is_dynamic));
+                &fallback
+            }
+        };
+
+        // Rel_a per §V-C step 2.
+        let relevant: HashSet<NodeId> = match class {
+            TriggerClass::StaticBranching => dyn_events
+                .iter()
+                .copied()
+                .filter(|e| cutset.contains(*e))
+                .collect(),
+            TriggerClass::StaticJoins | TriggerClass::StaticJoinsUniform => {
+                dyn_events.iter().copied().collect()
+            }
+            TriggerClass::General => {
+                used_general = true;
+                dyn_events
+                    .iter()
+                    .chain(sta_events.iter())
+                    .copied()
+                    .filter(|e| !statics_in_c.contains(e))
+                    .collect()
+            }
+        };
+
+        // Assumptions: statics of C are failed; anything else outside
+        // Rel_a is functional.
+        let mut assumptions = Assumptions::new(tree);
+        for &e in dyn_events.iter().chain(sta_events.iter()) {
+            if statics_in_c.contains(&e) {
+                assumptions.assume_failed(e).map_err(CoreError::Mocus)?;
+            } else if !relevant.contains(&e) {
+                assumptions.assume_ok(e).map_err(CoreError::Mocus)?;
+            }
+        }
+        let a_sets = minimal_cutsets_rooted(
+            tree,
+            gate,
+            &ctx.probs,
+            &MocusOptions::exhaustive(),
+            &assumptions,
+        )?;
+
+        // Build the triggering fault tree: OR over one AND (or leaf) per
+        // minimal failing subset. Degenerate cases: no subset → the gate
+        // can never fail in this cutset's world (trigger never fires); an
+        // empty subset → the cutset's statics alone fail the gate
+        // (trigger fires at time zero).
+        let or_name = unique_name(&builder, tree.name(gate), "__trig");
+        let mut or_inputs: Vec<NodeId> = Vec::new();
+        if a_sets.is_empty() {
+            let never =
+                builder.static_event(&unique_name(&builder, tree.name(gate), "__never"), 0.0)?;
+            or_inputs.push(never);
+        }
+        for (i, a_set) in a_sets.iter().enumerate() {
+            if a_set.is_empty() {
+                let always = builder
+                    .static_event(&unique_name(&builder, tree.name(gate), "__fired"), 1.0)?;
+                or_inputs.push(always);
+                continue;
+            }
+            let mut members = Vec::new();
+            for &member in a_set.events() {
+                let id = add_event(
+                    member,
+                    &mut builder,
+                    &mut worklist,
+                    &mut event_map,
+                    cutset.contains(member),
+                    &mut added_dynamic,
+                    &mut added_static,
+                )?;
+                members.push(id);
+            }
+            if members.len() == 1 {
+                or_inputs.push(members[0]);
+            } else {
+                let and_name = unique_name(&builder, tree.name(gate), &format!("__and{i}"));
+                or_inputs.push(builder.and(&and_name, members)?);
+            }
+        }
+        let new_gate = builder.or(&or_name, or_inputs)?;
+        gate_map.insert(gate, new_gate);
+        builder.trigger(new_gate, event_map[&event])?;
+    }
+
+    // The top gate: AND over the cutset's dynamic events.
+    let top_inputs: Vec<NodeId> = dynamic_events.iter().map(|e| event_map[e]).collect();
+    let top = builder.and(&unique_name(&builder, "ftc", "__top"), top_inputs)?;
+    builder.top(top);
+    let model_tree = builder.build()?;
+
+    Ok(CutsetModel {
+        tree: Some(model_tree),
+        static_events,
+        dynamic_events,
+        added_dynamic,
+        added_static,
+        used_general,
+        classes_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+
+    fn spare() -> sdft_ctmc::TriggeredCtmc {
+        erlang::spare(1e-3, 0.05).unwrap()
+    }
+
+    fn plain() -> sdft_ctmc::Ctmc {
+        erlang::repairable(1, 1e-3, 0.05).unwrap()
+    }
+
+    /// Example 3 of the paper.
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.dynamic_event("b", plain()).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.triggered_event("d", spare()).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn cutset_of(tree: &FaultTree, names: &[&str]) -> Cutset {
+        Cutset::new(names.iter().map(|n| tree.node_by_name(n).unwrap()))
+    }
+
+    #[test]
+    fn purely_static_cutset_needs_no_chain() {
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["e"])).unwrap();
+        assert!(model.tree.is_none());
+        assert_eq!(model.static_events.len(), 1);
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["a", "c"])).unwrap();
+        assert!(model.tree.is_none());
+        assert_eq!(model.static_events.len(), 2);
+    }
+
+    #[test]
+    fn untriggered_dynamic_cutset_is_plain_and() {
+        // {b, c}: b is an untriggered dynamic event, c static.
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["b", "c"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        assert_eq!(ftc.num_basic_events(), 1); // just b
+        assert_eq!(ftc.num_gates(), 1); // the AND top
+        assert_eq!(model.static_events.len(), 1);
+        assert_eq!(model.added_dynamic, 0);
+        assert!(!model.used_general);
+    }
+
+    #[test]
+    fn triggered_cutset_models_the_trigger_logic() {
+        // {a, d}: d is triggered by pump1 = OR(a, b). pump1 has static
+        // branching (one dynamic child), so Rel = Dyn ∩ C = ∅ and the
+        // static a ∈ C alone fails the gate: trigger fires at time 0.
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["a", "d"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        // d plus the always-fired static leaf.
+        assert_eq!(model.added_dynamic, 0);
+        assert!(!model.used_general);
+        assert_eq!(model.classes_used.len(), 1);
+        assert_eq!(model.classes_used[0].1, TriggerClass::StaticBranching);
+        // The model contains a p=1 leaf (trigger fired by a ∈ C).
+        let fired = ftc
+            .basic_events()
+            .find(|&e| ftc.static_probability(e) == Some(1.0));
+        assert!(fired.is_some(), "expected an always-fired trigger leaf");
+        let d = ftc.node_by_name("d").unwrap();
+        assert!(ftc.trigger_source(d).is_some());
+    }
+
+    #[test]
+    fn triggered_cutset_keeps_relevant_dynamic_events() {
+        // {b, d}: d triggered by pump1 = OR(a, b); b ∈ C is the relevant
+        // dynamic event, a is assumed functional. Trigger logic = OR(b).
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["b", "d"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        assert_eq!(model.static_events.len(), 0);
+        assert_eq!(model.added_dynamic, 0);
+        assert_eq!(model.added_static, 0);
+        // b, d + top AND + trigger OR.
+        assert_eq!(ftc.num_basic_events(), 2);
+        let d = ftc.node_by_name("d").unwrap();
+        let trig = ftc.trigger_source(d).expect("d is triggered");
+        let b = ftc.node_by_name("b").unwrap();
+        assert_eq!(ftc.gate_inputs(trig), &[b]);
+    }
+
+    #[test]
+    fn static_joins_pull_in_all_subtree_dynamics() {
+        // Trigger gate = OR(e, f) with both dynamic (static joins); the
+        // cutset contains only e — f must still be added (Example 11).
+        let mut b = FaultTreeBuilder::new();
+        let e = b.dynamic_event("e", plain()).unwrap();
+        let f = b.dynamic_event("f", plain()).unwrap();
+        let g = b.or("g", [e, f]).unwrap();
+        let j = b.triggered_event("j", spare()).unwrap();
+        let top = b.and("top", [g, j]).unwrap();
+        b.trigger(g, j).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["e", "j"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        assert_eq!(model.added_dynamic, 1, "f must be added");
+        assert!(ftc.node_by_name("f").is_some());
+        assert!(!model.used_general);
+        assert_eq!(model.classes_used[0].1, TriggerClass::StaticJoins);
+    }
+
+    #[test]
+    fn general_case_pulls_in_guarding_statics() {
+        // Trigger gate = OR(AND(b, dstat), b2) with b, b2 dynamic and
+        // dstat static: the OR has two dynamic children (no static
+        // branching) and the AND has a dynamic child (no static joins) —
+        // the general case. Quantifying {e} must add b, b2 *and* the
+        // guarding static dstat as a random bit (Example 11).
+        let mut b = FaultTreeBuilder::new();
+        let bb = b.dynamic_event("b", plain()).unwrap();
+        let dstat = b.static_event("dstat", 0.2).unwrap();
+        let b2 = b.dynamic_event("b2", plain()).unwrap();
+        let inner = b.and("inner", [bb, dstat]).unwrap();
+        let g = b.or("g", [inner, b2]).unwrap();
+        let e = b.triggered_event("e", spare()).unwrap();
+        let top = b.and("top", [g, e]).unwrap();
+        b.trigger(g, e).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["e"])).unwrap();
+        assert!(model.used_general);
+        let ftc = model.tree.expect("dynamic model");
+        assert!(ftc.node_by_name("b").is_some(), "dynamic b added");
+        assert!(ftc.node_by_name("b2").is_some(), "dynamic b2 added");
+        assert!(ftc.node_by_name("dstat").is_some(), "guarding static added");
+        assert_eq!(model.added_dynamic, 2);
+        assert_eq!(model.added_static, 1);
+    }
+
+    #[test]
+    fn general_case_is_skipped_when_cutset_statics_fire_the_trigger() {
+        // Same shape, but with a static input a in the cutset: a alone
+        // fails the trigger gate forever (statics never repair), so the
+        // trigger logic collapses to an always-fired leaf and no other
+        // events are added.
+        let mut b = FaultTreeBuilder::new();
+        let bb = b.dynamic_event("b", plain()).unwrap();
+        let dstat = b.static_event("dstat", 0.2).unwrap();
+        let b2 = b.dynamic_event("b2", plain()).unwrap();
+        let a = b.static_event("a", 0.1).unwrap();
+        let inner = b.and("inner", [bb, dstat]).unwrap();
+        let g = b.or("g", [inner, b2, a]).unwrap();
+        let e = b.triggered_event("e", spare()).unwrap();
+        let top = b.and("top", [g, e]).unwrap();
+        b.trigger(g, e).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["a", "e"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        assert_eq!(model.added_dynamic, 0);
+        assert_eq!(model.added_static, 0);
+        let fired = ftc
+            .basic_events()
+            .find(|&ev| ftc.static_probability(ev) == Some(1.0));
+        assert!(fired.is_some(), "trigger fires at time zero via a ∈ C");
+    }
+
+    #[test]
+    fn chained_triggers_recurse() {
+        // g1 = OR(x) triggers d2; g2 = OR(d2) triggers d3. Cutset
+        // {x, d2, d3}: modeling d3's trigger pulls in d2, whose own
+        // trigger logic is then modeled too.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d2 = b.triggered_event("d2", spare()).unwrap();
+        let d3 = b.triggered_event("d3", spare()).unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [d2]).unwrap();
+        let g3 = b.or("g3", [d3]).unwrap();
+        let top = b.and("top", [g1, g2, g3]).unwrap();
+        b.trigger(g1, d2).unwrap();
+        b.trigger(g2, d3).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["x", "d2", "d3"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        let d2_new = ftc.node_by_name("d2").unwrap();
+        let d3_new = ftc.node_by_name("d3").unwrap();
+        assert!(ftc.trigger_source(d2_new).is_some());
+        assert!(ftc.trigger_source(d3_new).is_some());
+        assert_eq!(model.classes_used.len(), 2);
+    }
+
+    #[test]
+    fn shared_trigger_gate_is_modeled_once() {
+        // One gate triggers two events; both in the cutset.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d1 = b.triggered_event("d1", spare()).unwrap();
+        let d2 = b.triggered_event("d2", spare()).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        let top = b.and("top", [g, d1, d2]).unwrap();
+        b.trigger(g, d1).unwrap();
+        b.trigger(g, d2).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let model = build_ftc(&t, &ctx, &cutset_of(&t, &["x", "d1", "d2"])).unwrap();
+        let ftc = model.tree.expect("dynamic model");
+        assert_eq!(model.classes_used.len(), 1, "shared gate modeled once");
+        let t1 = ftc.trigger_source(ftc.node_by_name("d1").unwrap());
+        let t2 = ftc.trigger_source(ftc.node_by_name("d2").unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn rejects_cutsets_with_gates() {
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let bad = Cutset::new([t.node_by_name("pumps").unwrap()]);
+        assert!(matches!(
+            build_ftc(&t, &ctx, &bad),
+            Err(CoreError::UnexpectedNode { .. })
+        ));
+    }
+}

@@ -1,0 +1,689 @@
+use crate::error::CoreError;
+use crate::ftc::FtcContext;
+use crate::quantify::QuantifyOptions;
+use crate::translate::translate;
+use crate::worstcase::worst_case_probabilities;
+use sdft_ft::{Cutset, EventProbabilities, FaultTree};
+use sdft_mocus::{minimal_cutsets, MocusOptions};
+use std::time::{Duration, Instant};
+
+/// Options for the full SD fault tree analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOptions {
+    /// The mission horizon `t` (e.g. 24 hours).
+    pub horizon: f64,
+    /// Cutset generation options, including the cutoff `c*`
+    /// (default `10⁻¹⁵`, the paper's setting).
+    pub mocus: MocusOptions,
+    /// Truncation error for all transient analyses.
+    pub epsilon: f64,
+    /// Worker threads for cutset quantification; `0` uses all available
+    /// cores.
+    pub threads: usize,
+    /// State budget for each per-cutset product chain.
+    pub max_chain_states: usize,
+    /// How much triggering logic the per-cutset models carry
+    /// (see [`crate::TriggerTreatment`]).
+    pub treatment: crate::TriggerTreatment,
+}
+
+impl AnalysisOptions {
+    /// Default options for the given horizon.
+    #[must_use]
+    pub fn new(horizon: f64) -> Self {
+        AnalysisOptions {
+            horizon,
+            mocus: MocusOptions::default(),
+            epsilon: 1e-12,
+            threads: 0,
+            max_chain_states: 2_000_000,
+            treatment: crate::TriggerTreatment::Classified,
+        }
+    }
+}
+
+/// Per-cutset record in an [`AnalysisResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutsetReport {
+    /// The minimal cutset (original tree ids).
+    pub cutset: Cutset,
+    /// `p̃(C)` — the time-aware probability (§V-C).
+    pub probability: f64,
+    /// The static (worst-case) probability `∏ p(a)` — the cutset's
+    /// contribution to the static rare-event approximation.
+    pub static_probability: f64,
+    /// Dynamic events in the cutset.
+    pub cutset_dynamic: usize,
+    /// Dynamic events added by the triggering logic.
+    pub added_dynamic: usize,
+    /// Static events added by the triggering logic.
+    pub added_static: usize,
+    /// Product chain size of the cutset model (0 for static cutsets).
+    pub chain_states: usize,
+    /// Whether the general case was needed for some triggering gate.
+    pub used_general: bool,
+    /// Wall-clock time spent quantifying this cutset.
+    pub quantification_time: Duration,
+}
+
+impl CutsetReport {
+    /// Total dynamic events in the cutset's Markov model.
+    #[must_use]
+    pub fn model_dynamic(&self) -> usize {
+        self.cutset_dynamic + self.added_dynamic
+    }
+}
+
+/// Wall-clock breakdown of an analysis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timings {
+    /// Computing worst-case probabilities for dynamic events (§V-B2).
+    pub worst_case: Duration,
+    /// Translating to the static tree `FT̄` (§V-B1).
+    pub translation: Duration,
+    /// MOCUS cutset generation.
+    pub mcs_generation: Duration,
+    /// Total dynamic quantification (all cutsets, wall clock).
+    pub quantification: Duration,
+    /// End-to-end analysis time.
+    pub total: Duration,
+}
+
+/// Aggregate statistics of an analysis run (the quantities behind the
+/// paper's Figures 2 and 3 and the §VI tables).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisStats {
+    /// Number of minimal cutsets above the cutoff.
+    pub num_cutsets: usize,
+    /// Cutsets containing at least one dynamic event.
+    pub num_dynamic_cutsets: usize,
+    /// Histogram over cutsets: index = dynamic events *in the cutset*,
+    /// value = number of cutsets (Figure 2).
+    pub histogram_cutset_dynamic: Vec<usize>,
+    /// Histogram over cutsets: index = dynamic events *in the Markov
+    /// model* (cutset + added by triggering logic).
+    pub histogram_model_dynamic: Vec<usize>,
+    /// The largest per-cutset chain built.
+    pub max_chain_states: usize,
+}
+
+impl AnalysisStats {
+    /// Average dynamic events per dynamic cutset's Markov model (the
+    /// paper reports 3.02 for the fully dynamic BWR model).
+    #[must_use]
+    pub fn avg_model_dynamic(&self) -> f64 {
+        let (sum, count) = self
+            .histogram_model_dynamic
+            .iter()
+            .enumerate()
+            .skip(1)
+            .fold((0usize, 0usize), |(s, c), (k, &n)| (s + k * n, c + n));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+/// The result of a full SD fault tree analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// The time-aware failure frequency: `Σ_C p̃(C)` (rare-event
+    /// approximation over the quantified cutsets, §V).
+    pub frequency: f64,
+    /// The static rare-event approximation with worst-case probabilities —
+    /// what a purely static analysis of the same model would report.
+    pub static_rea: f64,
+    /// The analysis horizon.
+    pub horizon: f64,
+    /// Per-cutset details, sorted by descending probability.
+    pub cutsets: Vec<CutsetReport>,
+    /// Wall-clock breakdown.
+    pub timings: Timings,
+    /// Aggregate statistics.
+    pub stats: AnalysisStats,
+}
+
+impl AnalysisResult {
+    /// Time-aware Fussell–Vesely importance: the fraction of the
+    /// quantified frequency flowing through each basic event,
+    /// `FV(a) = Σ_{C∋a} p̃(C) / Σ_C p̃(C)`, sorted descending (ties by
+    /// event id). An extension over the paper — the same re-evaluation
+    /// workflow its conclusion describes, but on the dynamic cutset
+    /// probabilities.
+    #[must_use]
+    pub fn fussell_vesely(&self) -> Vec<(sdft_ft::NodeId, f64)> {
+        use std::collections::HashMap;
+        let mut with: HashMap<sdft_ft::NodeId, f64> = HashMap::new();
+        for report in &self.cutsets {
+            for &event in report.cutset.events() {
+                *with.entry(event).or_insert(0.0) += report.probability;
+            }
+        }
+        let mut out: Vec<(sdft_ft::NodeId, f64)> = with
+            .into_iter()
+            .map(|(event, sum)| {
+                (
+                    event,
+                    if self.frequency > 0.0 {
+                        sum / self.frequency
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Write the per-cutset records as CSV (header + one row per cutset,
+    /// events separated by spaces, names resolved against `tree`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv<W: std::io::Write>(
+        &self,
+        tree: &FaultTree,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        // Event names may legally contain commas or quotes; RFC-4180
+        // quote the cutset field when needed.
+        fn csv_field(raw: &str) -> String {
+            if raw.contains(',') || raw.contains('"') || raw.contains('\n') {
+                format!("\"{}\"", raw.replace('"', "\"\""))
+            } else {
+                raw.to_owned()
+            }
+        }
+        writeln!(
+            writer,
+            "cutset,probability,static_probability,cutset_dynamic,added_dynamic,\
+             added_static,chain_states,used_general,quantification_us"
+        )?;
+        for report in &self.cutsets {
+            let names: Vec<&str> = report
+                .cutset
+                .events()
+                .iter()
+                .map(|&e| tree.name(e))
+                .collect();
+            writeln!(
+                writer,
+                "{},{:e},{:e},{},{},{},{},{},{}",
+                csv_field(&names.join(" ")),
+                report.probability,
+                report.static_probability,
+                report.cutset_dynamic,
+                report.added_dynamic,
+                report.added_static,
+                report.chain_states,
+                report.used_general,
+                report.quantification_time.as_micros(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the complete analysis of §V: worst-case probabilities → static
+/// translation → MOCUS → parallel per-cutset Markov quantification →
+/// rare-event summation.
+///
+/// # Errors
+///
+/// Returns an error if the horizon is invalid, cutset generation exceeds
+/// its budgets, or a per-cutset chain exceeds the state budget.
+pub fn analyze(tree: &FaultTree, options: &AnalysisOptions) -> Result<AnalysisResult, CoreError> {
+    let mut results = analyze_horizons(tree, options, &[options.horizon])?;
+    Ok(results.pop().expect("one horizon, one result"))
+}
+
+/// Run the analysis for several horizons over *one* cutset list.
+///
+/// The expensive static phase — worst-case probabilities, translation and
+/// MOCUS — runs once, at the **largest** horizon (worst-case
+/// probabilities grow with the horizon, so that cutset list is a superset
+/// of every smaller horizon's list and the cutoff stays conservative);
+/// each horizon then re-quantifies the same list. This is the
+/// re-evaluation workflow the paper's conclusion describes for
+/// importance and uncertainty analyses, and the natural way to run its
+/// horizon sweep (§VI-B, T5).
+///
+/// Results are returned in the order of `horizons`.
+///
+/// # Errors
+///
+/// Returns an error if `horizons` is empty or contains an invalid value,
+/// cutset generation exceeds its budgets, or a per-cutset chain exceeds
+/// the state budget.
+pub fn analyze_horizons(
+    tree: &FaultTree,
+    options: &AnalysisOptions,
+    horizons: &[f64],
+) -> Result<Vec<AnalysisResult>, CoreError> {
+    let start = Instant::now();
+    let Some(&max_horizon) = horizons
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    else {
+        return Err(CoreError::InvalidHorizon { horizon: f64::NAN });
+    };
+    for &h in horizons {
+        if !h.is_finite() || h < 0.0 {
+            return Err(CoreError::InvalidHorizon { horizon: h });
+        }
+    }
+
+    let t0 = Instant::now();
+    let probs = worst_case_probabilities(tree, max_horizon, options.epsilon)?;
+    let worst_case_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let translated = translate(tree, &probs)?;
+    let translation_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let static_probs = EventProbabilities::from_static(&translated.tree)?;
+    let mcs = minimal_cutsets(&translated.tree, &static_probs, &options.mocus)?;
+    let cutsets = translated.cutsets_to_original(&mcs);
+    let mcs_time = t2.elapsed();
+
+    let ctx = FtcContext::new(tree)?;
+    // Per-horizon worst-case probabilities (the REA comparator).
+    let probs_per_horizon: Vec<EventProbabilities> = horizons
+        .iter()
+        .map(|&h| {
+            if h == max_horizon {
+                Ok(probs.clone())
+            } else {
+                worst_case_probabilities(tree, h, options.epsilon)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let t3 = Instant::now();
+    let per_horizon_reports =
+        quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
+    let quantification_time = t3.elapsed();
+
+    let mut results = Vec::with_capacity(horizons.len());
+    for (&horizon, reports) in horizons.iter().zip(per_horizon_reports) {
+        let mut cutset_reports = reports;
+        cutset_reports.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // `Sum for f64` folds from -0.0; normalize for empty lists.
+        let frequency = cutset_reports.iter().map(|r| r.probability).sum::<f64>() + 0.0;
+        let static_rea = cutset_reports
+            .iter()
+            .map(|r| r.static_probability)
+            .sum::<f64>()
+            + 0.0;
+
+        let mut stats = AnalysisStats {
+            num_cutsets: cutset_reports.len(),
+            ..AnalysisStats::default()
+        };
+        for r in &cutset_reports {
+            if r.cutset_dynamic > 0 {
+                stats.num_dynamic_cutsets += 1;
+            }
+            bump(&mut stats.histogram_cutset_dynamic, r.cutset_dynamic);
+            bump(&mut stats.histogram_model_dynamic, r.model_dynamic());
+            stats.max_chain_states = stats.max_chain_states.max(r.chain_states);
+        }
+
+        results.push(AnalysisResult {
+            frequency,
+            static_rea,
+            horizon,
+            cutsets: cutset_reports,
+            timings: Timings {
+                worst_case: worst_case_time,
+                translation: translation_time,
+                mcs_generation: mcs_time,
+                quantification: quantification_time,
+                total: start.elapsed(),
+            },
+            stats,
+        });
+    }
+    Ok(results)
+}
+
+fn bump(histogram: &mut Vec<usize>, index: usize) {
+    if histogram.len() <= index {
+        histogram.resize(index + 1, 0);
+    }
+    histogram[index] += 1;
+}
+
+/// Quantify every cutset at every horizon, fanning the work out over a
+/// thread pool fed by a crossbeam channel (quantifications are
+/// independent; the paper notes this parallelism extends to
+/// importance/uncertainty re-evaluations). Each cutset's model and
+/// product chain are built once and shared across all horizons through a
+/// single uniformization pass.
+fn quantify_all_multi(
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    cutsets: &sdft_ft::CutsetList,
+    horizons: &[f64],
+    options: &AnalysisOptions,
+    probs_per_horizon: &[EventProbabilities],
+) -> Result<Vec<Vec<CutsetReport>>, CoreError> {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        options.threads
+    };
+    let qopts = QuantifyOptions {
+        horizon: horizons[0],
+        epsilon: options.epsilon,
+        max_states: options.max_chain_states,
+        treatment: options.treatment,
+    };
+    let (tx, rx) = crossbeam::channel::unbounded::<&Cutset>();
+    for cutset in cutsets.iter() {
+        tx.send(cutset).expect("channel open");
+    }
+    drop(tx);
+
+    // One result per (cutset, horizon).
+    let quantify_one = |cutset: &Cutset| -> Result<Vec<CutsetReport>, CoreError> {
+        let begin = Instant::now();
+        let model = crate::ftc::build_ftc_with(tree, ctx, cutset, options.treatment)?;
+        let quantified = crate::quantify::quantify_model_many(tree, &model, horizons, &qopts)?;
+        let per_horizon_time = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
+        Ok(quantified
+            .into_iter()
+            .zip(probs_per_horizon)
+            .map(|(q, probs)| CutsetReport {
+                probability: q.probability,
+                static_probability: cutset.probability_with(|e| probs.get(e)),
+                cutset_dynamic: q.cutset_dynamic,
+                added_dynamic: q.added_dynamic,
+                added_static: q.added_static,
+                chain_states: q.chain_states,
+                used_general: q.used_general,
+                quantification_time: per_horizon_time,
+                cutset: cutset.clone(),
+            })
+            .collect())
+    };
+
+    let mut out: Vec<Vec<CutsetReport>> = (0..horizons.len())
+        .map(|_| Vec::with_capacity(cutsets.len()))
+        .collect();
+
+    if threads <= 1 {
+        while let Ok(cutset) = rx.recv() {
+            for (h, report) in quantify_one(cutset)?.into_iter().enumerate() {
+                out[h].push(report);
+            }
+        }
+        return Ok(out);
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let quantify_one = &quantify_one;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<Result<Vec<CutsetReport>, CoreError>> = Vec::new();
+                while let Ok(cutset) = rx.recv() {
+                    let result = quantify_one(cutset);
+                    let failed = result.is_err();
+                    local.push(result);
+                    if failed {
+                        break;
+                    }
+                }
+                local
+            }));
+        }
+        let mut first_error = None;
+        for handle in handles {
+            for result in handle.join().expect("worker does not panic") {
+                match result {
+                    Ok(reports) => {
+                        for (h, report) in reports.into_iter().enumerate() {
+                            out[h].push(report);
+                        }
+                    }
+                    Err(e) if first_error.is_none() => first_error = Some(e),
+                    Err(_) => {}
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn analyzes_example3() {
+        let t = example3();
+        let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        assert_eq!(result.stats.num_cutsets, 5);
+        assert_eq!(result.stats.num_dynamic_cutsets, 3); // {b,c}, {a,d}, {b,d}
+        assert!(result.frequency > 0.0);
+        assert!(result.frequency <= result.static_rea);
+        // Reports are sorted by probability.
+        for pair in result.cutsets.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability);
+        }
+    }
+
+    #[test]
+    fn fully_static_tree_matches_rea() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 1e-3).unwrap();
+        let y = b.static_event("y", 2e-3).unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        assert!((result.frequency - 2e-6).abs() < 1e-18);
+        assert_eq!(result.frequency, result.static_rea);
+        assert_eq!(result.stats.num_dynamic_cutsets, 0);
+    }
+
+    #[test]
+    fn single_thread_and_parallel_agree() {
+        let t = example3();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.threads = 1;
+        let sequential = analyze(&t, &opts).unwrap();
+        opts.threads = 4;
+        let parallel = analyze(&t, &opts).unwrap();
+        assert!((sequential.frequency - parallel.frequency).abs() < 1e-18);
+        assert_eq!(sequential.stats, parallel.stats);
+    }
+
+    #[test]
+    fn horizon_monotonicity() {
+        let t = example3();
+        let f24 = analyze(&t, &AnalysisOptions::new(24.0)).unwrap().frequency;
+        let f96 = analyze(&t, &AnalysisOptions::new(96.0)).unwrap().frequency;
+        assert!(f96 > f24);
+    }
+
+    #[test]
+    fn cutoff_drops_cutsets() {
+        let t = example3();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.mocus = MocusOptions::with_cutoff(5e-6); // drops {e} at 3e-6
+        let result = analyze(&t, &opts).unwrap();
+        assert!(result.stats.num_cutsets < 5);
+    }
+
+    #[test]
+    fn stats_histograms_are_consistent() {
+        let t = example3();
+        let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        let total: usize = result.stats.histogram_cutset_dynamic.iter().sum();
+        assert_eq!(total, result.stats.num_cutsets);
+        let dynamic: usize = result.stats.histogram_cutset_dynamic.iter().skip(1).sum();
+        assert_eq!(dynamic, result.stats.num_dynamic_cutsets);
+        assert!(result.stats.avg_model_dynamic() >= 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_horizon() {
+        let t = example3();
+        assert!(matches!(
+            analyze(&t, &AnalysisOptions::new(f64::INFINITY)),
+            Err(CoreError::InvalidHorizon { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod horizon_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn multi_horizon_matches_individual_runs() {
+        let t = example3();
+        let opts = AnalysisOptions::new(96.0);
+        let swept = analyze_horizons(&t, &opts, &[24.0, 96.0]).unwrap();
+        assert_eq!(swept.len(), 2);
+        // The 96 h result is exactly analyze() at 96 h.
+        let single = analyze(&t, &AnalysisOptions::new(96.0)).unwrap();
+        assert!((swept[1].frequency - single.frequency).abs() < 1e-18);
+        // The 24 h result quantifies the 96 h cutset list (a superset of
+        // the 24 h list), so it can only match-or-exceed the plain run.
+        let single24 = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        assert!(swept[0].frequency >= single24.frequency - 1e-18);
+        assert!(swept[0].stats.num_cutsets >= single24.stats.num_cutsets);
+        // Monotone in the horizon.
+        assert!(swept[1].frequency > swept[0].frequency);
+    }
+
+    #[test]
+    fn horizon_order_is_preserved() {
+        let t = example3();
+        let opts = AnalysisOptions::new(96.0);
+        let swept = analyze_horizons(&t, &opts, &[96.0, 24.0, 48.0]).unwrap();
+        let horizons: Vec<f64> = swept.iter().map(|r| r.horizon).collect();
+        assert_eq!(horizons, vec![96.0, 24.0, 48.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid_horizon_lists() {
+        let t = example3();
+        let opts = AnalysisOptions::new(24.0);
+        assert!(matches!(
+            analyze_horizons(&t, &opts, &[]),
+            Err(CoreError::InvalidHorizon { .. })
+        ));
+        assert!(matches!(
+            analyze_horizons(&t, &opts, &[24.0, -1.0]),
+            Err(CoreError::InvalidHorizon { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    #[test]
+    fn csv_export_has_a_row_per_cutset() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 1e-3).unwrap();
+        let y = b
+            .dynamic_event("y", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        let mut buffer = Vec::new();
+        result.write_csv(&t, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + result.stats.num_cutsets);
+        assert!(lines[0].starts_with("cutset,probability"));
+        assert!(lines[1].starts_with("x y,"));
+        assert_eq!(lines[1].split(',').count(), 9);
+
+        // Found in review: names may contain commas; the cutset field
+        // must be quoted so columns stay aligned.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("valve,stuck", 1e-3).unwrap();
+        let g = b.and("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        let mut buffer = Vec::new();
+        result.write_csv(&t, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"valve,stuck\","), "row: {row}");
+    }
+}

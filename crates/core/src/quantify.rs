@@ -1,0 +1,323 @@
+use crate::error::CoreError;
+use crate::ftc::{build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
+use sdft_ft::{Cutset, FaultTree};
+use sdft_product::{ProductChain, ProductOptions};
+
+/// Options for per-cutset quantification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantifyOptions {
+    /// The mission horizon `t`.
+    pub horizon: f64,
+    /// Truncation error of the transient analysis.
+    pub epsilon: f64,
+    /// State budget for the per-cutset product chain.
+    pub max_states: usize,
+    /// How much triggering logic the per-cutset models carry
+    /// ([`TriggerTreatment::CutsetOnly`] is the fast
+    /// under-approximation of the paper's conclusion).
+    pub treatment: TriggerTreatment,
+}
+
+impl QuantifyOptions {
+    /// Options for the given horizon with the default numerical settings.
+    #[must_use]
+    pub fn new(horizon: f64) -> Self {
+        QuantifyOptions {
+            horizon,
+            epsilon: 1e-12,
+            max_states: 2_000_000,
+            treatment: TriggerTreatment::Classified,
+        }
+    }
+}
+
+/// The result of quantifying one minimal cutset (§V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutsetQuantification {
+    /// `p̃(C)` — the probability that all events of the cutset are failed
+    /// simultaneously at some point within the horizon.
+    pub probability: f64,
+    /// `∏ p(a)` over the cutset's static events.
+    pub static_factor: f64,
+    /// `Pr_FT_C[Reach≤t(F)]` — the dynamic part (1 for static cutsets).
+    pub dynamic_factor: f64,
+    /// Number of dynamic events in the cutset itself.
+    pub cutset_dynamic: usize,
+    /// Dynamic events added for triggering logic.
+    pub added_dynamic: usize,
+    /// Static events added for triggering logic.
+    pub added_static: usize,
+    /// States of the per-cutset product chain (0 for static cutsets).
+    pub chain_states: usize,
+    /// Whether any triggering gate needed the general case.
+    pub used_general: bool,
+}
+
+/// Quantify one minimal cutset: build `FT_C`, run the transient analysis
+/// on its (small) product chain, and multiply by the cutset's static
+/// probabilities (§V-C).
+///
+/// # Errors
+///
+/// Returns an error if the cutset references gates, the horizon is
+/// invalid, or the per-cutset chain exceeds the state budget.
+pub fn quantify_cutset(
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    cutset: &Cutset,
+    options: &QuantifyOptions,
+) -> Result<CutsetQuantification, CoreError> {
+    if !options.horizon.is_finite() || options.horizon < 0.0 {
+        return Err(CoreError::InvalidHorizon {
+            horizon: options.horizon,
+        });
+    }
+    let model = build_ftc_with(tree, ctx, cutset, options.treatment)?;
+    quantify_model(tree, &model, options)
+}
+
+/// Quantify a prebuilt cutset model (exposed so the analysis pipeline can
+/// reuse the model for reporting).
+///
+/// # Errors
+///
+/// Same as [`quantify_cutset`].
+pub fn quantify_model(
+    tree: &FaultTree,
+    model: &CutsetModel,
+    options: &QuantifyOptions,
+) -> Result<CutsetQuantification, CoreError> {
+    let static_factor: f64 = model
+        .static_events
+        .iter()
+        .map(|&e| tree.static_probability(e).expect("static event"))
+        .product();
+    let (dynamic_factor, chain_states) = match &model.tree {
+        None => (1.0, 0),
+        Some(ftc) => {
+            if static_factor == 0.0 {
+                (0.0, 0) // conditioned out: the cutset cannot occur
+            } else {
+                let chain = ProductChain::build(
+                    ftc,
+                    &ProductOptions {
+                        max_states: options.max_states,
+                    },
+                )?;
+                let p = chain.failure_probability(options.horizon, options.epsilon)?;
+                (p, chain.num_states())
+            }
+        }
+    };
+    Ok(CutsetQuantification {
+        probability: static_factor * dynamic_factor,
+        static_factor,
+        dynamic_factor,
+        cutset_dynamic: model.dynamic_events.len(),
+        added_dynamic: model.added_dynamic,
+        added_static: model.added_static,
+        chain_states,
+        used_general: model.used_general,
+    })
+}
+
+/// Quantify a prebuilt cutset model at several horizons, building its
+/// product chain once and running a single shared uniformization pass
+/// (see [`sdft_ctmc::reach_probability_many`]). Results follow the order
+/// of `horizons`; `options.horizon` is ignored in favour of them.
+///
+/// # Errors
+///
+/// Same as [`quantify_model`], plus an error for an empty or invalid
+/// horizon list.
+pub fn quantify_model_many(
+    tree: &FaultTree,
+    model: &CutsetModel,
+    horizons: &[f64],
+    options: &QuantifyOptions,
+) -> Result<Vec<CutsetQuantification>, CoreError> {
+    if horizons.is_empty() {
+        return Err(crate::CoreError::InvalidHorizon { horizon: f64::NAN });
+    }
+    let static_factor: f64 = model
+        .static_events
+        .iter()
+        .map(|&e| tree.static_probability(e).expect("static event"))
+        .product();
+    let make = |dynamic_factor: f64, chain_states: usize| CutsetQuantification {
+        probability: static_factor * dynamic_factor,
+        static_factor,
+        dynamic_factor,
+        cutset_dynamic: model.dynamic_events.len(),
+        added_dynamic: model.added_dynamic,
+        added_static: model.added_static,
+        chain_states,
+        used_general: model.used_general,
+    };
+    match &model.tree {
+        None => Ok(vec![make(1.0, 0); horizons.len()]),
+        Some(_) if static_factor == 0.0 => Ok(vec![make(0.0, 0); horizons.len()]),
+        Some(ftc) => {
+            let chain = ProductChain::build(
+                ftc,
+                &ProductOptions {
+                    max_states: options.max_states,
+                },
+            )?;
+            let probabilities = chain.failure_probability_many(horizons, options.epsilon)?;
+            Ok(probabilities
+                .into_iter()
+                .map(|p| make(p, chain.num_states()))
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftc::FtcContext;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn cutset_of(tree: &FaultTree, names: &[&str]) -> Cutset {
+        Cutset::new(names.iter().map(|n| tree.node_by_name(n).unwrap()))
+    }
+
+    #[test]
+    fn static_cutset_probability_is_the_product() {
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let q = quantify_cutset(
+            &t,
+            &ctx,
+            &cutset_of(&t, &["a", "c"]),
+            &QuantifyOptions::new(24.0),
+        )
+        .unwrap();
+        assert!((q.probability - 9e-6).abs() < 1e-18);
+        assert_eq!(q.dynamic_factor, 1.0);
+        assert_eq!(q.chain_states, 0);
+    }
+
+    #[test]
+    fn dynamic_cutset_is_time_aware() {
+        // {b, c}: Pr[b fails within t] * p(c); with repairs, "b failed at
+        // the same time as c" — c is static so failed whenever drawn so —
+        // means b reaching its failed state at least once.
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let q = quantify_cutset(
+            &t,
+            &ctx,
+            &cutset_of(&t, &["b", "c"]),
+            &QuantifyOptions::new(24.0),
+        )
+        .unwrap();
+        let b_reach = erlang::repairable(1, 1e-3, 0.05)
+            .unwrap()
+            .reach_failed_probability(24.0, 1e-12)
+            .unwrap();
+        assert!((q.probability - 3e-3 * b_reach).abs() < 1e-12);
+        assert!(q.chain_states > 0);
+    }
+
+    #[test]
+    fn triggered_cutset_accounts_for_delayed_start() {
+        // {a, d}: a fails at t=0 (static), so d is triggered from 0; the
+        // dynamic factor equals d's worst-case probability in this case.
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let q = quantify_cutset(
+            &t,
+            &ctx,
+            &cutset_of(&t, &["a", "d"]),
+            &QuantifyOptions::new(24.0),
+        )
+        .unwrap();
+        let d_worst = erlang::spare(1e-3, 0.05)
+            .unwrap()
+            .worst_case_failure_probability(24.0, 1e-12)
+            .unwrap();
+        assert!((q.dynamic_factor - d_worst).abs() < 1e-9);
+        assert!((q.probability - 3e-3 * d_worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triggered_by_dynamic_is_below_worst_case() {
+        // {b, d}: d only starts once b has failed, so the joint failure
+        // probability is well below p(b-reaches) * p(d-worst).
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let q = quantify_cutset(
+            &t,
+            &ctx,
+            &cutset_of(&t, &["b", "d"]),
+            &QuantifyOptions::new(24.0),
+        )
+        .unwrap();
+        let b_reach = erlang::repairable(1, 1e-3, 0.05)
+            .unwrap()
+            .reach_failed_probability(24.0, 1e-12)
+            .unwrap();
+        let d_worst = erlang::spare(1e-3, 0.05)
+            .unwrap()
+            .worst_case_failure_probability(24.0, 1e-12)
+            .unwrap();
+        assert!(q.probability > 0.0);
+        assert!(
+            q.probability < b_reach * d_worst,
+            "{} !< {}",
+            q.probability,
+            b_reach * d_worst
+        );
+    }
+
+    #[test]
+    fn zero_probability_static_short_circuits() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.0).unwrap();
+        let y = b
+            .dynamic_event("y", erlang::plain(1, 1e-3).unwrap())
+            .unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let ctx = FtcContext::new(&t).unwrap();
+        let c = Cutset::new([x, y]);
+        let q = quantify_cutset(&t, &ctx, &c, &QuantifyOptions::new(24.0)).unwrap();
+        assert_eq!(q.probability, 0.0);
+        assert_eq!(q.chain_states, 0, "chain construction skipped");
+    }
+
+    #[test]
+    fn invalid_horizon_rejected() {
+        let t = example3();
+        let ctx = FtcContext::new(&t).unwrap();
+        let c = cutset_of(&t, &["e"]);
+        assert!(matches!(
+            quantify_cutset(&t, &ctx, &c, &QuantifyOptions::new(f64::NAN)),
+            Err(CoreError::InvalidHorizon { .. })
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+use crate::error::CoreError;
+use sdft_ft::{Behavior, EventProbabilities, FaultTree, NodeId};
+
+/// The worst-case probability that basic event `event` fails at least once
+/// within `horizon` (§V-B2).
+///
+/// * Static events: their own failure probability.
+/// * Always-on dynamic events: `Pr[reach F ≤ horizon]` on their chain.
+/// * Triggered dynamic events: the supremum over all ways the event may be
+///   triggered — attained, for the monotone degradation/repair chains this
+///   workspace builds, by triggering at time zero and never untriggering
+///   (the initial distribution is shifted by the `on` map and mode
+///   switches are ignored afterwards). This is validated against the exact
+///   product-chain semantics in this crate's tests.
+///
+/// # Errors
+///
+/// Returns an error if `event` is not a basic event or the horizon /
+/// epsilon are invalid.
+pub fn worst_case_probability(
+    tree: &FaultTree,
+    event: NodeId,
+    horizon: f64,
+    epsilon: f64,
+) -> Result<f64, CoreError> {
+    match tree.behavior(event) {
+        Some(Behavior::Static { probability }) => Ok(*probability),
+        Some(Behavior::Dynamic(chain)) => Ok(chain.reach_failed_probability(horizon, epsilon)?),
+        Some(Behavior::Triggered(chain)) => {
+            Ok(chain.worst_case_failure_probability(horizon, epsilon)?)
+        }
+        None => Err(CoreError::UnexpectedNode {
+            name: tree.name(event).to_owned(),
+            expected: "a basic event",
+        }),
+    }
+}
+
+/// Worst-case probabilities for all basic events of `tree` (the
+/// probabilities of the translated static tree `FT̄`, §V-B2).
+///
+/// # Errors
+///
+/// Returns an error if the horizon or epsilon are invalid.
+pub fn worst_case_probabilities(
+    tree: &FaultTree,
+    horizon: f64,
+    epsilon: f64,
+) -> Result<EventProbabilities, CoreError> {
+    if !horizon.is_finite() || horizon < 0.0 {
+        return Err(CoreError::InvalidHorizon { horizon });
+    }
+    // Statics first (zero placeholders for dynamics), then fill every
+    // dynamic event so chain errors keep their own type.
+    let mut probs = EventProbabilities::with_dynamic(tree, |_| Ok(0.0)).map_err(CoreError::Ft)?;
+    for event in tree.dynamic_basic_events() {
+        let p = worst_case_probability(tree, event, horizon, epsilon)?;
+        probs.set(event, p).map_err(CoreError::Ft)?;
+    }
+    Ok(probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn tree() -> (FaultTree, NodeId, NodeId, NodeId) {
+        let mut b = FaultTreeBuilder::new();
+        let s = b.static_event("s", 0.25).unwrap();
+        let p = b
+            .dynamic_event("p", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [s, p]).unwrap();
+        let top = b.and("top", [g, d]).unwrap();
+        b.trigger(g, d).unwrap();
+        b.top(top);
+        (b.build().unwrap(), s, p, d)
+    }
+
+    #[test]
+    fn static_events_keep_their_probability() {
+        let (t, s, _, _) = tree();
+        assert_eq!(worst_case_probability(&t, s, 24.0, 1e-12).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn plain_dynamic_uses_reach_probability() {
+        let (t, _, p, _) = tree();
+        let got = worst_case_probability(&t, p, 24.0, 1e-12).unwrap();
+        let expected = erlang::repairable(1, 1e-3, 0.05)
+            .unwrap()
+            .reach_failed_probability(24.0, 1e-12)
+            .unwrap();
+        assert!((got - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn triggered_dynamic_uses_triggered_at_zero() {
+        let (t, _, _, d) = tree();
+        let got = worst_case_probability(&t, d, 24.0, 1e-12).unwrap();
+        let expected = erlang::spare(1e-3, 0.05)
+            .unwrap()
+            .worst_case_failure_probability(24.0, 1e-12)
+            .unwrap();
+        assert!((got - expected).abs() < 1e-15);
+        // Triggered at zero dominates: the event cannot fail while off, so
+        // any later triggering leaves less time to fail.
+        assert!(got > 0.0 && got < 24.0 * 1e-3);
+    }
+
+    #[test]
+    fn worst_case_dominates_actual_failure_probability() {
+        // The actual probability that d ever fails (it is only triggered
+        // after g fails) is below the worst case. Exact check via the
+        // product chain of a tree whose top is just d failing.
+        let mut b = FaultTreeBuilder::new();
+        let s = b.static_event("s", 0.25).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [s]).unwrap();
+        let top = b.and("top", [g, d]).unwrap();
+        b.trigger(g, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let d = t.node_by_name("d").unwrap();
+        let worst = worst_case_probability(&t, d, 24.0, 1e-12).unwrap();
+        // Actual Pr[d fails ≤ 24] = Pr[s failed] * Pr[fail | on from 0].
+        let actual = 0.25 * worst;
+        assert!(actual < worst);
+        // Cross-check with the product chain on a tree whose failure IS
+        // d's failure: top = AND(g', d) where g' = OR(s) (so the top
+        // fails iff s and d both fail, and d only fails when on).
+        let exact =
+            sdft_product::failure_probability(&t, 24.0, &sdft_product::ProductOptions::default())
+                .unwrap();
+        assert!((exact - actual).abs() < 1e-12, "{exact} vs {actual}");
+    }
+
+    #[test]
+    fn gates_are_rejected() {
+        let (t, ..) = tree();
+        let g = t.node_by_name("g").unwrap();
+        assert!(matches!(
+            worst_case_probability(&t, g, 24.0, 1e-12),
+            Err(CoreError::UnexpectedNode { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_horizon_is_rejected() {
+        let (t, ..) = tree();
+        assert!(matches!(
+            worst_case_probabilities(&t, -5.0, 1e-12),
+            Err(CoreError::InvalidHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn probabilities_cover_all_events() {
+        let (t, s, p, d) = tree();
+        let probs = worst_case_probabilities(&t, 24.0, 1e-12).unwrap();
+        assert_eq!(probs.get(s), 0.25);
+        assert!(probs.get(p) > 0.0);
+        assert!(probs.get(d) > 0.0);
+    }
+}

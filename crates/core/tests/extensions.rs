@@ -1,0 +1,201 @@
+//! Tests for the extensions over the paper: the fast under-approximation
+//! (the conclusion's "disregarding interplays" sketch) and time-aware
+//! importance measures.
+
+use sdft_core::{
+    analyze, quantify_cutset, AnalysisOptions, FtcContext, QuantifyOptions, TriggerTreatment,
+};
+use sdft_ctmc::erlang;
+use sdft_ft::{Cutset, FaultTree, FaultTreeBuilder};
+use sdft_product::{ProductChain, ProductOptions};
+
+/// A static-joins model where the sibling dynamic event matters
+/// (Example 11's point).
+fn static_joins_model() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    let e = b
+        .dynamic_event("e", erlang::repairable(1, 8e-3, 0.2).unwrap())
+        .unwrap();
+    let f = b
+        .dynamic_event("f", erlang::repairable(1, 9e-3, 0.25).unwrap())
+        .unwrap();
+    let joins = b.or("joins", [e, f]).unwrap();
+    let g = b
+        .triggered_event("g", erlang::spare(7e-3, 0.15).unwrap())
+        .unwrap();
+    let top = b.and("top", [joins, g]).unwrap();
+    b.trigger(joins, g).unwrap();
+    b.top(top);
+    b.build().unwrap()
+}
+
+#[test]
+fn cutset_only_under_approximates() {
+    let t = static_joins_model();
+    let ctx = FtcContext::new(&t).unwrap();
+    let e = t.node_by_name("e").unwrap();
+    let g = t.node_by_name("g").unwrap();
+    let cutset = Cutset::new([e, g]);
+    let horizon = 72.0;
+
+    let classified = quantify_cutset(&t, &ctx, &cutset, &QuantifyOptions::new(horizon)).unwrap();
+    let fast = quantify_cutset(
+        &t,
+        &ctx,
+        &cutset,
+        &QuantifyOptions {
+            treatment: TriggerTreatment::CutsetOnly,
+            ..QuantifyOptions::new(horizon)
+        },
+    )
+    .unwrap();
+
+    // The fast mode drops the sibling f: smaller chain, lower value.
+    assert_eq!(fast.added_dynamic, 0);
+    assert!(classified.added_dynamic > 0);
+    assert!(fast.chain_states < classified.chain_states);
+    assert!(
+        fast.probability < classified.probability,
+        "under-approximation {} !< {}",
+        fast.probability,
+        classified.probability
+    );
+
+    // And the classified value is the exact one.
+    let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+    let exact = pc
+        .reach_events_failed_probability(&[e, g], horizon, 1e-12)
+        .unwrap();
+    assert!((classified.probability - exact).abs() / exact < 1e-6);
+    assert!(fast.probability <= exact * (1.0 + 1e-9));
+}
+
+#[test]
+fn cutset_only_is_exact_under_static_branching() {
+    // When the triggering gates already have static branching, both
+    // treatments coincide.
+    let mut b = FaultTreeBuilder::new();
+    let x = b.static_event("x", 0.02).unwrap();
+    let p = b
+        .dynamic_event("p", erlang::repairable(1, 5e-3, 0.1).unwrap())
+        .unwrap();
+    let gate = b.or("gate", [x, p]).unwrap();
+    let d = b
+        .triggered_event("d", erlang::spare(4e-3, 0.1).unwrap())
+        .unwrap();
+    let top = b.and("top", [gate, d]).unwrap();
+    b.trigger(gate, d).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    let ctx = FtcContext::new(&t).unwrap();
+    let p_id = t.node_by_name("p").unwrap();
+    let d_id = t.node_by_name("d").unwrap();
+    let cutset = Cutset::new([p_id, d_id]);
+    let a = quantify_cutset(&t, &ctx, &cutset, &QuantifyOptions::new(48.0)).unwrap();
+    let b_ = quantify_cutset(
+        &t,
+        &ctx,
+        &cutset,
+        &QuantifyOptions {
+            treatment: TriggerTreatment::CutsetOnly,
+            ..QuantifyOptions::new(48.0)
+        },
+    )
+    .unwrap();
+    assert!((a.probability - b_.probability).abs() < 1e-15);
+}
+
+#[test]
+fn whole_analysis_under_approximation_brackets() {
+    // Rare-event rates so the REA slack stays small.
+    let mut b = FaultTreeBuilder::new();
+    let e = b
+        .dynamic_event("e", erlang::repairable(1, 8e-4, 0.2).unwrap())
+        .unwrap();
+    let f = b
+        .dynamic_event("f", erlang::repairable(1, 9e-4, 0.25).unwrap())
+        .unwrap();
+    let joins = b.or("joins", [e, f]).unwrap();
+    let g = b
+        .triggered_event("g", erlang::spare(7e-4, 0.15).unwrap())
+        .unwrap();
+    let top = b.and("top", [joins, g]).unwrap();
+    b.trigger(joins, g).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+
+    let exact = sdft_product::failure_probability(&t, 72.0, &ProductOptions::default()).unwrap();
+    let mut opts = AnalysisOptions::new(72.0);
+    opts.mocus = sdft_mocus::MocusOptions::exhaustive();
+    let classified = analyze(&t, &opts).unwrap();
+    opts.treatment = TriggerTreatment::CutsetOnly;
+    let fast = analyze(&t, &opts).unwrap();
+    // Per-cutset the fast mode under-approximates, so the summed
+    // frequency can only drop; against the *exact* top probability no
+    // relation is guaranteed (the rare-event summation still
+    // over-counts overlaps).
+    assert!(fast.frequency <= classified.frequency);
+    assert!(
+        classified.frequency >= exact * 0.999 && classified.frequency <= exact * 1.1,
+        "classified {} vs exact {exact}",
+        classified.frequency
+    );
+}
+
+#[test]
+fn dynamic_fussell_vesely_ranks_risk_drivers() {
+    let t = sdft_models::toy::example3();
+    let result = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+    let fv = result.fussell_vesely();
+    assert!(!fv.is_empty());
+    // Shares are in [0, 1] and sorted descending.
+    for pair in fv.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+    for &(_, share) in &fv {
+        assert!((0.0..=1.0).contains(&share));
+    }
+    // b and d dominate: their joint cutset carries most of the frequency
+    // (see the quickstart output), so each share exceeds the tank's.
+    let share = |name: &str| {
+        let id = t.node_by_name(name).unwrap();
+        fv.iter().find(|&&(e, _)| e == id).map_or(0.0, |&(_, s)| s)
+    };
+    assert!(share("b") > share("e"));
+    assert!(share("d") > share("e"));
+}
+
+#[test]
+fn chain_budget_errors_propagate_through_the_parallel_driver() {
+    let t = sdft_models::toy::example3();
+    let mut opts = AnalysisOptions::new(24.0);
+    opts.max_chain_states = 1; // no dynamic cutset model fits
+    opts.threads = 4;
+    let err = analyze(&t, &opts);
+    assert!(
+        matches!(err, Err(sdft_core::CoreError::Product(_))),
+        "expected a product-chain budget error, got {err:?}"
+    );
+    // Sequential path reports the same class of error.
+    opts.threads = 1;
+    assert!(matches!(
+        analyze(&t, &opts),
+        Err(sdft_core::CoreError::Product(_))
+    ));
+}
+
+#[test]
+fn mocus_budget_errors_propagate() {
+    let t = sdft_models::toy::example3();
+    let mut opts = AnalysisOptions::new(24.0);
+    opts.mocus = sdft_mocus::MocusOptions {
+        max_cutsets: 1,
+        ..sdft_mocus::MocusOptions::default()
+    };
+    assert!(matches!(
+        analyze(&t, &opts),
+        Err(sdft_core::CoreError::Mocus(
+            sdft_mocus::MocusError::TooManyCutsets { .. }
+        ))
+    ));
+}

@@ -1,0 +1,443 @@
+use crate::error::CtmcError;
+use crate::transient;
+
+/// A finite continuous-time Markov chain with a distinguished set of
+/// *failed* states.
+///
+/// States are identified by dense indices `0..len()`. The rate matrix is
+/// stored sparsely: for each state, the list of `(target, rate)` pairs of
+/// its outgoing transitions. Diagonal entries are implicit (the exit rate of
+/// a state is the sum of its outgoing rates).
+///
+/// Construct chains with [`CtmcBuilder`], which validates all inputs.
+///
+/// # Example
+///
+/// ```
+/// use sdft_ctmc::CtmcBuilder;
+///
+/// # fn main() -> Result<(), sdft_ctmc::CtmcError> {
+/// // ok --1e-3--> fail, repaired at 0.05 (Example 2 of the paper).
+/// let chain = CtmcBuilder::new(2)
+///     .initial(0, 1.0)
+///     .rate(0, 1, 1e-3)
+///     .rate(1, 0, 0.05)
+///     .failed(1)
+///     .build()?;
+/// assert_eq!(chain.len(), 2);
+/// assert!(chain.is_failed(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    /// Outgoing transitions per state: `(target, rate)`, rate > 0.
+    transitions: Vec<Vec<(usize, f64)>>,
+    /// Initial distribution; sums to 1.
+    initial: Vec<f64>,
+    /// Failure flag per state.
+    failed: Vec<bool>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the chain has no states. Always `false` for a built chain,
+    /// provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Outgoing transitions of `state` as `(target, rate)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn transitions_from(&self, state: usize) -> &[(usize, f64)] {
+        &self.transitions[state]
+    }
+
+    /// Total exit rate of `state` (sum of its outgoing rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.transitions[state].iter().map(|&(_, r)| r).sum()
+    }
+
+    /// The largest exit rate over all states (the uniformization constant).
+    #[must_use]
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.len())
+            .map(|s| self.exit_rate(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// Initial probability of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn initial_probability(&self, state: usize) -> f64 {
+        self.initial[state]
+    }
+
+    /// The full initial distribution.
+    #[must_use]
+    pub fn initial_distribution(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Whether `state` is a failed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn is_failed(&self, state: usize) -> bool {
+        self.failed[state]
+    }
+
+    /// Indices of all failed states.
+    pub fn failed_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(s, _)| s)
+    }
+
+    /// Number of (positive-rate) transitions in the chain.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// `Pr[reach F ≤ t]` — the probability that the chain visits a failed
+    /// state within the time horizon `t`, with truncation error `epsilon`.
+    ///
+    /// This is the quantity written `Pr[Reach≤t(F)]` in the paper; see
+    /// [`reach_probability`](crate::reach_probability) for details.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` is negative or not finite, or if `epsilon`
+    /// is not in `(0, 1)`.
+    pub fn reach_failed_probability(&self, t: f64, epsilon: f64) -> Result<f64, CtmcError> {
+        transient::reach_probability(self, t, epsilon)
+    }
+
+    /// Replace the initial distribution, validating the replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `initial` has the wrong length, contains invalid
+    /// probabilities, or does not sum to one.
+    pub fn with_initial_distribution(mut self, initial: Vec<f64>) -> Result<Self, CtmcError> {
+        validate_initial(&initial, self.len())?;
+        self.initial = initial;
+        Ok(self)
+    }
+
+    /// A copy of this chain with every transition rate multiplied by
+    /// `factor` (uncertainty and sensitivity studies rescale component
+    /// rates this way). The structure, initial distribution and failed
+    /// set are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is negative or not finite.
+    pub fn with_scaled_rates(&self, factor: f64) -> Result<Ctmc, CtmcError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(CtmcError::InvalidRate {
+                from: 0,
+                to: 0,
+                rate: factor,
+            });
+        }
+        let mut scaled = self.clone();
+        for transitions in scaled.transitions.iter_mut() {
+            for (_, rate) in transitions.iter_mut() {
+                *rate *= factor;
+            }
+            // Zero rates are never stored.
+            transitions.retain(|&(_, rate)| rate > 0.0);
+        }
+        Ok(scaled)
+    }
+
+    /// A copy of this chain in which every failed state is absorbing
+    /// (all outgoing transitions of failed states removed).
+    #[must_use]
+    pub fn with_failed_absorbing(&self) -> Ctmc {
+        let mut out = self.clone();
+        for (s, trans) in out.transitions.iter_mut().enumerate() {
+            if out.failed[s] {
+                trans.clear();
+            }
+        }
+        out
+    }
+}
+
+fn validate_initial(initial: &[f64], len: usize) -> Result<(), CtmcError> {
+    if initial.len() != len {
+        return Err(CtmcError::StateOutOfRange {
+            state: initial.len(),
+            len,
+        });
+    }
+    let mut sum = 0.0;
+    for (state, &p) in initial.iter().enumerate() {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(CtmcError::InvalidInitialProbability { state, prob: p });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(CtmcError::InitialDistributionNotNormalized { sum });
+    }
+    Ok(())
+}
+
+/// Builder for [`Ctmc`] values.
+///
+/// All setters are non-consuming and chainable; [`CtmcBuilder::build`]
+/// validates the accumulated data.
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    len: usize,
+    rates: Vec<(usize, usize, f64)>,
+    initial: Vec<(usize, f64)>,
+    failed: Vec<usize>,
+}
+
+impl CtmcBuilder {
+    /// Start building a chain with `states` states.
+    #[must_use]
+    pub fn new(states: usize) -> Self {
+        CtmcBuilder {
+            len: states,
+            rates: Vec::new(),
+            initial: Vec::new(),
+            failed: Vec::new(),
+        }
+    }
+
+    /// Add a transition `from -> to` with the given `rate`.
+    ///
+    /// Zero rates are accepted and ignored at build time; negative, NaN or
+    /// infinite rates are rejected by [`CtmcBuilder::build`]. Repeated
+    /// transitions between the same pair of states accumulate.
+    pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
+        self.rates.push((from, to, rate));
+        self
+    }
+
+    /// Assign initial probability `prob` to `state`. Repeated assignments
+    /// to the same state accumulate.
+    pub fn initial(&mut self, state: usize, prob: f64) -> &mut Self {
+        self.initial.push((state, prob));
+        self
+    }
+
+    /// Mark `state` as failed.
+    pub fn failed(&mut self, state: usize) -> &mut Self {
+        self.failed.push(state);
+        self
+    }
+
+    /// Validate and build the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the state space is empty, any referenced state is
+    /// out of range, any rate or initial probability is invalid, or the
+    /// initial distribution does not sum to one.
+    pub fn build(&self) -> Result<Ctmc, CtmcError> {
+        if self.len == 0 {
+            return Err(CtmcError::EmptyStateSpace);
+        }
+        let check = |state: usize| -> Result<(), CtmcError> {
+            if state >= self.len {
+                Err(CtmcError::StateOutOfRange {
+                    state,
+                    len: self.len,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let mut transitions = vec![Vec::new(); self.len];
+        for &(from, to, rate) in &self.rates {
+            check(from)?;
+            check(to)?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(CtmcError::InvalidRate { from, to, rate });
+            }
+            if rate == 0.0 || from == to {
+                continue;
+            }
+            match transitions[from].iter_mut().find(|(t, _)| *t == to) {
+                Some((_, r)) => *r += rate,
+                None => transitions[from].push((to, rate)),
+            }
+        }
+        let mut initial = vec![0.0; self.len];
+        for &(state, prob) in &self.initial {
+            check(state)?;
+            if !prob.is_finite() || prob < 0.0 {
+                return Err(CtmcError::InvalidInitialProbability { state, prob });
+            }
+            initial[state] += prob;
+        }
+        validate_initial(&initial, self.len)?;
+        let mut failed = vec![false; self.len];
+        for &state in &self.failed {
+            check(state)?;
+            failed[state] = true;
+        }
+        Ok(Ctmc {
+            transitions,
+            initial,
+            failed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Ctmc {
+        CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 1e-3)
+            .rate(1, 0, 0.05)
+            .failed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_structure() {
+        let c = two_state();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.transitions_from(0), &[(1, 1e-3)]);
+        assert_eq!(c.transitions_from(1), &[(0, 0.05)]);
+        assert_eq!(c.transition_count(), 2);
+        assert!((c.exit_rate(0) - 1e-3).abs() < 1e-15);
+        assert!((c.max_exit_rate() - 0.05).abs() < 1e-15);
+        assert!(c.is_failed(1));
+        assert!(!c.is_failed(0));
+        assert_eq!(c.failed_states().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(c.initial_probability(0), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty_state_space() {
+        assert_eq!(CtmcBuilder::new(0).build(), Err(CtmcError::EmptyStateSpace));
+    }
+
+    #[test]
+    fn rejects_out_of_range_state() {
+        let err = CtmcBuilder::new(2).initial(0, 1.0).rate(0, 5, 1.0).build();
+        assert_eq!(err, Err(CtmcError::StateOutOfRange { state: 5, len: 2 }));
+        let err = CtmcBuilder::new(2).initial(0, 1.0).failed(9).build();
+        assert_eq!(err, Err(CtmcError::StateOutOfRange { state: 9, len: 2 }));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let err = CtmcBuilder::new(2).initial(0, 1.0).rate(0, 1, -1.0).build();
+        assert_eq!(
+            err,
+            Err(CtmcError::InvalidRate {
+                from: 0,
+                to: 1,
+                rate: -1.0
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_nan_rate() {
+        let err = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, f64::NAN)
+            .build();
+        assert!(matches!(err, Err(CtmcError::InvalidRate { .. })));
+    }
+
+    #[test]
+    fn rejects_unnormalized_initial_distribution() {
+        let err = CtmcBuilder::new(2).initial(0, 0.4).build();
+        assert!(matches!(
+            err,
+            Err(CtmcError::InitialDistributionNotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_initial_probability() {
+        let err = CtmcBuilder::new(2).initial(0, -0.5).initial(1, 1.5).build();
+        assert!(matches!(
+            err,
+            Err(CtmcError::InvalidInitialProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rates_and_self_loops_are_dropped() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 0.0)
+            .rate(0, 0, 3.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.transition_count(), 0);
+    }
+
+    #[test]
+    fn parallel_rates_accumulate() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 1.0)
+            .rate(0, 1, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.transitions_from(0), &[(1, 3.0)]);
+    }
+
+    #[test]
+    fn absorbing_transform_removes_failed_exits() {
+        let c = two_state().with_failed_absorbing();
+        assert_eq!(c.transitions_from(1), &[]);
+        assert_eq!(c.transitions_from(0), &[(1, 1e-3)]);
+    }
+
+    #[test]
+    fn with_initial_distribution_replaces_and_validates() {
+        let c = two_state()
+            .with_initial_distribution(vec![0.25, 0.75])
+            .unwrap();
+        assert_eq!(c.initial_distribution(), &[0.25, 0.75]);
+        let err = two_state().with_initial_distribution(vec![0.5, 0.1]);
+        assert!(matches!(
+            err,
+            Err(CtmcError::InitialDistributionNotNormalized { .. })
+        ));
+        let err = two_state().with_initial_distribution(vec![1.0]);
+        assert!(matches!(err, Err(CtmcError::StateOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,310 @@
+//! Erlang-phase failure and repair models (§VI-A of the paper).
+//!
+//! The paper replaces a static basic event with failure rate `λ` by a
+//! phase-type chain: starting in phase 0, the chain moves from phase `i` to
+//! phase `i+1` with rate `k·λ` and is failed in phase `k`. For `k = 1` this
+//! is an exponentially distributed failure, for `k > 1` an Erlang
+//! distribution with the same mean time to failure. Repair jumps from the
+//! failed phase back to phase 0. For triggered events, passive (off)
+//! phases with failure rates 100× lower are added, and repair is only
+//! possible once the event has been triggered.
+
+use crate::chain::{Ctmc, CtmcBuilder};
+use crate::error::CtmcError;
+use crate::triggered::{TriggeredCtmc, TriggeredCtmcBuilder};
+
+/// Options for building a triggered Erlang model with
+/// [`triggered_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErlangOptions {
+    /// Number of phases `k ≥ 1`.
+    pub phases: usize,
+    /// Active failure rate `λ` (per phase rate is `k·λ`).
+    pub failure_rate: f64,
+    /// Repair rate `μ` from the failed phase back to phase 0; zero
+    /// disables repair.
+    pub repair_rate: f64,
+    /// Ratio of passive (off) to active failure rates; the paper uses
+    /// `0.01` ("failure rates in passive states 100 times lower"). Zero
+    /// disables degradation while off.
+    pub passive_factor: f64,
+    /// Whether a latent-failed event keeps being repaired while off.
+    /// The paper's experiments assume `false` ("the equipment cannot be
+    /// repaired before it gets triggered, as nobody knows it is failed");
+    /// Example 2's spare pump uses `true`.
+    pub repair_while_off: bool,
+}
+
+impl ErlangOptions {
+    /// Paper defaults: `passive_factor = 0.01`, no repair while off.
+    #[must_use]
+    pub fn new(phases: usize, failure_rate: f64, repair_rate: f64) -> Self {
+        ErlangOptions {
+            phases,
+            failure_rate,
+            repair_rate,
+            passive_factor: 0.01,
+            repair_while_off: false,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CtmcError> {
+        if self.phases == 0 {
+            return Err(CtmcError::ZeroPhases);
+        }
+        for (rate, name) in [
+            (self.failure_rate, "failure"),
+            (self.repair_rate, "repair"),
+            (self.passive_factor, "passive factor"),
+        ] {
+            if !rate.is_finite() || rate < 0.0 {
+                let _ = name;
+                return Err(CtmcError::InvalidRate {
+                    from: 0,
+                    to: 0,
+                    rate,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An always-on Erlang failure chain without repair: phases `0..=k`,
+/// failed in phase `k`, per-phase rate `k·λ`.
+///
+/// # Errors
+///
+/// Returns an error if `phases` is zero or `failure_rate` is negative or
+/// not finite.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sdft_ctmc::CtmcError> {
+/// let chain = sdft_ctmc::erlang::plain(3, 1e-3)?;
+/// assert_eq!(chain.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn plain(phases: usize, failure_rate: f64) -> Result<Ctmc, CtmcError> {
+    repairable(phases, failure_rate, 0.0)
+}
+
+/// An always-on Erlang failure chain with repair from the failed phase
+/// back to phase 0 at rate `repair_rate`.
+///
+/// # Errors
+///
+/// Returns an error if `phases` is zero or any rate is negative or not
+/// finite.
+pub fn repairable(phases: usize, failure_rate: f64, repair_rate: f64) -> Result<Ctmc, CtmcError> {
+    let opts = ErlangOptions::new(phases, failure_rate, repair_rate);
+    opts.validate()?;
+    let k = phases;
+    let mut b = CtmcBuilder::new(k + 1);
+    b.initial(0, 1.0);
+    let phase_rate = k as f64 * failure_rate;
+    for i in 0..k {
+        b.rate(i, i + 1, phase_rate);
+    }
+    if repair_rate > 0.0 {
+        b.rate(k, 0, repair_rate);
+    }
+    b.failed(k);
+    b.build()
+}
+
+/// A triggered Erlang model with the paper's §VI-A defaults: passive
+/// failure rates 100× lower than active ones and no repair while off.
+///
+/// See [`triggered_with`] for the state layout.
+///
+/// # Errors
+///
+/// Returns an error if `phases` is zero or any rate is negative or not
+/// finite.
+pub fn triggered(
+    phases: usize,
+    failure_rate: f64,
+    repair_rate: f64,
+) -> Result<TriggeredCtmc, CtmcError> {
+    triggered_with(ErlangOptions::new(phases, failure_rate, repair_rate))
+}
+
+/// A triggered Erlang model with full control over passive degradation and
+/// off-repair.
+///
+/// State layout for `k = opts.phases`:
+///
+/// * off-states `0..=k` — passive phases; `k` is the *latent failed*
+///   off-state (not in `F`, because the paper requires `F ⊆ S_on`),
+/// * on-states `k+1..=2k+1` — active phases; `2k+1` is the failed state,
+/// * `on(i) = i + k + 1`, `off(j) = j - k - 1` (phase is preserved across
+///   mode switches),
+/// * passive phase rate `k·λ·passive_factor`, active phase rate `k·λ`,
+/// * repair `2k+1 → k+1` at `μ`, plus `k → 0` at `μ` when
+///   `repair_while_off` is set.
+///
+/// # Errors
+///
+/// Returns an error if `opts.phases` is zero or any rate is negative or
+/// not finite.
+pub fn triggered_with(opts: ErlangOptions) -> Result<TriggeredCtmc, CtmcError> {
+    opts.validate()?;
+    let k = opts.phases;
+    let mut b = TriggeredCtmcBuilder::new();
+    for _ in 0..=k {
+        b.off_state();
+    }
+    for _ in 0..=k {
+        b.on_state();
+    }
+    b.initial(0, 1.0);
+    let active = k as f64 * opts.failure_rate;
+    let passive = active * opts.passive_factor;
+    for i in 0..k {
+        if passive > 0.0 {
+            b.rate(i, i + 1, passive);
+        }
+        b.rate(k + 1 + i, k + 2 + i, active);
+    }
+    if opts.repair_rate > 0.0 {
+        b.rate(2 * k + 1, k + 1, opts.repair_rate);
+        if opts.repair_while_off {
+            b.rate(k, 0, opts.repair_rate);
+        }
+    }
+    for i in 0..=k {
+        b.map(i, k + 1 + i);
+    }
+    b.failed(2 * k + 1);
+    b.build()
+}
+
+/// The spare-pump model of Example 2: a single exponential failure phase,
+/// no degradation while off, repair continuing while off.
+///
+/// # Errors
+///
+/// Returns an error if any rate is negative or not finite.
+pub fn spare(failure_rate: f64, repair_rate: f64) -> Result<TriggeredCtmc, CtmcError> {
+    triggered_with(ErlangOptions {
+        phases: 1,
+        failure_rate,
+        repair_rate,
+        passive_factor: 0.0,
+        repair_while_off: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triggered::Mode;
+
+    #[test]
+    fn plain_erlang_mean_time_to_failure_is_preserved() {
+        // Reach probability at the MTTF should be close for k = 1 and the
+        // exact Erlang CDF for larger k; check closed forms.
+        let lambda = 1e-2;
+        for k in 1..=4usize {
+            let c = plain(k, lambda).unwrap();
+            assert_eq!(c.len(), k + 1);
+            let t = 30.0;
+            let p = c.reach_failed_probability(t, 1e-12).unwrap();
+            // Erlang(k, k*lambda) CDF at t.
+            let rt = k as f64 * lambda * t;
+            let mut cdf = 1.0;
+            let mut term = 1.0;
+            let mut partial = 0.0;
+            for n in 0..k {
+                if n > 0 {
+                    term *= rt / n as f64;
+                }
+                partial += term;
+            }
+            cdf -= (-rt).exp() * partial;
+            assert!((p - cdf).abs() < 1e-9, "k={k}: {p} vs {cdf}");
+        }
+    }
+
+    #[test]
+    fn repair_lowers_long_run_failure_probability() {
+        let no_repair = plain(1, 1e-3).unwrap();
+        let repaired = repairable(1, 1e-3, 0.05).unwrap();
+        let t = 1000.0;
+        // Reaching failure at least once is the same with or without
+        // repair for k = 1 (the first passage ignores what happens after),
+        // so compare *being* failed instead.
+        let pi_no = crate::transient::transient_distribution(&no_repair, t, 1e-12).unwrap();
+        let pi_rep = crate::transient::transient_distribution(&repaired, t, 1e-12).unwrap();
+        assert!(pi_rep[1] < pi_no[1] / 10.0);
+    }
+
+    #[test]
+    fn triggered_layout_matches_documentation() {
+        let k = 3;
+        let c = triggered(k, 1e-3, 0.05).unwrap();
+        assert_eq!(c.len(), 2 * (k + 1));
+        for i in 0..=k {
+            assert_eq!(c.mode(i), Mode::Off);
+            assert_eq!(c.mode(k + 1 + i), Mode::On);
+            assert_eq!(c.on_of(i), k + 1 + i);
+            assert_eq!(c.off_of(k + 1 + i), i);
+        }
+        assert!(c.chain().is_failed(2 * k + 1));
+        assert!(
+            !c.chain().is_failed(k),
+            "latent failed off-state must not be in F"
+        );
+        // No repair while off by default.
+        assert!(c.chain().transitions_from(k).is_empty());
+        // Passive rates are 100x lower.
+        let passive = c.chain().transitions_from(0)[0].1;
+        let active = c.chain().transitions_from(k + 1)[0].1;
+        assert!((active / passive - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spare_has_no_passive_degradation_and_off_repair() {
+        let s = spare(1e-3, 0.05).unwrap();
+        assert_eq!(s.len(), 4);
+        // Off-ok state does not degrade.
+        assert!(s.chain().transitions_from(0).is_empty());
+        // Latent failed off-state is repaired.
+        assert_eq!(s.chain().transitions_from(1), &[(0, 0.05)]);
+    }
+
+    #[test]
+    fn worst_case_matches_always_on_chain() {
+        let t = 24.0;
+        for k in 1..=3usize {
+            let trig = triggered(k, 2e-3, 0.1).unwrap();
+            let always_on = repairable(k, 2e-3, 0.1).unwrap();
+            let a = trig.worst_case_failure_probability(t, 1e-12).unwrap();
+            let b = always_on.reach_failed_probability(t, 1e-12).unwrap();
+            assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_phases_and_bad_rates() {
+        assert_eq!(plain(0, 1e-3), Err(CtmcError::ZeroPhases));
+        assert!(matches!(
+            repairable(1, -1.0, 0.0),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            triggered(1, 1e-3, f64::NAN),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            triggered_with(ErlangOptions {
+                passive_factor: -0.5,
+                ..ErlangOptions::new(1, 1.0, 0.0)
+            }),
+            Err(CtmcError::InvalidRate { .. })
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Errors produced when constructing or analysing a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// The chain has no states.
+    EmptyStateSpace,
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the chain.
+        len: usize,
+    },
+    /// A transition rate was negative, NaN or infinite.
+    InvalidRate {
+        /// Source state of the transition.
+        from: usize,
+        /// Target state of the transition.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// An initial probability was negative, NaN or infinite.
+    InvalidInitialProbability {
+        /// The state whose initial probability is invalid.
+        state: usize,
+        /// The offending probability.
+        prob: f64,
+    },
+    /// The initial distribution does not sum to one (within tolerance).
+    InitialDistributionNotNormalized {
+        /// The actual sum of the provided initial probabilities.
+        sum: f64,
+    },
+    /// The analysis horizon was negative, NaN or infinite.
+    InvalidHorizon {
+        /// The offending horizon.
+        horizon: f64,
+    },
+    /// The requested truncation error is not in `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending truncation error.
+        epsilon: f64,
+    },
+    /// A failed state of a triggered chain is not an *on* state
+    /// (the paper requires `F ⊆ S_on`).
+    FailedStateNotOn {
+        /// The offending state.
+        state: usize,
+    },
+    /// The initial distribution of a triggered chain gives positive
+    /// probability to an *on* state (the paper requires support in `S_off`).
+    InitialStateNotOff {
+        /// The offending state.
+        state: usize,
+    },
+    /// The (un)triggering map is missing an entry or maps to the wrong mode.
+    InvalidModeMap {
+        /// The state whose map entry is invalid.
+        state: usize,
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// An Erlang model was requested with zero phases.
+    ZeroPhases,
+    /// An iterative computation did not converge within its budget.
+    DidNotConverge {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::EmptyStateSpace => write!(f, "chain has no states"),
+            CtmcError::StateOutOfRange { state, len } => {
+                write!(
+                    f,
+                    "state index {state} out of range for chain with {len} states"
+                )
+            }
+            CtmcError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            CtmcError::InvalidInitialProbability { state, prob } => {
+                write!(f, "invalid initial probability {prob} for state {state}")
+            }
+            CtmcError::InitialDistributionNotNormalized { sum } => {
+                write!(f, "initial distribution sums to {sum}, expected 1")
+            }
+            CtmcError::InvalidHorizon { horizon } => {
+                write!(f, "invalid analysis horizon {horizon}")
+            }
+            CtmcError::InvalidEpsilon { epsilon } => {
+                write!(
+                    f,
+                    "invalid truncation error {epsilon}, expected a value in (0, 1)"
+                )
+            }
+            CtmcError::FailedStateNotOn { state } => {
+                write!(
+                    f,
+                    "failed state {state} is not an on-state (F must be a subset of S_on)"
+                )
+            }
+            CtmcError::InitialStateNotOff { state } => {
+                write!(
+                    f,
+                    "initial distribution supports on-state {state} (support must lie in S_off)"
+                )
+            }
+            CtmcError::InvalidModeMap { state, reason } => {
+                write!(f, "invalid mode map at state {state}: {reason}")
+            }
+            CtmcError::ZeroPhases => write!(f, "Erlang model requires at least one phase"),
+            CtmcError::DidNotConverge { iterations } => {
+                write!(f, "iteration did not converge within {iterations} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}

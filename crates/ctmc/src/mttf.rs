@@ -1,0 +1,269 @@
+//! Mean time to failure: the expected first-passage time into the failed
+//! states.
+//!
+//! For a chain with failed set `F`, the MTTF from state `s ∉ F` satisfies
+//! the linear system `x_s = 1/E_s + Σ_{s'} (R(s,s')/E_s) · x_{s'}` where
+//! `E_s` is the exit rate of `s` (and `x_s = 0` on `F`). The system is
+//! solved by Gauss–Seidel iteration, which converges for any chain that
+//! reaches `F` almost surely; states that cannot reach `F` have infinite
+//! MTTF, detected up front by a reachability pass.
+
+use crate::chain::Ctmc;
+use crate::error::CtmcError;
+use crate::stationary::StationaryOptions;
+
+impl Ctmc {
+    /// The mean time to failure from the chain's initial distribution.
+    ///
+    /// Returns `f64::INFINITY` when the chain reaches a failed state with
+    /// probability less than one (some initial mass is trapped in states
+    /// that cannot reach `F`, or in states with no exit at all).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tolerance is invalid or the Gauss–Seidel
+    /// iteration does not converge within the budget (see
+    /// [`StationaryOptions`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdft_ctmc::{erlang, StationaryOptions};
+    ///
+    /// # fn main() -> Result<(), sdft_ctmc::CtmcError> {
+    /// // An Erlang-k chain preserves the mean time to failure 1/λ.
+    /// for k in 1..=4 {
+    ///     let chain = erlang::plain(k, 1e-3)?;
+    ///     let mttf = chain.mean_time_to_failure(&StationaryOptions::default())?;
+    ///     assert!((mttf - 1000.0).abs() < 1e-6);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn mean_time_to_failure(&self, options: &StationaryOptions) -> Result<f64, CtmcError> {
+        if !options.tolerance.is_finite() || options.tolerance <= 0.0 {
+            return Err(CtmcError::InvalidEpsilon {
+                epsilon: options.tolerance,
+            });
+        }
+        let n = self.len();
+        let failed: Vec<bool> = (0..n).map(|s| self.is_failed(s)).collect();
+
+        // Backward reachability: which states can reach F at all?
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for &(to, _) in self.transitions_from(s) {
+                predecessors[to].push(s);
+            }
+        }
+        let mut can_reach = failed.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&s| failed[s]).collect();
+        while let Some(s) = queue.pop() {
+            for &p in &predecessors[s] {
+                if !can_reach[p] {
+                    can_reach[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+
+        // Forward reachability from the initial support: if the chain
+        // can wander anywhere F is unreachable (a trap entered at time
+        // zero *or later*), the expectation diverges.
+        let mut forward = vec![false; n];
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&s| self.initial_probability(s) > 0.0)
+            .collect();
+        for &s in &queue {
+            forward[s] = true;
+        }
+        while let Some(s) = queue.pop() {
+            for &(to, _) in self.transitions_from(s) {
+                if !forward[to] {
+                    forward[to] = true;
+                    queue.push(to);
+                }
+            }
+        }
+        if (0..n).any(|s| forward[s] && !can_reach[s]) {
+            return Ok(f64::INFINITY);
+        }
+
+        // Gauss–Seidel on the reachable transient states (every one of
+        // them can reach F, so exit rates are positive).
+        let mut x = vec![0.0f64; n];
+        for _ in 0..options.max_iterations {
+            let mut delta = 0.0f64;
+            for s in 0..n {
+                if failed[s] || !forward[s] {
+                    continue;
+                }
+                let exit = self.exit_rate(s);
+                debug_assert!(exit > 0.0, "transient state with F reachable has exits");
+                let mut acc = 1.0;
+                for &(to, rate) in self.transitions_from(s) {
+                    if !failed[to] {
+                        acc += rate * x[to];
+                    }
+                }
+                let new = acc / exit;
+                delta += (new - x[s]).abs();
+                x[s] = new;
+            }
+            if delta < options.tolerance {
+                let mttf: f64 = (0..n).map(|s| self.initial_probability(s) * x[s]).sum();
+                return Ok(mttf);
+            }
+        }
+        Err(CtmcError::DidNotConverge {
+            iterations: options.max_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::CtmcBuilder;
+    use crate::erlang;
+
+    fn opts() -> StationaryOptions {
+        StationaryOptions::default()
+    }
+
+    #[test]
+    fn exponential_mttf_is_reciprocal_rate() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 4e-3)
+            .failed(1)
+            .build()
+            .unwrap();
+        let mttf = c.mean_time_to_failure(&opts()).unwrap();
+        assert!((mttf - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erlang_preserves_mttf() {
+        for k in 1..=4usize {
+            let c = erlang::plain(k, 2e-3).unwrap();
+            let mttf = c.mean_time_to_failure(&opts()).unwrap();
+            assert!((mttf - 500.0).abs() < 1e-6, "k={k}: {mttf}");
+        }
+    }
+
+    #[test]
+    fn repair_extends_mttf_for_multiphase_chains() {
+        // With k >= 2 the repair from the failed state does not matter
+        // (first passage), but a *degradation* repair does. Compare a
+        // 2-phase chain with and without a mid-phase repair 1 -> 0.
+        let lambda = 1e-2;
+        let plain = erlang::plain(2, lambda).unwrap();
+        let mut b = CtmcBuilder::new(3);
+        b.initial(0, 1.0)
+            .rate(0, 1, 2.0 * lambda)
+            .rate(1, 2, 2.0 * lambda)
+            .rate(1, 0, 0.05) // inspection catches degradation
+            .failed(2);
+        let inspected = b.build().unwrap();
+        let m_plain = plain.mean_time_to_failure(&opts()).unwrap();
+        let m_inspected = inspected.mean_time_to_failure(&opts()).unwrap();
+        assert!(m_inspected > m_plain * 2.0, "{m_inspected} vs {m_plain}");
+    }
+
+    #[test]
+    fn unreachable_failure_gives_infinite_mttf() {
+        let c = CtmcBuilder::new(3)
+            .initial(0, 1.0)
+            .rate(0, 1, 1.0) // 1 is a sink without failure
+            .failed(2)
+            .build()
+            .unwrap();
+        let mttf = c.mean_time_to_failure(&opts()).unwrap();
+        assert!(mttf.is_infinite());
+    }
+
+    #[test]
+    fn partially_trapped_initial_mass_is_infinite() {
+        let c = CtmcBuilder::new(3)
+            .initial(0, 0.5)
+            .initial(1, 0.5) // trapped: no transitions out of 1
+            .rate(0, 2, 1.0)
+            .failed(2)
+            .build()
+            .unwrap();
+        assert!(c.mean_time_to_failure(&opts()).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn initially_failed_mass_contributes_zero() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 0.5)
+            .initial(1, 0.5)
+            .rate(0, 1, 0.1)
+            .failed(1)
+            .build()
+            .unwrap();
+        let mttf = c.mean_time_to_failure(&opts()).unwrap();
+        assert!((mttf - 0.5 * 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mttf_matches_transient_integral() {
+        // MTTF = ∫ (1 - F(t)) dt; approximate the integral numerically
+        // from reach probabilities and compare.
+        let c = erlang::repairable(2, 5e-2, 0.0).unwrap();
+        let mttf = c.mean_time_to_failure(&opts()).unwrap();
+        let mut integral = 0.0;
+        let dt = 0.25;
+        let mut t = 0.0;
+        while t < 400.0 {
+            let p = c.reach_failed_probability(t + dt / 2.0, 1e-10).unwrap();
+            integral += (1.0 - p) * dt;
+            t += dt;
+        }
+        assert!(
+            (mttf - integral).abs() / mttf < 0.01,
+            "{mttf} vs {integral}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod trap_regression_tests {
+    use super::*;
+    use crate::chain::CtmcBuilder;
+
+    /// Found in review: a non-failed sink reachable only *after* time
+    /// zero must give MTTF = ∞, not a divide-by-zero / non-convergence.
+    #[test]
+    fn reachable_trap_yields_infinite_mttf() {
+        let c = CtmcBuilder::new(3)
+            .initial(0, 1.0)
+            .rate(0, 1, 1.0) // state 1 is an OK sink
+            .rate(0, 2, 1.0)
+            .failed(2)
+            .build()
+            .unwrap();
+        let mttf = c
+            .mean_time_to_failure(&StationaryOptions::default())
+            .unwrap();
+        assert!(mttf.is_infinite());
+    }
+
+    /// Unreachable junk states must not disturb the solve.
+    #[test]
+    fn unreachable_states_are_ignored() {
+        let c = CtmcBuilder::new(3)
+            .initial(0, 1.0)
+            .rate(0, 2, 0.5)
+            .rate(1, 0, 9.0) // state 1 never entered
+            .failed(2)
+            .build()
+            .unwrap();
+        let mttf = c
+            .mean_time_to_failure(&StationaryOptions::default())
+            .unwrap();
+        assert!((mttf - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Long-run (stationary/limiting) analysis of CTMCs.
+//!
+//! For repairable equipment the classic complement to the time-bounded
+//! reachability of [`reach_probability`](crate::reach_probability) is the
+//! *steady-state unavailability*: the long-run fraction of time the
+//! component spends failed. It is computed by power iteration on the
+//! lazy uniformized chain `P' = ½I + ½(I + R/Λ)`, which shares the
+//! CTMC's stationary distribution and is aperiodic by construction.
+
+use crate::chain::Ctmc;
+use crate::error::CtmcError;
+
+/// Options for the power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationaryOptions {
+    /// Convergence tolerance on the L1 distance between iterates.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for StationaryOptions {
+    fn default() -> Self {
+        StationaryOptions {
+            tolerance: 1e-12,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// The limiting distribution of `chain` started from its initial
+/// distribution.
+///
+/// For an irreducible chain this is the unique stationary distribution;
+/// for reducible chains (e.g. with absorbing states) it is the limit
+/// reached from the configured initial distribution.
+///
+/// # Errors
+///
+/// Returns an error if the options are invalid or the iteration does not
+/// converge within the budget.
+///
+/// # Example
+///
+/// ```
+/// use sdft_ctmc::{limiting_distribution, CtmcBuilder, StationaryOptions};
+///
+/// # fn main() -> Result<(), sdft_ctmc::CtmcError> {
+/// // Failure rate 1e-3, repair rate 0.05: unavailability λ/(λ+μ).
+/// let chain = CtmcBuilder::new(2)
+///     .initial(0, 1.0)
+///     .rate(0, 1, 1e-3)
+///     .rate(1, 0, 0.05)
+///     .failed(1)
+///     .build()?;
+/// let pi = limiting_distribution(&chain, &StationaryOptions::default())?;
+/// assert!((pi[1] - 1e-3 / (1e-3 + 0.05)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn limiting_distribution(
+    chain: &Ctmc,
+    options: &StationaryOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    if !options.tolerance.is_finite() || options.tolerance <= 0.0 {
+        return Err(CtmcError::InvalidEpsilon {
+            epsilon: options.tolerance,
+        });
+    }
+    let n = chain.len();
+    let rate = chain.max_exit_rate();
+    if rate == 0.0 {
+        return Ok(chain.initial_distribution().to_vec());
+    }
+    // Stiffness guard: per-iteration movement of the *slowest* component
+    // scales with (min positive exit rate)/Λ, so a plain iterate-to-
+    // iterate test would declare victory while slow components have not
+    // moved at all. Scale the tolerance by the rate separation; genuinely
+    // stiff chains then fail with DidNotConverge instead of silently
+    // returning their initial distribution.
+    let min_exit = (0..n)
+        .map(|s| chain.exit_rate(s))
+        .filter(|&e| e > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let effective_tolerance = (options.tolerance * (min_exit / rate)).max(f64::MIN_POSITIVE);
+    let mut current = chain.initial_distribution().to_vec();
+    let mut next = vec![0.0; n];
+    for _ in 0..options.max_iterations {
+        // One lazy uniformized step: next = ½ current + ½ current·P.
+        for (v, c) in next.iter_mut().zip(&current) {
+            *v = 0.5 * c;
+        }
+        for s in 0..n {
+            let mass = current[s];
+            if mass == 0.0 {
+                continue;
+            }
+            let mut stay = mass;
+            for &(to, r) in chain.transitions_from(s) {
+                let moved = mass * (r / rate);
+                next[to] += 0.5 * moved;
+                stay -= moved;
+            }
+            next[s] += 0.5 * stay.max(0.0);
+        }
+        let delta: f64 = current.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut current, &mut next);
+        if delta < effective_tolerance {
+            return Ok(current);
+        }
+    }
+    Err(CtmcError::DidNotConverge {
+        iterations: options.max_iterations,
+    })
+}
+
+impl Ctmc {
+    /// The steady-state unavailability: the long-run probability mass on
+    /// failed states.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power iteration does not converge (see
+    /// [`limiting_distribution`]).
+    pub fn steady_state_unavailability(
+        &self,
+        options: &StationaryOptions,
+    ) -> Result<f64, CtmcError> {
+        let pi = limiting_distribution(self, options)?;
+        Ok(self.failed_states().map(|s| pi[s]).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::CtmcBuilder;
+    use crate::erlang;
+
+    #[test]
+    fn two_state_matches_closed_form() {
+        let (lambda, mu) = (2e-3, 0.08);
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, lambda)
+            .rate(1, 0, mu)
+            .failed(1)
+            .build()
+            .unwrap();
+        let u = c
+            .steady_state_unavailability(&StationaryOptions::default())
+            .unwrap();
+        assert!((u - lambda / (lambda + mu)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_chain_unavailability() {
+        // Erlang-k degradation with repair: balance equations give equal
+        // flow through every phase, so π_i = π_0 for phases 0..k-1 (rate
+        // kλ each) and π_k = π_0·(kλ/μ). Unavailability =
+        // (kλ/μ) / (k + kλ/μ).
+        for k in 1..=3usize {
+            let (lambda, mu) = (5e-3, 0.1);
+            let chain = erlang::repairable(k, lambda, mu).unwrap();
+            let u = chain
+                .steady_state_unavailability(&StationaryOptions::default())
+                .unwrap();
+            let ratio = k as f64 * lambda / mu;
+            let expected = ratio / (k as f64 + ratio);
+            assert!((u - expected).abs() < 1e-9, "k={k}: {u} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_limits_to_absorbing_mass() {
+        // 0 -> 1 absorbing: everything ends up failed.
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 0.5)
+            .failed(1)
+            .build()
+            .unwrap();
+        let u = c
+            .steady_state_unavailability(&StationaryOptions::default())
+            .unwrap();
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rateless_chain_keeps_initial_distribution() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 0.7)
+            .initial(1, 0.3)
+            .failed(1)
+            .build()
+            .unwrap();
+        let pi = limiting_distribution(&c, &StationaryOptions::default()).unwrap();
+        assert_eq!(pi, vec![0.7, 0.3]);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, 1e-9) // extremely slow mixing
+            .rate(1, 0, 1.0)
+            .build()
+            .unwrap();
+        let err = limiting_distribution(
+            &c,
+            &StationaryOptions {
+                tolerance: 1e-15,
+                max_iterations: 3,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(CtmcError::DidNotConverge { iterations: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tolerance() {
+        let c = CtmcBuilder::new(1).initial(0, 1.0).build().unwrap();
+        assert!(matches!(
+            limiting_distribution(
+                &c,
+                &StationaryOptions {
+                    tolerance: 0.0,
+                    max_iterations: 1
+                }
+            ),
+            Err(CtmcError::InvalidEpsilon { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod stiffness_regression_tests {
+    use super::*;
+    use crate::chain::CtmcBuilder;
+
+    /// Found in review: a fast component inflating Λ next to a very slow
+    /// one must not make the iteration stop before the slow component
+    /// has mixed — better an explicit non-convergence than a silently
+    /// wrong distribution.
+    #[test]
+    fn stiff_chain_errors_instead_of_lying() {
+        let c = CtmcBuilder::new(3)
+            .initial(0, 1.0)
+            .rate(0, 1, 1e-10)
+            .rate(1, 0, 1e-10)
+            .rate(2, 0, 1000.0)
+            .failed(1)
+            .build()
+            .unwrap();
+        let result = limiting_distribution(
+            &c,
+            &StationaryOptions {
+                tolerance: 1e-12,
+                max_iterations: 10_000,
+            },
+        );
+        assert!(
+            matches!(result, Err(CtmcError::DidNotConverge { .. })),
+            "stiff chain must not return a fake limit: {result:?}"
+        );
+    }
+
+    /// Moderately separated rates still converge to the right answer.
+    #[test]
+    fn moderate_separation_still_converges() {
+        let (lambda, mu) = (1e-3, 0.5);
+        let c = CtmcBuilder::new(2)
+            .initial(0, 1.0)
+            .rate(0, 1, lambda)
+            .rate(1, 0, mu)
+            .failed(1)
+            .build()
+            .unwrap();
+        let u = c
+            .steady_state_unavailability(&StationaryOptions::default())
+            .unwrap();
+        assert!((u - lambda / (lambda + mu)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,416 @@
+use crate::chain::{Ctmc, CtmcBuilder};
+use crate::error::CtmcError;
+
+/// Operating mode of a state of a [`TriggeredCtmc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The equipment is switched off (standby / not demanded).
+    Off,
+    /// The equipment is switched on (operating).
+    On,
+}
+
+/// A triggered continuous-time Markov chain (§III-A of the paper).
+///
+/// The state space is partitioned into *off* states `S_off` and *on* states
+/// `S_on` such that
+///
+/// * all failed states are on-states (`F ⊆ S_on`),
+/// * the initial distribution supports only off-states, and
+/// * total maps `on : S_off → S_on` and `off : S_on → S_off` describe the
+///   instantaneous mode switch taken when the triggering gate fails or is
+///   repaired.
+///
+/// Construct values with [`TriggeredCtmcBuilder`], which validates these
+/// invariants.
+///
+/// # Example
+///
+/// ```
+/// use sdft_ctmc::TriggeredCtmcBuilder;
+///
+/// # fn main() -> Result<(), sdft_ctmc::CtmcError> {
+/// // The spare pump of Example 2: off <-> on, fails at 1e-3 while on,
+/// // repaired at 0.05 (repairs continue while off through the off-failed
+/// // latent state 3).
+/// let spare = TriggeredCtmcBuilder::new()
+///     .off_state()        // 0: off, ok
+///     .on_state()         // 1: on, ok
+///     .on_state()         // 2: on, failed
+///     .off_state()        // 3: off, failed (latent)
+///     .initial(0, 1.0)
+///     .rate(1, 2, 1e-3)
+///     .rate(2, 1, 0.05)
+///     .rate(3, 0, 0.05)
+///     .map(0, 1)
+///     .map(3, 2)
+///     .failed(2)
+///     .build()?;
+/// assert_eq!(spare.on_of(0), 1);
+/// assert_eq!(spare.off_of(2), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggeredCtmc {
+    chain: Ctmc,
+    modes: Vec<Mode>,
+    /// `on_map[s]` for off-states: the on-state entered when triggered.
+    on_map: Vec<usize>,
+    /// `off_map[s]` for on-states: the off-state entered when untriggered.
+    off_map: Vec<usize>,
+}
+
+impl TriggeredCtmc {
+    /// The underlying CTMC (rates, initial distribution, failed states).
+    #[must_use]
+    pub fn chain(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Whether the chain has no states; always `false` for built values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// The mode of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn mode(&self, state: usize) -> Mode {
+        self.modes[state]
+    }
+
+    /// The on-state entered from off-state `state` when triggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range or not an off-state.
+    #[must_use]
+    pub fn on_of(&self, state: usize) -> usize {
+        assert_eq!(self.modes[state], Mode::Off, "on_of on an on-state");
+        self.on_map[state]
+    }
+
+    /// The off-state entered from on-state `state` when untriggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range or not an on-state.
+    #[must_use]
+    pub fn off_of(&self, state: usize) -> usize {
+        assert_eq!(self.modes[state], Mode::On, "off_of on an off-state");
+        self.off_map[state]
+    }
+
+    /// The worst-case probability that the event fails at least once within
+    /// horizon `t`, over all ways it may be triggered (§V-B2).
+    ///
+    /// For the chains built by this crate (monotone degradation with
+    /// repairs), the supremum over all embedding fault trees is attained
+    /// when the event is triggered at time zero and never untriggered; this
+    /// method computes exactly that: the initial distribution is shifted by
+    /// the `on` map and (un)triggering is ignored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` is negative or not finite, or `epsilon` is
+    /// not in `(0, 1)`.
+    pub fn worst_case_failure_probability(&self, t: f64, epsilon: f64) -> Result<f64, CtmcError> {
+        let shifted = self.triggered_at_zero()?;
+        shifted.reach_failed_probability(t, epsilon)
+    }
+
+    /// A copy with every transition rate multiplied by `factor`
+    /// (see [`Ctmc::with_scaled_rates`]); modes and maps are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is negative or not finite.
+    pub fn with_scaled_rates(&self, factor: f64) -> Result<TriggeredCtmc, CtmcError> {
+        Ok(TriggeredCtmc {
+            chain: self.chain.with_scaled_rates(factor)?,
+            modes: self.modes.clone(),
+            on_map: self.on_map.clone(),
+            off_map: self.off_map.clone(),
+        })
+    }
+
+    /// The plain CTMC obtained by triggering at time zero: the initial
+    /// distribution is pushed through the `on` map and mode information is
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shifted distribution fails validation, which
+    /// cannot happen for values produced by [`TriggeredCtmcBuilder`].
+    pub fn triggered_at_zero(&self) -> Result<Ctmc, CtmcError> {
+        let mut init = vec![0.0; self.len()];
+        for s in 0..self.len() {
+            let p = self.chain.initial_probability(s);
+            if p > 0.0 {
+                init[self.on_map[s]] += p;
+            }
+        }
+        self.chain.clone().with_initial_distribution(init)
+    }
+}
+
+/// Builder for [`TriggeredCtmc`] values.
+#[derive(Debug, Clone, Default)]
+pub struct TriggeredCtmcBuilder {
+    modes: Vec<Mode>,
+    maps: Vec<(usize, usize)>,
+    rates: Vec<(usize, usize, f64)>,
+    initial: Vec<(usize, f64)>,
+    failed: Vec<usize>,
+}
+
+impl TriggeredCtmcBuilder {
+    /// Start building an empty triggered chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an off-state, returning `&mut self`; the state gets the next
+    /// free index (`0`, `1`, ...) in declaration order.
+    pub fn off_state(&mut self) -> &mut Self {
+        self.modes.push(Mode::Off);
+        self
+    }
+
+    /// Append an on-state.
+    pub fn on_state(&mut self) -> &mut Self {
+        self.modes.push(Mode::On);
+        self
+    }
+
+    /// Declare the mode switch pair `on(off_state) = on_state` and
+    /// `off(on_state) = off_state`.
+    pub fn map(&mut self, off_state: usize, on_state: usize) -> &mut Self {
+        self.maps.push((off_state, on_state));
+        self
+    }
+
+    /// Add a transition `from -> to` at `rate` (accumulating duplicates).
+    pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
+        self.rates.push((from, to, rate));
+        self
+    }
+
+    /// Assign initial probability (accumulating duplicates).
+    pub fn initial(&mut self, state: usize, prob: f64) -> &mut Self {
+        self.initial.push((state, prob));
+        self
+    }
+
+    /// Mark a state as failed.
+    pub fn failed(&mut self, state: usize) -> &mut Self {
+        self.failed.push(state);
+        self
+    }
+
+    /// Validate and build the triggered chain.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the plain-CTMC validation of [`CtmcBuilder::build`],
+    /// this rejects chains where a failed state is off, the initial
+    /// distribution supports an on-state, or the mode maps are not total
+    /// mode-respecting functions.
+    pub fn build(&self) -> Result<TriggeredCtmc, CtmcError> {
+        let n = self.modes.len();
+        let mut builder = CtmcBuilder::new(n);
+        for &(f, t, r) in &self.rates {
+            builder.rate(f, t, r);
+        }
+        for &(s, p) in &self.initial {
+            builder.initial(s, p);
+        }
+        for &s in &self.failed {
+            builder.failed(s);
+        }
+        let chain = builder.build()?;
+
+        for s in chain.failed_states() {
+            if self.modes[s] == Mode::Off {
+                return Err(CtmcError::FailedStateNotOn { state: s });
+            }
+        }
+        for s in 0..n {
+            if chain.initial_probability(s) > 0.0 && self.modes[s] == Mode::On {
+                return Err(CtmcError::InitialStateNotOff { state: s });
+            }
+        }
+
+        let mut on_map = vec![usize::MAX; n];
+        let mut off_map = vec![usize::MAX; n];
+        for &(off_s, on_s) in &self.maps {
+            if off_s >= n || on_s >= n {
+                return Err(CtmcError::StateOutOfRange {
+                    state: off_s.max(on_s),
+                    len: n,
+                });
+            }
+            if self.modes[off_s] != Mode::Off {
+                return Err(CtmcError::InvalidModeMap {
+                    state: off_s,
+                    reason: "map source must be an off-state",
+                });
+            }
+            if self.modes[on_s] != Mode::On {
+                return Err(CtmcError::InvalidModeMap {
+                    state: on_s,
+                    reason: "map target must be an on-state",
+                });
+            }
+            on_map[off_s] = on_s;
+            off_map[on_s] = off_s;
+        }
+        for s in 0..n {
+            match self.modes[s] {
+                Mode::Off if on_map[s] == usize::MAX => {
+                    return Err(CtmcError::InvalidModeMap {
+                        state: s,
+                        reason: "off-state has no on-map entry (on must be total)",
+                    });
+                }
+                Mode::On if off_map[s] == usize::MAX => {
+                    return Err(CtmcError::InvalidModeMap {
+                        state: s,
+                        reason: "on-state has no off-map entry (off must be total)",
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        Ok(TriggeredCtmc {
+            chain,
+            modes: self.modes.clone(),
+            on_map,
+            off_map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spare_pump() -> TriggeredCtmc {
+        TriggeredCtmcBuilder::new()
+            .off_state() // 0 off ok
+            .on_state() // 1 on ok
+            .on_state() // 2 on failed
+            .off_state() // 3 off failed latent
+            .initial(0, 1.0)
+            .rate(1, 2, 1e-3)
+            .rate(2, 1, 0.05)
+            .rate(3, 0, 0.05)
+            .map(0, 1)
+            .map(3, 2)
+            .failed(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exposes_modes_and_maps() {
+        let p = spare_pump();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.mode(0), Mode::Off);
+        assert_eq!(p.mode(1), Mode::On);
+        assert_eq!(p.on_of(0), 1);
+        assert_eq!(p.on_of(3), 2);
+        assert_eq!(p.off_of(1), 0);
+        assert_eq!(p.off_of(2), 3);
+        assert!(p.chain().is_failed(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "on_of on an on-state")]
+    fn on_of_panics_for_on_state() {
+        let _ = spare_pump().on_of(1);
+    }
+
+    #[test]
+    fn worst_case_equals_plain_exponential_reach() {
+        // Triggered at zero and never untriggered, the spare pump behaves
+        // like the plain repairable pump from state 1.
+        let p = spare_pump();
+        let t = 24.0;
+        let worst = p.worst_case_failure_probability(t, 1e-12).unwrap();
+        let plain = crate::erlang::repairable(1, 1e-3, 0.05).unwrap();
+        let expected = plain.reach_failed_probability(t, 1e-12).unwrap();
+        assert!((worst - expected).abs() < 1e-12, "{worst} vs {expected}");
+    }
+
+    #[test]
+    fn triggered_at_zero_shifts_initial_mass() {
+        let p = spare_pump();
+        let shifted = p.triggered_at_zero().unwrap();
+        assert_eq!(shifted.initial_probability(0), 0.0);
+        assert_eq!(shifted.initial_probability(1), 1.0);
+    }
+
+    #[test]
+    fn rejects_failed_off_state() {
+        let err = TriggeredCtmcBuilder::new()
+            .off_state()
+            .on_state()
+            .initial(0, 1.0)
+            .map(0, 1)
+            .failed(0)
+            .build();
+        assert_eq!(err, Err(CtmcError::FailedStateNotOn { state: 0 }));
+    }
+
+    #[test]
+    fn rejects_initial_on_state() {
+        let err = TriggeredCtmcBuilder::new()
+            .off_state()
+            .on_state()
+            .initial(1, 1.0)
+            .map(0, 1)
+            .build();
+        assert_eq!(err, Err(CtmcError::InitialStateNotOff { state: 1 }));
+    }
+
+    #[test]
+    fn rejects_partial_maps() {
+        let err = TriggeredCtmcBuilder::new()
+            .off_state()
+            .on_state()
+            .on_state()
+            .initial(0, 1.0)
+            .map(0, 1)
+            .failed(2)
+            .build();
+        assert!(matches!(
+            err,
+            Err(CtmcError::InvalidModeMap { state: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_direction_map() {
+        let err = TriggeredCtmcBuilder::new()
+            .off_state()
+            .on_state()
+            .initial(0, 1.0)
+            .map(1, 0) // swapped: source is on, target is off
+            .build();
+        assert!(matches!(err, Err(CtmcError::InvalidModeMap { .. })));
+    }
+}

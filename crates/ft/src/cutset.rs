@@ -1,0 +1,414 @@
+use crate::node::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A cutset: a set of basic events whose joint failure fails the top gate
+/// (§IV-A of the paper).
+///
+/// Events are kept sorted and deduplicated; two cutsets are equal iff they
+/// contain the same events.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cutset {
+    events: Vec<NodeId>,
+}
+
+impl Cutset {
+    /// Build a cutset from any collection of events (sorted, deduplicated).
+    #[must_use]
+    pub fn new<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut events: Vec<NodeId> = events.into_iter().collect();
+        events.sort_unstable();
+        events.dedup();
+        Cutset { events }
+    }
+
+    /// The events of the cutset, sorted by id.
+    #[must_use]
+    pub fn events(&self) -> &[NodeId] {
+        &self.events
+    }
+
+    /// The order (number of events) of the cutset.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the cutset is empty (fails the top gate unconditionally).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether `event` is in the cutset.
+    #[must_use]
+    pub fn contains(&self, event: NodeId) -> bool {
+        self.events.binary_search(&event).is_ok()
+    }
+
+    /// Whether every event of `self` is in `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Cutset) -> bool {
+        if self.events.len() > other.events.len() {
+            return false;
+        }
+        // Merge walk over the two sorted lists.
+        let mut oi = 0;
+        'outer: for &e in &self.events {
+            while oi < other.events.len() {
+                match other.events[oi].cmp(&e) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `∏ p(a)` over the events of the cutset, with probabilities supplied
+    /// by `prob` (property ii of §IV-A).
+    #[must_use]
+    pub fn probability_with<F>(&self, mut prob: F) -> f64
+    where
+        F: FnMut(NodeId) -> f64,
+    {
+        self.events.iter().map(|&e| prob(e)).product()
+    }
+}
+
+impl FromIterator<NodeId> for Cutset {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        Cutset::new(iter)
+    }
+}
+
+impl fmt::Display for Cutset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A list of cutsets, typically the minimal cutsets of a fault tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CutsetList {
+    cutsets: Vec<Cutset>,
+}
+
+impl CutsetList {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing vector of cutsets (no minimization performed).
+    #[must_use]
+    pub fn from_vec(cutsets: Vec<Cutset>) -> Self {
+        CutsetList { cutsets }
+    }
+
+    /// Number of cutsets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cutsets.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cutsets.is_empty()
+    }
+
+    /// The cutsets, in list order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cutset> {
+        self.cutsets.iter()
+    }
+
+    /// The `i`-th cutset.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Cutset> {
+        self.cutsets.get(i)
+    }
+
+    /// Whether the list contains exactly this set of events.
+    #[must_use]
+    pub fn contains_set(&self, cutset: &Cutset) -> bool {
+        self.cutsets.iter().any(|c| c == cutset)
+    }
+
+    /// Add a cutset (no minimization).
+    pub fn push(&mut self, cutset: Cutset) {
+        self.cutsets.push(cutset);
+    }
+
+    /// Remove duplicates and non-minimal cutsets, keeping exactly the
+    /// minimal ones; the result is sorted by (order, events).
+    ///
+    /// Uses subset enumeration for small cutsets and an inverted-index
+    /// counting pass for large ones, so minimizing lists with ~10^5
+    /// cutsets of small order stays fast.
+    #[must_use]
+    pub fn minimize(mut self) -> Self {
+        const ENUM_LIMIT: usize = 12;
+        self.cutsets.sort_unstable_by(|a, b| {
+            a.order()
+                .cmp(&b.order())
+                .then_with(|| a.events.cmp(&b.events))
+        });
+        self.cutsets.dedup();
+
+        let mut kept: Vec<Cutset> = Vec::new();
+        let mut by_event: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut kept_sets: HashSet<Vec<NodeId>> = HashSet::new();
+
+        let mut counter: Vec<u32> = Vec::new();
+        let mut stamp: Vec<u32> = Vec::new();
+        let mut round: u32 = 0;
+
+        'candidates: for cutset in self.cutsets {
+            // An empty cutset (sorted first) subsumes every other set.
+            if kept.first().is_some_and(Cutset::is_empty) {
+                break;
+            }
+            if cutset.order() <= ENUM_LIMIT {
+                // Enumerate all proper non-empty subsets and look them up.
+                let m = cutset.order();
+                if m > 0 {
+                    let full = (1u32 << m) - 1;
+                    let mut buf: Vec<NodeId> = Vec::with_capacity(m);
+                    for mask in 1..full {
+                        buf.clear();
+                        for (bit, &e) in cutset.events.iter().enumerate() {
+                            if mask >> bit & 1 == 1 {
+                                buf.push(e);
+                            }
+                        }
+                        if kept_sets.contains(&buf) {
+                            continue 'candidates;
+                        }
+                    }
+                }
+            } else {
+                // Counting pass over the inverted index: a kept set K is a
+                // subset of the candidate iff every one of its events is
+                // hit, i.e. its counter reaches |K|.
+                round += 1;
+                for &e in cutset.events() {
+                    if let Some(list) = by_event.get(&e) {
+                        for &ki in list {
+                            if ki >= counter.len() {
+                                counter.resize(ki + 1, 0);
+                                stamp.resize(ki + 1, 0);
+                            }
+                            if stamp[ki] != round {
+                                stamp[ki] = round;
+                                counter[ki] = 0;
+                            }
+                            counter[ki] += 1;
+                            if counter[ki] as usize == kept[ki].order()
+                                && kept[ki].order() < cutset.order()
+                            {
+                                continue 'candidates;
+                            }
+                        }
+                    }
+                }
+            }
+            let ki = kept.len();
+            for &e in cutset.events() {
+                by_event.entry(e).or_default().push(ki);
+            }
+            kept_sets.insert(cutset.events.clone());
+            kept.push(cutset);
+        }
+        CutsetList { cutsets: kept }
+    }
+
+    /// The rare-event approximation `Σ_C ∏_{a∈C} p(a)` over all cutsets in
+    /// the list (§IV-A, property iii).
+    #[must_use]
+    pub fn rare_event_approximation<F>(&self, mut prob: F) -> f64
+    where
+        F: FnMut(NodeId) -> f64,
+    {
+        // `Sum for f64` folds from -0.0; normalize so an empty list
+        // reports a plain 0.0.
+        let sum: f64 = self
+            .cutsets
+            .iter()
+            .map(|c| c.probability_with(&mut prob))
+            .sum();
+        sum + 0.0
+    }
+
+    /// Sort the list by descending cutset probability.
+    pub fn sort_by_probability_desc<F>(&mut self, mut prob: F)
+    where
+        F: FnMut(NodeId) -> f64,
+    {
+        let mut keyed: Vec<(f64, Cutset)> = std::mem::take(&mut self.cutsets)
+            .into_iter()
+            .map(|c| (c.probability_with(&mut prob), c))
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.cutsets = keyed.into_iter().map(|(_, c)| c).collect();
+    }
+}
+
+impl FromIterator<Cutset> for CutsetList {
+    fn from_iter<I: IntoIterator<Item = Cutset>>(iter: I) -> Self {
+        CutsetList {
+            cutsets: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Cutset> for CutsetList {
+    fn extend<I: IntoIterator<Item = Cutset>>(&mut self, iter: I) {
+        self.cutsets.extend(iter);
+    }
+}
+
+impl IntoIterator for CutsetList {
+    type Item = Cutset;
+    type IntoIter = std::vec::IntoIter<Cutset>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cutsets.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a CutsetList {
+    type Item = &'a Cutset;
+    type IntoIter = std::slice::Iter<'a, Cutset>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cutsets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(ids: &[usize]) -> Cutset {
+        Cutset::new(ids.iter().map(|&i| NodeId::from_index(i)))
+    }
+
+    #[test]
+    fn cutset_normalizes_order_and_duplicates() {
+        let c = cs(&[3, 1, 3, 2]);
+        assert_eq!(c.order(), 3);
+        assert_eq!(
+            c.events(),
+            &[
+                NodeId::from_index(1),
+                NodeId::from_index(2),
+                NodeId::from_index(3)
+            ]
+        );
+        assert!(c.contains(NodeId::from_index(2)));
+        assert!(!c.contains(NodeId::from_index(0)));
+        assert_eq!(c.to_string(), "{n1, n2, n3}");
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(cs(&[1, 3]).is_subset_of(&cs(&[1, 2, 3])));
+        assert!(cs(&[]).is_subset_of(&cs(&[1])));
+        assert!(cs(&[1]).is_subset_of(&cs(&[1])));
+        assert!(!cs(&[1, 4]).is_subset_of(&cs(&[1, 2, 3])));
+        assert!(!cs(&[1, 2, 3]).is_subset_of(&cs(&[1, 2])));
+    }
+
+    #[test]
+    fn probability_is_product() {
+        let c = cs(&[0, 1]);
+        let p = c.probability_with(|id| if id.index() == 0 { 0.5 } else { 0.25 });
+        assert!((p - 0.125).abs() < 1e-15);
+        assert_eq!(cs(&[]).probability_with(|_| 0.0), 1.0);
+    }
+
+    #[test]
+    fn minimize_removes_supersets_and_duplicates() {
+        let list: CutsetList = [
+            cs(&[1, 2]),
+            cs(&[1, 2, 3]),
+            cs(&[2]),
+            cs(&[2]),
+            cs(&[4, 5]),
+            cs(&[5, 4]),
+        ]
+        .into_iter()
+        .collect();
+        let min = list.minimize();
+        assert_eq!(min.len(), 2);
+        assert!(min.contains_set(&cs(&[2])));
+        assert!(min.contains_set(&cs(&[4, 5])));
+    }
+
+    #[test]
+    fn minimize_keeps_incomparable_sets() {
+        let list: CutsetList = [cs(&[1, 2]), cs(&[2, 3]), cs(&[1, 3])]
+            .into_iter()
+            .collect();
+        let min = list.minimize();
+        assert_eq!(min.len(), 3);
+    }
+
+    #[test]
+    fn minimize_handles_large_cutsets_via_counting_path() {
+        // A 14-element cutset (beyond the enumeration limit) subsumed by a
+        // small kept set, plus one that is not.
+        let small = cs(&[3, 7]);
+        let big_subsumed = cs(&(0..14).collect::<Vec<_>>()); // contains 3 and 7
+        let big_kept = cs(&(20..34).collect::<Vec<_>>());
+        let list: CutsetList = [small.clone(), big_subsumed, big_kept.clone()]
+            .into_iter()
+            .collect();
+        let min = list.minimize();
+        assert_eq!(min.len(), 2);
+        assert!(min.contains_set(&small));
+        assert!(min.contains_set(&big_kept));
+    }
+
+    #[test]
+    fn rare_event_approximation_sums_products() {
+        let list: CutsetList = [cs(&[0]), cs(&[1, 2])].into_iter().collect();
+        let rea = list.rare_event_approximation(|_| 0.1);
+        assert!((rea - (0.1 + 0.01)).abs() < 1e-15);
+        // An empty list reports +0.0, not the -0.0 a bare f64 sum yields.
+        let empty = CutsetList::new().rare_event_approximation(|_| 0.1);
+        assert_eq!(empty.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn sort_by_probability() {
+        let mut list: CutsetList = [cs(&[1, 2]), cs(&[0])].into_iter().collect();
+        list.sort_by_probability_desc(|_| 0.1);
+        assert_eq!(list.get(0), Some(&cs(&[0])));
+    }
+
+    #[test]
+    fn empty_cutset_subsumes_everything() {
+        let list: CutsetList = [cs(&[]), cs(&[1]), cs(&[1, 2])].into_iter().collect();
+        let min = list.minimize();
+        assert_eq!(min.len(), 1);
+        assert!(min.get(0).unwrap().is_empty());
+    }
+}

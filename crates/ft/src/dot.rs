@@ -1,0 +1,129 @@
+//! Graphviz (DOT) export of fault trees.
+//!
+//! Gates are drawn as boxes labelled with their logical type, static basic
+//! events as circles, dynamic basic events as double circles (matching the
+//! paper's figures), and trigger edges as dashed arrows from the triggering
+//! gate to the triggered event.
+
+use crate::node::Behavior;
+use crate::tree::FaultTree;
+use std::fmt::Write as _;
+
+/// Escape a node name for use inside a double-quoted DOT id.
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render `tree` as a DOT graph.
+///
+/// # Example
+///
+/// ```
+/// # use sdft_ft::{FaultTreeBuilder, dot};
+/// # fn main() -> Result<(), sdft_ft::FtError> {
+/// let mut b = FaultTreeBuilder::new();
+/// let x = b.static_event("x", 0.1)?;
+/// let g = b.or("g", [x])?;
+/// b.top(g);
+/// let tree = b.build()?;
+/// let rendered = dot::to_dot(&tree);
+/// assert!(rendered.contains("digraph"));
+/// assert!(rendered.contains("\"g\" -> \"x\""));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(tree: &FaultTree) -> String {
+    let mut out = String::from("digraph fault_tree {\n  rankdir=TB;\n");
+    for id in tree.node_ids() {
+        let name = escape(tree.name(id));
+        match tree.behavior(id) {
+            Some(Behavior::Static { probability }) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{name}\" [shape=circle, label=\"{name}\\np={probability}\"];"
+                );
+            }
+            Some(Behavior::Dynamic(_)) | Some(Behavior::Triggered(_)) => {
+                let _ = writeln!(out, "  \"{name}\" [shape=doublecircle, label=\"{name}\"];");
+            }
+            None => {
+                let kind = tree.gate_kind(id).expect("gate");
+                let peripheries = if id == tree.top() { 2 } else { 1 };
+                let _ = writeln!(
+                    out,
+                    "  \"{name}\" [shape=box, label=\"{name}\\n{kind}\", peripheries={peripheries}];"
+                );
+            }
+        }
+    }
+    for gate in tree.gates() {
+        for &input in tree.gate_inputs(gate) {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                escape(tree.name(gate)),
+                escape(tree.name(input))
+            );
+        }
+        for &event in tree.triggers_of(gate) {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [style=dashed, constraint=false];",
+                escape(tree.name(gate)),
+                escape(tree.name(event))
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+    use sdft_ctmc::erlang;
+
+    #[test]
+    fn renders_nodes_edges_and_triggers() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        let top = b.and("top", [g, d]).unwrap();
+        b.trigger(g, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("\"x\" [shape=circle"));
+        assert!(dot.contains("\"d\" [shape=doublecircle"));
+        assert!(dot.contains("\"top\" [shape=box"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("\"g\" -> \"d\" [style=dashed"));
+        assert!(dot.contains("\"top\" -> \"g\";"));
+    }
+}
+
+#[cfg(test)]
+mod escaping_tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+
+    /// Found in review: names may contain quotes and backslashes, which
+    /// must be escaped inside DOT's double-quoted identifiers.
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("tank\"A\\B", 0.1).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let rendered = to_dot(&t);
+        assert!(rendered.contains("\"tank\\\"A\\\\B\""), "{rendered}");
+        // No raw unescaped quote sequence survives.
+        assert!(!rendered.contains("\"tank\"A"));
+    }
+}

@@ -1,0 +1,160 @@
+use std::fmt;
+
+/// Errors produced when constructing, validating or parsing fault trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// A node name is already in use.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A node name is empty or contains whitespace or `#` (reserved by the
+    /// text format).
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced node does not exist in this builder/tree.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A referenced name does not exist.
+    UnknownName {
+        /// The offending name.
+        name: String,
+    },
+    /// A gate was declared with no inputs.
+    EmptyGate {
+        /// Name of the offending gate.
+        name: String,
+    },
+    /// An at-least gate has a threshold outside `1..=inputs`.
+    InvalidThreshold {
+        /// Name of the offending gate.
+        name: String,
+        /// The declared threshold.
+        threshold: u32,
+        /// Number of inputs of the gate.
+        inputs: usize,
+    },
+    /// A static failure probability is outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Name of the offending basic event.
+        name: String,
+        /// The offending probability.
+        probability: f64,
+    },
+    /// The top gate was never set.
+    MissingTop,
+    /// The designated top node is not a gate.
+    TopNotGate,
+    /// A gate operation was attempted on a basic event or vice versa.
+    KindMismatch {
+        /// Name of the offending node.
+        name: String,
+        /// What was expected of the node.
+        expected: &'static str,
+    },
+    /// A trigger was declared for an event that already has one
+    /// (the paper requires each dynamic event be triggered by at most one
+    /// gate).
+    AlreadyTriggered {
+        /// Name of the offending event.
+        name: String,
+    },
+    /// A trigger target is not a dynamic basic event with a triggered
+    /// chain.
+    NotTriggerable {
+        /// Name of the offending node.
+        name: String,
+    },
+    /// A dynamic event has a triggered chain but no triggering gate.
+    UntriggeredTriggeredChain {
+        /// Name of the offending event.
+        name: String,
+    },
+    /// The triggering structure is cyclic: the DAG enriched by reversed
+    /// trigger edges has a cycle (§III-B).
+    CyclicTriggering {
+        /// Name of a node on the cycle.
+        name: String,
+    },
+    /// Exact enumeration was requested for a tree with too many basic
+    /// events (the cost is exponential).
+    ExactAnalysisTooLarge {
+        /// Number of basic events in the tree.
+        events: usize,
+    },
+    /// An error from the underlying Markov chain machinery.
+    Ctmc(sdft_ctmc::CtmcError),
+    /// A parse error in the text format.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtError::DuplicateName { name } => write!(f, "duplicate node name {name:?}"),
+            FtError::InvalidName { name } => write!(
+                f,
+                "invalid node name {name:?}: names must be non-empty and free of whitespace and '#'"
+            ),
+            FtError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            FtError::UnknownName { name } => write!(f, "unknown node name {name:?}"),
+            FtError::EmptyGate { name } => write!(f, "gate {name:?} has no inputs"),
+            FtError::InvalidThreshold { name, threshold, inputs } => write!(
+                f,
+                "gate {name:?} has threshold {threshold} outside 1..={inputs}"
+            ),
+            FtError::InvalidProbability { name, probability } => {
+                write!(f, "basic event {name:?} has invalid probability {probability}")
+            }
+            FtError::MissingTop => write!(f, "no top gate was set"),
+            FtError::TopNotGate => write!(f, "the top node must be a gate"),
+            FtError::KindMismatch { name, expected } => {
+                write!(f, "node {name:?} is not {expected}")
+            }
+            FtError::AlreadyTriggered { name } => {
+                write!(f, "event {name:?} is already triggered by another gate")
+            }
+            FtError::NotTriggerable { name } => write!(
+                f,
+                "node {name:?} cannot be triggered (it is not a dynamic event with a triggered chain)"
+            ),
+            FtError::UntriggeredTriggeredChain { name } => write!(
+                f,
+                "dynamic event {name:?} has a triggered chain but no triggering gate"
+            ),
+            FtError::CyclicTriggering { name } => {
+                write!(f, "cyclic triggering structure through node {name:?}")
+            }
+            FtError::ExactAnalysisTooLarge { events } => write!(
+                f,
+                "exact enumeration over {events} basic events is infeasible (limit 25)"
+            ),
+            FtError::Ctmc(e) => write!(f, "markov chain error: {e}"),
+            FtError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtError::Ctmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sdft_ctmc::CtmcError> for FtError {
+    fn from(e: sdft_ctmc::CtmcError) -> Self {
+        FtError::Ctmc(e)
+    }
+}

@@ -1,0 +1,852 @@
+//! A plain-text serialization of SD fault trees.
+//!
+//! The format is line-oriented; `#` starts a comment and blank lines are
+//! ignored. Declarations may appear in any order:
+//!
+//! ```text
+//! # the running example of the paper (Example 3)
+//! top cooling
+//! basic a 0.003
+//! basic c 0.003
+//! basic e 0.000003
+//! dynamic b erlang k=1 lambda=0.001 mu=0.05
+//! dynamic d spare lambda=0.001 mu=0.05
+//! gate pump1 or a b
+//! gate pump2 or c d
+//! gate pumps and pump1 pump2
+//! gate cooling or pumps e
+//! trigger pump1 d
+//! ```
+//!
+//! Dynamic events can also be written with explicit chains:
+//!
+//! ```text
+//! chain b plain
+//!   state s0 init=1
+//!   state s1 failed
+//!   rate s0 s1 0.001
+//!   rate s1 s0 0.05
+//! end
+//! ```
+//!
+//! `chain NAME triggered` blocks additionally carry `off`/`on` modes on
+//! states and `map OFF ON` lines for the (un)triggering functions.
+//! [`to_string`] always emits explicit chain blocks, so
+//! `parse(to_string(t))` reproduces `t` exactly.
+//!
+//! # Grammar
+//!
+//! Tokens are whitespace-separated; `#` comments to end of line;
+//! declarations may appear in any order (gates may reference names
+//! defined later).
+//!
+//! ```text
+//! file      := line*
+//! line      := top | basic | dynamic | gate | trigger | chain-block
+//! top       := "top" NAME
+//! basic     := "basic" NAME PROB
+//! dynamic   := "dynamic" NAME model
+//! model     := "erlang" params | "erlang-triggered" params | "spare" params
+//! params    := ("k=" INT)? "lambda=" RATE ("mu=" RATE)?
+//!              ("passive=" FACTOR)? ("repair-while-off")?
+//! gate      := "gate" NAME ("and" | "or" | "atleast" INT) NAME+
+//! trigger   := "trigger" GATE EVENT
+//! chain-block := "chain" NAME ("plain" | "triggered") chain-line* "end"
+//! chain-line  := "state" NAME ("on" | "off")? ("failed")? ("init=" PROB)?
+//!              | "rate" STATE STATE RATE
+//!              | "map" OFF-STATE ON-STATE
+//! ```
+//!
+//! `FaultTree` also implements [`std::str::FromStr`], so
+//! `text.parse::<FaultTree>()` is equivalent to [`parse_str`].
+
+use crate::error::FtError;
+use crate::node::{Behavior, GateKind, NodeId};
+use crate::tree::{FaultTree, FaultTreeBuilder};
+use sdft_ctmc::{Ctmc, CtmcBuilder, Mode, TriggeredCtmc, TriggeredCtmcBuilder};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parse a fault tree from its text representation.
+///
+/// # Errors
+///
+/// Returns [`FtError::Parse`] with a line number for malformed input, and
+/// any builder/validation error for structurally invalid trees.
+pub fn parse_str(input: &str) -> Result<FaultTree, FtError> {
+    Parser::new(input).parse()
+}
+
+/// Serialize a fault tree to its text representation.
+///
+/// The output parses back to a structurally identical tree (same names,
+/// gates, chains and triggers, with node ids possibly renumbered).
+#[must_use]
+pub fn to_string(tree: &FaultTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "top {}", tree.name(tree.top()));
+    for event in tree.basic_events() {
+        let name = tree.name(event);
+        match tree.behavior(event).expect("basic event") {
+            Behavior::Static { probability } => {
+                let _ = writeln!(out, "basic {name} {probability}");
+            }
+            Behavior::Dynamic(chain) => {
+                let _ = writeln!(out, "chain {name} plain");
+                write_plain_chain(&mut out, chain);
+                let _ = writeln!(out, "end");
+            }
+            Behavior::Triggered(chain) => {
+                let _ = writeln!(out, "chain {name} triggered");
+                write_triggered_chain(&mut out, chain);
+                let _ = writeln!(out, "end");
+            }
+        }
+    }
+    for gate in tree.gates() {
+        let name = tree.name(gate);
+        let kind = match tree.gate_kind(gate).expect("gate") {
+            GateKind::And => "and".to_owned(),
+            GateKind::Or => "or".to_owned(),
+            GateKind::AtLeast(k) => format!("atleast {k}"),
+        };
+        let inputs: Vec<&str> = tree
+            .gate_inputs(gate)
+            .iter()
+            .map(|&i| tree.name(i))
+            .collect();
+        let _ = writeln!(out, "gate {name} {kind} {}", inputs.join(" "));
+    }
+    for event in tree.basic_events() {
+        if let Some(gate) = tree.trigger_source(event) {
+            let _ = writeln!(out, "trigger {} {}", tree.name(gate), tree.name(event));
+        }
+    }
+    out
+}
+
+fn write_plain_chain(out: &mut String, chain: &Ctmc) {
+    for s in 0..chain.len() {
+        let _ = write!(out, "  state s{s}");
+        if chain.is_failed(s) {
+            let _ = write!(out, " failed");
+        }
+        let init = chain.initial_probability(s);
+        if init > 0.0 {
+            let _ = write!(out, " init={init}");
+        }
+        let _ = writeln!(out);
+    }
+    for s in 0..chain.len() {
+        for &(to, rate) in chain.transitions_from(s) {
+            let _ = writeln!(out, "  rate s{s} s{to} {rate}");
+        }
+    }
+}
+
+fn write_triggered_chain(out: &mut String, chain: &TriggeredCtmc) {
+    let inner = chain.chain();
+    for s in 0..chain.len() {
+        let mode = match chain.mode(s) {
+            Mode::Off => "off",
+            Mode::On => "on",
+        };
+        let _ = write!(out, "  state s{s} {mode}");
+        if inner.is_failed(s) {
+            let _ = write!(out, " failed");
+        }
+        let init = inner.initial_probability(s);
+        if init > 0.0 {
+            let _ = write!(out, " init={init}");
+        }
+        let _ = writeln!(out);
+    }
+    for s in 0..chain.len() {
+        if chain.mode(s) == Mode::Off {
+            let _ = writeln!(out, "  map s{s} s{}", chain.on_of(s));
+        }
+    }
+    for s in 0..chain.len() {
+        for &(to, rate) in inner.transitions_from(s) {
+            let _ = writeln!(out, "  rate s{s} s{to} {rate}");
+        }
+    }
+}
+
+enum EventDecl {
+    Static(f64),
+    Plain(Ctmc),
+    Triggered(TriggeredCtmc),
+}
+
+struct GateDecl {
+    kind: GateKind,
+    inputs: Vec<String>,
+    line: usize,
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    events: Vec<(String, EventDecl)>,
+    gates: Vec<(String, GateDecl)>,
+    triggers: Vec<(String, String, usize)>,
+    top: Option<(String, usize)>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> FtError {
+    FtError::Parse {
+        line: line + 1,
+        message: message.into(),
+    }
+}
+
+fn parse_f64(line: usize, s: &str, what: &str) -> Result<f64, FtError> {
+    s.parse::<f64>()
+        .map_err(|_| err(line, format!("invalid {what} {s:?}")))
+}
+
+fn parse_usize(line: usize, s: &str, what: &str) -> Result<usize, FtError> {
+    s.parse::<usize>()
+        .map_err(|_| err(line, format!("invalid {what} {s:?}")))
+}
+
+/// Parse `key=value` pairs into a map, erroring on unknown keys.
+fn parse_kv<'a>(
+    line: usize,
+    tokens: &[&'a str],
+    allowed: &[&str],
+) -> Result<HashMap<&'a str, &'a str>, FtError> {
+    let mut map = HashMap::new();
+    for tok in tokens {
+        if let Some((k, v)) = tok.split_once('=') {
+            if !allowed.contains(&k) {
+                return Err(err(line, format!("unknown parameter {k:?}")));
+            }
+            map.insert(k, v);
+        } else if allowed.contains(tok) {
+            map.insert(*tok, "");
+        } else {
+            return Err(err(line, format!("unexpected token {tok:?}")));
+        }
+    }
+    Ok(map)
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            lines: input.lines().enumerate(),
+            events: Vec::new(),
+            gates: Vec::new(),
+            triggers: Vec::new(),
+            top: None,
+        }
+    }
+
+    fn parse(mut self) -> Result<FaultTree, FtError> {
+        while let Some((lineno, raw)) = self.lines.next() {
+            let line = strip_comment(raw);
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.is_empty() {
+                continue;
+            }
+            match tokens[0] {
+                "top" => {
+                    if tokens.len() != 2 {
+                        return Err(err(lineno, "expected: top NAME"));
+                    }
+                    if self.top.is_some() {
+                        return Err(err(lineno, "duplicate top declaration"));
+                    }
+                    self.top = Some((tokens[1].to_owned(), lineno));
+                }
+                "basic" => {
+                    if tokens.len() != 3 {
+                        return Err(err(lineno, "expected: basic NAME PROBABILITY"));
+                    }
+                    let p = parse_f64(lineno, tokens[2], "probability")?;
+                    self.events
+                        .push((tokens[1].to_owned(), EventDecl::Static(p)));
+                }
+                "dynamic" => self.parse_dynamic(lineno, &tokens)?,
+                "chain" => self.parse_chain(lineno, &tokens)?,
+                "gate" => self.parse_gate(lineno, &tokens)?,
+                "trigger" => {
+                    if tokens.len() != 3 {
+                        return Err(err(lineno, "expected: trigger GATE EVENT"));
+                    }
+                    self.triggers
+                        .push((tokens[1].to_owned(), tokens[2].to_owned(), lineno));
+                }
+                other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+            }
+        }
+        self.build()
+    }
+
+    fn parse_dynamic(&mut self, lineno: usize, tokens: &[&str]) -> Result<(), FtError> {
+        if tokens.len() < 3 {
+            return Err(err(lineno, "expected: dynamic NAME MODEL PARAMS..."));
+        }
+        let name = tokens[1].to_owned();
+        match tokens[2] {
+            "erlang" => {
+                let kv = parse_kv(lineno, &tokens[3..], &["k", "lambda", "mu"])?;
+                let k = kv.get("k").map_or(Ok(1), |v| parse_usize(lineno, v, "k"))?;
+                let lambda = kv
+                    .get("lambda")
+                    .ok_or_else(|| err(lineno, "erlang requires lambda="))
+                    .and_then(|v| parse_f64(lineno, v, "lambda"))?;
+                let mu = kv
+                    .get("mu")
+                    .map_or(Ok(0.0), |v| parse_f64(lineno, v, "mu"))?;
+                let chain = sdft_ctmc::erlang::repairable(k, lambda, mu)?;
+                self.events.push((name, EventDecl::Plain(chain)));
+            }
+            "erlang-triggered" => {
+                let kv = parse_kv(
+                    lineno,
+                    &tokens[3..],
+                    &["k", "lambda", "mu", "passive", "repair-while-off"],
+                )?;
+                let k = kv.get("k").map_or(Ok(1), |v| parse_usize(lineno, v, "k"))?;
+                let lambda = kv
+                    .get("lambda")
+                    .ok_or_else(|| err(lineno, "erlang-triggered requires lambda="))
+                    .and_then(|v| parse_f64(lineno, v, "lambda"))?;
+                let mu = kv
+                    .get("mu")
+                    .map_or(Ok(0.0), |v| parse_f64(lineno, v, "mu"))?;
+                let passive = kv
+                    .get("passive")
+                    .map_or(Ok(0.01), |v| parse_f64(lineno, v, "passive"))?;
+                let opts = sdft_ctmc::erlang::ErlangOptions {
+                    phases: k,
+                    failure_rate: lambda,
+                    repair_rate: mu,
+                    passive_factor: passive,
+                    // Absence of the flag means the paper's §VI-A default:
+                    // no repair before the equipment is triggered.
+                    repair_while_off: kv.contains_key("repair-while-off"),
+                };
+                let chain = sdft_ctmc::erlang::triggered_with(opts)?;
+                self.events.push((name, EventDecl::Triggered(chain)));
+            }
+            "spare" => {
+                let kv = parse_kv(lineno, &tokens[3..], &["lambda", "mu"])?;
+                let lambda = kv
+                    .get("lambda")
+                    .ok_or_else(|| err(lineno, "spare requires lambda="))
+                    .and_then(|v| parse_f64(lineno, v, "lambda"))?;
+                let mu = kv
+                    .get("mu")
+                    .map_or(Ok(0.0), |v| parse_f64(lineno, v, "mu"))?;
+                let chain = sdft_ctmc::erlang::spare(lambda, mu)?;
+                self.events.push((name, EventDecl::Triggered(chain)));
+            }
+            other => return Err(err(lineno, format!("unknown dynamic model {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn parse_chain(&mut self, lineno: usize, tokens: &[&str]) -> Result<(), FtError> {
+        if tokens.len() != 3 {
+            return Err(err(lineno, "expected: chain NAME plain|triggered"));
+        }
+        let name = tokens[1].to_owned();
+        let triggered = match tokens[2] {
+            "plain" => false,
+            "triggered" => true,
+            other => return Err(err(lineno, format!("unknown chain kind {other:?}"))),
+        };
+        let mut states: Vec<(String, Option<Mode>, bool, f64)> = Vec::new();
+        let mut rates: Vec<(String, String, f64, usize)> = Vec::new();
+        let mut maps: Vec<(String, String, usize)> = Vec::new();
+        let mut closed = false;
+        let mut end_line = lineno;
+        for (inner_no, raw) in self.lines.by_ref() {
+            end_line = inner_no;
+            let line = strip_comment(raw);
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.is_empty() {
+                continue;
+            }
+            match toks[0] {
+                "end" => {
+                    closed = true;
+                    break;
+                }
+                "state" => {
+                    if toks.len() < 2 {
+                        return Err(err(
+                            inner_no,
+                            "expected: state NAME [on|off] [failed] [init=P]",
+                        ));
+                    }
+                    let mut mode = None;
+                    let mut failed = false;
+                    let mut init = 0.0;
+                    for tok in &toks[2..] {
+                        match *tok {
+                            "on" => mode = Some(Mode::On),
+                            "off" => mode = Some(Mode::Off),
+                            "failed" => failed = true,
+                            other => {
+                                if let Some(v) = other.strip_prefix("init=") {
+                                    init = parse_f64(inner_no, v, "initial probability")?;
+                                } else {
+                                    return Err(err(
+                                        inner_no,
+                                        format!("unexpected state attribute {other:?}"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if triggered && mode.is_none() {
+                        return Err(err(inner_no, "triggered chain states need on|off"));
+                    }
+                    if !triggered && mode.is_some() {
+                        return Err(err(inner_no, "plain chain states must not carry on|off"));
+                    }
+                    states.push((toks[1].to_owned(), mode, failed, init));
+                }
+                "rate" => {
+                    if toks.len() != 4 {
+                        return Err(err(inner_no, "expected: rate FROM TO RATE"));
+                    }
+                    let rate = parse_f64(inner_no, toks[3], "rate")?;
+                    rates.push((toks[1].to_owned(), toks[2].to_owned(), rate, inner_no));
+                }
+                "map" => {
+                    if toks.len() != 3 {
+                        return Err(err(inner_no, "expected: map OFF ON"));
+                    }
+                    maps.push((toks[1].to_owned(), toks[2].to_owned(), inner_no));
+                }
+                other => return Err(err(inner_no, format!("unknown chain directive {other:?}"))),
+            }
+        }
+        if !closed {
+            return Err(err(end_line, format!("chain {name:?} not closed by 'end'")));
+        }
+        let index: HashMap<&str, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, (n, ..))| (n.as_str(), i))
+            .collect();
+        if index.len() != states.len() {
+            return Err(err(
+                lineno,
+                format!("duplicate state name in chain {name:?}"),
+            ));
+        }
+        let lookup = |l: usize, n: &str| -> Result<usize, FtError> {
+            index
+                .get(n)
+                .copied()
+                .ok_or_else(|| err(l, format!("unknown state {n:?}")))
+        };
+        if triggered {
+            let mut b = TriggeredCtmcBuilder::new();
+            for (_, mode, _, _) in &states {
+                match mode.expect("checked above") {
+                    Mode::On => b.on_state(),
+                    Mode::Off => b.off_state(),
+                };
+            }
+            for (i, (_, _, failed, init)) in states.iter().enumerate() {
+                if *failed {
+                    b.failed(i);
+                }
+                if *init > 0.0 {
+                    b.initial(i, *init);
+                }
+            }
+            for (from, to, rate, l) in &rates {
+                b.rate(lookup(*l, from)?, lookup(*l, to)?, *rate);
+            }
+            for (off, on, l) in &maps {
+                b.map(lookup(*l, off)?, lookup(*l, on)?);
+            }
+            let chain = b.build()?;
+            self.events.push((name, EventDecl::Triggered(chain)));
+        } else {
+            if !maps.is_empty() {
+                return Err(err(lineno, "plain chains cannot have map lines"));
+            }
+            let mut b = CtmcBuilder::new(states.len());
+            for (i, (_, _, failed, init)) in states.iter().enumerate() {
+                if *failed {
+                    b.failed(i);
+                }
+                if *init > 0.0 {
+                    b.initial(i, *init);
+                }
+            }
+            for (from, to, rate, l) in &rates {
+                b.rate(lookup(*l, from)?, lookup(*l, to)?, *rate);
+            }
+            let chain = b.build()?;
+            self.events.push((name, EventDecl::Plain(chain)));
+        }
+        Ok(())
+    }
+
+    fn parse_gate(&mut self, lineno: usize, tokens: &[&str]) -> Result<(), FtError> {
+        if tokens.len() < 3 {
+            return Err(err(
+                lineno,
+                "expected: gate NAME and|or|atleast [K] INPUTS...",
+            ));
+        }
+        let name = tokens[1].to_owned();
+        let (kind, first_input) = match tokens[2] {
+            "and" => (GateKind::And, 3),
+            "or" => (GateKind::Or, 3),
+            "atleast" => {
+                if tokens.len() < 4 {
+                    return Err(err(lineno, "expected: gate NAME atleast K INPUTS..."));
+                }
+                let k = parse_usize(lineno, tokens[3], "threshold")?;
+                let k = u32::try_from(k)
+                    .map_err(|_| err(lineno, format!("threshold {k} too large")))?;
+                (GateKind::AtLeast(k), 4)
+            }
+            other => return Err(err(lineno, format!("unknown gate kind {other:?}"))),
+        };
+        let inputs: Vec<String> = tokens[first_input..]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        self.gates.push((
+            name,
+            GateDecl {
+                kind,
+                inputs,
+                line: lineno,
+            },
+        ));
+        Ok(())
+    }
+
+    fn build(self) -> Result<FaultTree, FtError> {
+        let (top_name, top_line) = self.top.ok_or(FtError::MissingTop)?;
+        let mut builder = FaultTreeBuilder::new();
+        let mut ids: HashMap<String, NodeId> = HashMap::new();
+        for (name, decl) in self.events {
+            let id = match decl {
+                EventDecl::Static(p) => builder.static_event(&name, p)?,
+                EventDecl::Plain(c) => builder.dynamic_event(&name, c)?,
+                EventDecl::Triggered(c) => builder.triggered_event(&name, c)?,
+            };
+            ids.insert(name, id);
+        }
+        // Create gates in dependency order (inputs before gates).
+        let mut pending: Vec<(String, GateDecl)> = self.gates;
+        while !pending.is_empty() {
+            let before = pending.len();
+            let mut still_pending = Vec::new();
+            for (name, decl) in pending {
+                if decl.inputs.iter().all(|i| ids.contains_key(i)) {
+                    let inputs: Vec<NodeId> = decl.inputs.iter().map(|i| ids[i]).collect();
+                    let id = builder.gate(&name, decl.kind, inputs)?;
+                    ids.insert(name, id);
+                } else {
+                    still_pending.push((name, decl));
+                }
+            }
+            if still_pending.len() == before {
+                // No progress: an unknown name or a cycle among gates.
+                let (name, decl) = &still_pending[0];
+                let missing = decl
+                    .inputs
+                    .iter()
+                    .find(|i| !ids.contains_key(i.as_str()))
+                    .expect("some input is unresolved");
+                let is_declared = still_pending.iter().any(|(n, _)| n == missing);
+                let message = if is_declared {
+                    format!("cyclic gate definitions involving {name:?} and {missing:?}")
+                } else {
+                    format!("gate {name:?} references unknown node {missing:?}")
+                };
+                return Err(err(decl.line, message));
+            }
+            pending = still_pending;
+        }
+        for (gate, event, line) in self.triggers {
+            let g = *ids
+                .get(&gate)
+                .ok_or_else(|| err(line, format!("unknown trigger gate {gate:?}")))?;
+            let e = *ids
+                .get(&event)
+                .ok_or_else(|| err(line, format!("unknown trigger event {event:?}")))?;
+            builder.trigger(g, e)?;
+        }
+        let top = *ids
+            .get(&top_name)
+            .ok_or_else(|| err(top_line, format!("unknown top node {top_name:?}")))?;
+        builder.top(top);
+        builder.build()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+impl std::str::FromStr for FaultTree {
+    type Err = FtError;
+
+    /// Parse a fault tree from its text representation (see the module
+    /// documentation for the grammar).
+    ///
+    /// ```
+    /// use sdft_ft::FaultTree;
+    ///
+    /// # fn main() -> Result<(), sdft_ft::FtError> {
+    /// let tree: FaultTree = "top g\nbasic x 0.1\ngate g or x\n".parse()?;
+    /// assert_eq!(tree.num_basic_events(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+
+    const EXAMPLE3: &str = r"
+        # the running example of the paper
+        top cooling
+        basic a 0.003
+        basic c 0.003
+        basic e 0.000003
+        dynamic b erlang k=1 lambda=0.001 mu=0.05
+        dynamic d spare lambda=0.001 mu=0.05
+        gate cooling or pumps e      # forward references are fine
+        gate pumps and pump1 pump2
+        gate pump1 or a b
+        gate pump2 or c d
+        trigger pump1 d
+    ";
+
+    fn example3_tree() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parses_the_running_example() {
+        let t = parse_str(EXAMPLE3).unwrap();
+        assert_eq!(t.num_basic_events(), 5);
+        assert_eq!(t.num_gates(), 4);
+        assert_eq!(t.name(t.top()), "cooling");
+        let d = t.node_by_name("d").unwrap();
+        let p1 = t.node_by_name("pump1").unwrap();
+        assert_eq!(t.trigger_source(d), Some(p1));
+        assert_eq!(t.dynamic_basic_events().count(), 2);
+    }
+
+    #[test]
+    fn parsed_chains_match_builders() {
+        let t = parse_str(EXAMPLE3).unwrap();
+        let b = t.node_by_name("b").unwrap();
+        assert_eq!(
+            t.plain_chain(b).unwrap(),
+            &erlang::repairable(1, 1e-3, 0.05).unwrap()
+        );
+        let d = t.node_by_name("d").unwrap();
+        assert_eq!(
+            t.triggered_chain(d).unwrap(),
+            &erlang::spare(1e-3, 0.05).unwrap()
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let t = example3_tree();
+        let text = to_string(&t);
+        let back = parse_str(&text).unwrap();
+        assert_eq!(back.num_basic_events(), t.num_basic_events());
+        assert_eq!(back.num_gates(), t.num_gates());
+        for id in t.node_ids() {
+            let name = t.name(id);
+            let bid = back.node_by_name(name).unwrap();
+            assert_eq!(t.gate_kind(id), back.gate_kind(bid), "{name}");
+            assert_eq!(t.behavior(id), back.behavior(bid), "{name}");
+            let t_inputs: Vec<&str> = t.gate_inputs(id).iter().map(|&i| t.name(i)).collect();
+            let b_inputs: Vec<&str> = back
+                .gate_inputs(bid)
+                .iter()
+                .map(|&i| back.name(i))
+                .collect();
+            assert_eq!(t_inputs, b_inputs, "{name}");
+            assert_eq!(
+                t.trigger_source(id).map(|g| t.name(g)),
+                back.trigger_source(bid).map(|g| back.name(g)),
+                "{name}"
+            );
+        }
+        assert_eq!(t.name(t.top()), back.name(back.top()));
+    }
+
+    #[test]
+    fn explicit_chain_blocks_parse() {
+        let input = r"
+            top top
+            chain b plain
+              state s0 init=1
+              state s1 failed
+              rate s0 s1 0.001
+              rate s1 s0 0.05
+            end
+            chain d triggered
+              state o0 off init=1
+              state a0 on
+              state a1 on failed
+              state o1 off
+              map o0 a0
+              map o1 a1
+              rate a0 a1 0.001
+              rate a1 a0 0.05
+            end
+            gate g or b
+            gate top and g d
+            trigger g d
+        ";
+        let t = parse_str(input).unwrap();
+        let b = t.node_by_name("b").unwrap();
+        let chain = t.plain_chain(b).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert!(chain.is_failed(1));
+        let d = t.node_by_name("d").unwrap();
+        let chain = t.triggered_chain(d).unwrap();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.mode(0), Mode::Off);
+        assert_eq!(chain.on_of(0), 1);
+    }
+
+    #[test]
+    fn atleast_gates_roundtrip() {
+        let input = "top g\nbasic x 0.1\nbasic y 0.1\nbasic z 0.1\ngate g atleast 2 x y z\n";
+        let t = parse_str(input).unwrap();
+        assert_eq!(t.gate_kind(t.top()), Some(GateKind::AtLeast(2)));
+        let back = parse_str(&to_string(&t)).unwrap();
+        assert_eq!(back.gate_kind(back.top()), Some(GateKind::AtLeast(2)));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let input = "top g\nbasic x notanumber\n";
+        match parse_str(input) {
+            Err(FtError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive_and_unknown_names() {
+        assert!(matches!(
+            parse_str("frobnicate x\n"),
+            Err(FtError::Parse { .. })
+        ));
+        let input = "top g\ngate g or missing\n";
+        match parse_str(input) {
+            Err(FtError::Parse { message, .. }) => {
+                assert!(message.contains("missing"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_cyclic_gates() {
+        let input = "top g1\nbasic x 0.1\ngate g1 or g2 x\ngate g2 or g1 x\n";
+        match parse_str(input) {
+            Err(FtError::Parse { message, .. }) => {
+                assert!(message.contains("cyclic"), "{message}");
+            }
+            other => panic!("expected cyclic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_top_and_missing_top() {
+        assert!(matches!(
+            parse_str("top a\ntop b\n"),
+            Err(FtError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_str("basic x 0.1\n"),
+            Err(FtError::MissingTop)
+        ));
+    }
+
+    #[test]
+    fn rejects_unclosed_chain() {
+        let input = "top g\nchain b plain\n  state s0 init=1\n";
+        assert!(matches!(parse_str(input), Err(FtError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_chain_modes() {
+        // Plain chain with a mode.
+        let input = "top g\nchain b plain\n  state s0 on init=1\nend\ngate g or b\n";
+        assert!(matches!(parse_str(input), Err(FtError::Parse { .. })));
+        // Triggered chain without a mode.
+        let input = "top g\nchain b triggered\n  state s0 init=1\nend\ngate g or b\n";
+        assert!(matches!(parse_str(input), Err(FtError::Parse { .. })));
+    }
+
+    #[test]
+    fn erlang_triggered_sugar_matches_builder() {
+        // Without any flag the sugar matches the paper default
+        // (erlang::triggered: no repair while off).
+        let input = "top top\nbasic x 0.1\ndynamic d erlang-triggered k=2 lambda=0.001 \
+                     mu=0.05 passive=0.01\ngate g or x\ngate top and g d\n\
+                     trigger g d\n";
+        let t = parse_str(input).unwrap();
+        let d = t.node_by_name("d").unwrap();
+        let expected = erlang::triggered(2, 1e-3, 0.05).unwrap();
+        assert_eq!(t.triggered_chain(d).unwrap(), &expected);
+
+        // The opt-in flag enables latent repair while off.
+        let input = "top top\nbasic x 0.1\ndynamic d erlang-triggered k=2 lambda=0.001 \
+                     mu=0.05 passive=0.01 repair-while-off\ngate g or x\n\
+                     gate top and g d\ntrigger g d\n";
+        let t = parse_str(input).unwrap();
+        let d = t.node_by_name("d").unwrap();
+        let expected = erlang::triggered_with(sdft_ctmc::erlang::ErlangOptions {
+            phases: 2,
+            failure_rate: 1e-3,
+            repair_rate: 0.05,
+            passive_factor: 0.01,
+            repair_while_off: true,
+        })
+        .unwrap();
+        assert_eq!(t.triggered_chain(d).unwrap(), &expected);
+    }
+}

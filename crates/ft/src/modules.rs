@@ -1,0 +1,262 @@
+//! Module detection: gates whose subtree is independent of the rest of
+//! the tree.
+//!
+//! A gate is a *module* when no node of its subtree is referenced from
+//! outside the subtree — such gates can be analyzed in isolation and
+//! their result substituted as a single pseudo-event, the classic
+//! modularization of Dutuit & Rauzy (1996) that the paper's related work
+//! (mixed static/dynamic trees) builds on. The implementation is their
+//! linear-time visit-date algorithm, extended to SD fault trees by
+//! treating trigger edges as additional dependencies of the triggering
+//! gate, so a module always contains the whole triggering relationship.
+
+use crate::node::NodeId;
+use crate::tree::FaultTree;
+
+/// The gates of `tree` (reachable from the top) whose subtrees are
+/// modules, in id order. The top gate is always a module.
+///
+/// Trigger edges count as dependencies: a gate that triggers an event
+/// located elsewhere is not independent, and neither is a gate containing
+/// a triggered event whose triggering gate lies outside.
+///
+/// # Example
+///
+/// ```
+/// # use sdft_ft::{modules, FaultTreeBuilder};
+/// # fn main() -> Result<(), sdft_ft::FtError> {
+/// let mut b = FaultTreeBuilder::new();
+/// let x = b.static_event("x", 0.1)?;
+/// let y = b.static_event("y", 0.2)?;
+/// let z = b.static_event("z", 0.3)?;
+/// let shared = b.or("shared", [x, y])?;
+/// let g1 = b.and("g1", [shared, z])?;
+/// let top = b.or("top", [g1, shared])?;
+/// b.top(top);
+/// let tree = b.build()?;
+/// let mods = modules(&tree);
+/// // `shared` is referenced from two places but its own subtree is
+/// // self-contained; `g1` reaches into `shared`, so it is not a module.
+/// assert!(mods.contains(&shared));
+/// assert!(!mods.contains(&g1));
+/// assert!(mods.contains(&top));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn modules(tree: &FaultTree) -> Vec<NodeId> {
+    let n = tree.len();
+    // Children in the dependency sense: gate inputs plus triggered events.
+    let children = |v: NodeId| -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = tree.gate_inputs(v).to_vec();
+        out.extend_from_slice(tree.triggers_of(v));
+        out
+    };
+
+    // One DFS from the top; every *touch* (arrival over any edge) ticks
+    // the clock, recursion happens only on the first touch.
+    let mut first = vec![0u64; n];
+    let mut last = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut clock: u64 = 0;
+    // Iterative DFS: (node, child-iterator-position, touched-before).
+    let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+    clock += 1;
+    first[tree.top().index()] = clock;
+    last[tree.top().index()] = clock;
+    stack.push((tree.top(), children(tree.top()), 0));
+    while let Some((node, kids, pos)) = stack.last_mut() {
+        if *pos < kids.len() {
+            let child = kids[*pos];
+            *pos += 1;
+            clock += 1;
+            last[child.index()] = clock;
+            if first[child.index()] == 0 {
+                first[child.index()] = clock;
+                let grandkids = children(child);
+                stack.push((child, grandkids, 0));
+            }
+        } else {
+            finish[node.index()] = clock;
+            stack.pop();
+        }
+    }
+
+    // Bottom-up aggregation of descendant date ranges (ids are
+    // topological for gate inputs; trigger targets are basic events, so
+    // they are also created before any gate).
+    let mut desc_min = vec![u64::MAX; n];
+    let mut desc_max = vec![0u64; n];
+    for id in tree.node_ids() {
+        if first[id.index()] == 0 {
+            continue; // unreachable from the top
+        }
+        let mut lo = first[id.index()];
+        let mut hi = last[id.index()];
+        for child in children(id) {
+            lo = lo.min(desc_min[child.index()]);
+            hi = hi.max(desc_max[child.index()]);
+        }
+        desc_min[id.index()] = lo;
+        desc_max[id.index()] = hi;
+    }
+
+    tree.gates()
+        .filter(|&g| {
+            let i = g.index();
+            if first[i] == 0 {
+                return false; // unreachable
+            }
+            children(g)
+                .iter()
+                .all(|c| desc_min[c.index()] > first[i] && desc_max[c.index()] <= finish[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+    use sdft_ctmc::erlang;
+
+    #[test]
+    fn tree_shaped_models_are_fully_modular() {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 0.1).unwrap();
+        let bb = b.static_event("b", 0.1).unwrap();
+        let c = b.static_event("c", 0.1).unwrap();
+        let d = b.static_event("d", 0.1).unwrap();
+        let p1 = b.or("p1", [a, bb]).unwrap();
+        let p2 = b.or("p2", [c, d]).unwrap();
+        let top = b.and("top", [p1, p2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert_eq!(mods, vec![p1, p2, top]);
+    }
+
+    #[test]
+    fn sharing_breaks_modularity_of_the_sharers() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let w = b.static_event("w", 0.1).unwrap();
+        let shared = b.or("shared", [x, y]).unwrap();
+        let g1 = b.and("g1", [shared, z]).unwrap();
+        let g2 = b.and("g2", [shared, w]).unwrap();
+        let top = b.or("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert!(mods.contains(&shared), "shared subtree is self-contained");
+        assert!(!mods.contains(&g1), "shared is also referenced by g2");
+        assert!(!mods.contains(&g2), "shared is also referenced by g1");
+        assert!(mods.contains(&top));
+
+        // Sharing a *leaf* into a gate breaks that gate's inner module:
+        // here y is both under `shared` and a direct input of g3.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let shared = b.or("shared", [x, y]).unwrap();
+        let g3 = b.and("g3", [shared, y]).unwrap();
+        b.top(g3);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert!(
+            !mods.contains(&shared),
+            "y is referenced from outside shared"
+        );
+        assert!(mods.contains(&g3));
+    }
+
+    #[test]
+    fn triggers_bind_gates_together() {
+        // Example 3: the trigger pump1 ⇢ d ties pump1 and pump2 together;
+        // only their common ancestor (and the top) are modules.
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert!(
+            !mods.contains(&p1),
+            "pump1 triggers an event outside its subtree"
+        );
+        assert!(
+            !mods.contains(&p2),
+            "pump2 contains an externally triggered event"
+        );
+        assert!(
+            mods.contains(&pumps),
+            "the trigger relationship is internal to pumps"
+        );
+        assert!(mods.contains(&top));
+    }
+
+    #[test]
+    fn static_version_is_fully_modular() {
+        // The same structure without the trigger: everything is a module.
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(modules(&t), vec![p1, p2, pumps, top]);
+    }
+
+    #[test]
+    fn unreachable_gates_are_not_reported() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let orphan = b.or("orphan", [y]).unwrap();
+        let top = b.or("top", [x]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert!(!mods.contains(&orphan));
+        assert_eq!(mods, vec![top]);
+    }
+
+    #[test]
+    fn repeated_event_under_one_gate_is_still_modular() {
+        // A gate may reference the same child twice; that is internal
+        // sharing and does not break modularity.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let inner = b.or("inner", [x, y]).unwrap();
+        let g = b.and("g", [inner, x]).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let top = b.or("top", [g, z]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mods = modules(&t);
+        assert!(mods.contains(&g), "x is shared only inside g's subtree");
+        assert!(!mods.contains(&inner), "x is also a direct input of g");
+        assert!(mods.contains(&top));
+    }
+}

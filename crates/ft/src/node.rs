@@ -1,0 +1,100 @@
+use sdft_ctmc::{Ctmc, TriggeredCtmc};
+use std::fmt;
+
+/// Identifier of a node (gate or basic event) within one [`FaultTree`].
+///
+/// Node ids are dense indices assigned in creation order; they are only
+/// meaningful relative to the tree (or builder) that created them.
+///
+/// [`FaultTree`]: crate::FaultTree
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a node id from a raw index.
+    ///
+    /// The id is only valid for trees that actually contain a node at that
+    /// index; all [`FaultTree`](crate::FaultTree) accessors check ranges.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The logical type of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Fails iff all inputs fail.
+    And,
+    /// Fails iff at least one input fails.
+    Or,
+    /// Fails iff at least `k` inputs fail (voting gate; an extension over
+    /// the paper's AND/OR, common in PSA practice). `AtLeast(1)` behaves
+    /// like [`GateKind::Or`] and `AtLeast(n)` over `n` inputs like
+    /// [`GateKind::And`].
+    AtLeast(u32),
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::And => write!(f, "and"),
+            GateKind::Or => write!(f, "or"),
+            GateKind::AtLeast(k) => write!(f, "atleast {k}"),
+        }
+    }
+}
+
+/// Failure behaviour of a basic event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// A static basic event: fails with a fixed probability, no timing.
+    Static {
+        /// Probability of failure, in `[0, 1]`.
+        probability: f64,
+    },
+    /// An always-on dynamic basic event modelled by a CTMC.
+    Dynamic(Ctmc),
+    /// A triggered dynamic basic event modelled by a triggered CTMC; it
+    /// must be assigned exactly one triggering gate before the tree is
+    /// built.
+    Triggered(TriggeredCtmc),
+}
+
+impl Behavior {
+    /// Whether the behaviour is dynamic (plain or triggered).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, Behavior::Static { .. })
+    }
+}
+
+/// A node of a fault tree: either a basic event or a gate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NodeKind {
+    Basic(Behavior),
+    Gate {
+        kind: GateKind,
+        inputs: Vec<NodeId>,
+        /// Dynamic basic events triggered by the failure of this gate.
+        triggers: Vec<NodeId>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub name: String,
+    pub kind: NodeKind,
+}

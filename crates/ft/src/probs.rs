@@ -1,0 +1,157 @@
+use crate::error::FtError;
+use crate::node::{Behavior, NodeId};
+use crate::tree::FaultTree;
+
+/// A per-basic-event probability assignment for one fault tree.
+///
+/// Static analysis algorithms (MOCUS, BDD, importance measures) work on a
+/// probability per basic event. For static events this is the event's own
+/// failure probability; for dynamic events the caller supplies a value —
+/// typically the *worst-case* probability of §V-B2, computed by
+/// `sdft-core`.
+///
+/// # Example
+///
+/// ```
+/// # use sdft_ft::{EventProbabilities, FaultTreeBuilder};
+/// # fn main() -> Result<(), sdft_ft::FtError> {
+/// let mut b = FaultTreeBuilder::new();
+/// let x = b.static_event("x", 0.25)?;
+/// let g = b.or("g", [x])?;
+/// b.top(g);
+/// let tree = b.build()?;
+/// let probs = EventProbabilities::from_static(&tree)?;
+/// assert_eq!(probs.get(x), 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventProbabilities {
+    probs: Vec<f64>,
+}
+
+impl EventProbabilities {
+    /// Probabilities of a purely static tree, taken from the events
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree contains dynamic basic events.
+    pub fn from_static(tree: &FaultTree) -> Result<Self, FtError> {
+        Self::with_dynamic(tree, |id| {
+            Err(FtError::KindMismatch {
+                name: tree.name(id).to_owned(),
+                expected: "a static basic event",
+            })
+        })
+    }
+
+    /// Probabilities taking static values from the tree and dynamic values
+    /// from `dynamic`, which is called once per dynamic basic event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `dynamic`, and rejects values outside
+    /// `[0, 1]`.
+    pub fn with_dynamic<F>(tree: &FaultTree, mut dynamic: F) -> Result<Self, FtError>
+    where
+        F: FnMut(NodeId) -> Result<f64, FtError>,
+    {
+        let mut probs = vec![0.0; tree.len()];
+        for event in tree.basic_events() {
+            let p = match tree.behavior(event).expect("basic event") {
+                Behavior::Static { probability } => *probability,
+                Behavior::Dynamic(_) | Behavior::Triggered(_) => dynamic(event)?,
+            };
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FtError::InvalidProbability {
+                    name: tree.name(event).to_owned(),
+                    probability: p,
+                });
+            }
+            probs[event.index()] = p;
+        }
+        Ok(EventProbabilities { probs })
+    }
+
+    /// The probability assigned to `event` (zero for gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for the originating tree.
+    #[must_use]
+    pub fn get(&self, event: NodeId) -> f64 {
+        self.probs[event.index()]
+    }
+
+    /// Override the probability of one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `probability` is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for the originating tree.
+    pub fn set(&mut self, event: NodeId, probability: f64) -> Result<(), FtError> {
+        if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+            return Err(FtError::InvalidProbability {
+                name: event.to_string(),
+                probability,
+            });
+        }
+        self.probs[event.index()] = probability;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+    use sdft_ctmc::erlang;
+
+    #[test]
+    fn static_tree_probabilities() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.25).unwrap();
+        let y = b.static_event("y", 0.5).unwrap();
+        let g = b.or("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let p = EventProbabilities::from_static(&t).unwrap();
+        assert_eq!(p.get(x), 0.25);
+        assert_eq!(p.get(y), 0.5);
+        assert_eq!(p.get(g), 0.0);
+    }
+
+    #[test]
+    fn dynamic_tree_requires_supplier() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b
+            .dynamic_event("x", erlang::plain(1, 1e-3).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(EventProbabilities::from_static(&t).is_err());
+        let p = EventProbabilities::with_dynamic(&t, |_| Ok(0.125)).unwrap();
+        assert_eq!(p.get(x), 0.125);
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b
+            .dynamic_event("x", erlang::plain(1, 1e-3).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(EventProbabilities::with_dynamic(&t, |_| Ok(1.5)).is_err());
+        let mut p = EventProbabilities::with_dynamic(&t, |_| Ok(0.5)).unwrap();
+        assert!(p.set(x, f64::NAN).is_err());
+        p.set(x, 0.75).unwrap();
+        assert_eq!(p.get(x), 0.75);
+    }
+}

@@ -1,0 +1,324 @@
+use crate::error::FtError;
+use crate::node::{GateKind, NodeId};
+use crate::tree::FaultTree;
+
+/// A scenario: the set of basic events that fail (§II of the paper).
+///
+/// Scenarios are tied to a tree's node-id space; constructing one from a
+/// tree sizes it accordingly.
+///
+/// # Example
+///
+/// ```
+/// # use sdft_ft::{FaultTreeBuilder, Scenario};
+/// # fn main() -> Result<(), sdft_ft::FtError> {
+/// let mut b = FaultTreeBuilder::new();
+/// let x = b.static_event("x", 0.5)?;
+/// let y = b.static_event("y", 0.5)?;
+/// let g = b.and("g", [x, y])?;
+/// b.top(g);
+/// let tree = b.build()?;
+/// let mut s = Scenario::new(&tree);
+/// s.set(x, true);
+/// assert!(!tree.fails(tree.top(), &s));
+/// s.set(y, true);
+/// assert!(tree.fails(tree.top(), &s));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    failed: Vec<bool>,
+}
+
+impl Scenario {
+    /// An empty scenario (no event failed) for `tree`.
+    #[must_use]
+    pub fn new(tree: &FaultTree) -> Self {
+        Scenario {
+            failed: vec![false; tree.len()],
+        }
+    }
+
+    /// A scenario with exactly the given basic events failed.
+    #[must_use]
+    pub fn from_events<I>(tree: &FaultTree, events: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut s = Scenario::new(tree);
+        for e in events {
+            s.set(e, true);
+        }
+        s
+    }
+
+    /// Mark basic event `event` as failed (`true`) or functional (`false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for the originating tree.
+    pub fn set(&mut self, event: NodeId, failed: bool) {
+        self.failed[event.index()] = failed;
+    }
+
+    /// Whether `event` is failed in this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for the originating tree.
+    #[must_use]
+    pub fn contains(&self, event: NodeId) -> bool {
+        self.failed[event.index()]
+    }
+
+    /// The failed events, in id order.
+    pub fn events(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+}
+
+impl FaultTree {
+    /// Evaluate every node under `scenario`, bottom-up; returns a vector
+    /// indexed by node id with `true` for failed nodes.
+    ///
+    /// Basic events fail iff they are in the scenario; gates fail by their
+    /// logical type (triggers and dynamic behaviours are disregarded —
+    /// this is the static evaluation used to define both SFT semantics and
+    /// the failure of gates in product states, §III-C1).
+    #[must_use]
+    pub fn evaluate_scenario(&self, scenario: &Scenario) -> Vec<bool> {
+        let mut failed = vec![false; self.len()];
+        for id in self.node_ids() {
+            failed[id.index()] = if self.is_basic(id) {
+                scenario.contains(id)
+            } else {
+                let inputs = self.gate_inputs(id);
+                match self.gate_kind(id).expect("gate") {
+                    GateKind::And => inputs.iter().all(|i| failed[i.index()]),
+                    GateKind::Or => inputs.iter().any(|i| failed[i.index()]),
+                    GateKind::AtLeast(k) => {
+                        inputs.iter().filter(|i| failed[i.index()]).count() >= k as usize
+                    }
+                }
+            };
+        }
+        failed
+    }
+
+    /// Whether `node` is failed by `scenario`.
+    ///
+    /// For repeated queries on the same scenario, prefer
+    /// [`FaultTree::evaluate_scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn fails(&self, node: NodeId, scenario: &Scenario) -> bool {
+        self.evaluate_scenario(scenario)[node.index()]
+    }
+
+    /// The probability of `scenario`: all its events fail and all other
+    /// basic events stay functional (§II).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree contains dynamic basic events (scenario
+    /// probabilities are a static-tree notion).
+    pub fn scenario_probability(&self, scenario: &Scenario) -> Result<f64, FtError> {
+        let mut p = 1.0;
+        for event in self.basic_events() {
+            let prob = self
+                .static_probability(event)
+                .ok_or_else(|| FtError::KindMismatch {
+                    name: self.name(event).to_owned(),
+                    expected: "a static basic event",
+                })?;
+            p *= if scenario.contains(event) {
+                prob
+            } else {
+                1.0 - prob
+            };
+        }
+        Ok(p)
+    }
+
+    /// The exact failure probability of a static fault tree by explicit
+    /// enumeration of all scenarios (`p(FT)` of §II).
+    ///
+    /// This is exponential in the number of basic events and intended for
+    /// validating the scalable algorithms on small models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree has dynamic basic events or more than
+    /// 25 basic events.
+    pub fn exact_static_probability(&self) -> Result<f64, FtError> {
+        let events: Vec<NodeId> = self.basic_events().collect();
+        if events.len() > 25 {
+            return Err(FtError::ExactAnalysisTooLarge {
+                events: events.len(),
+            });
+        }
+        let probs: Result<Vec<f64>, FtError> = events
+            .iter()
+            .map(|&e| {
+                self.static_probability(e)
+                    .ok_or_else(|| FtError::KindMismatch {
+                        name: self.name(e).to_owned(),
+                        expected: "a static basic event",
+                    })
+            })
+            .collect();
+        let probs = probs?;
+        let mut total = 0.0;
+        for mask in 0u32..(1u32 << events.len()) {
+            let mut scenario = Scenario::new(self);
+            let mut p = 1.0;
+            for (bit, (&event, &prob)) in events.iter().zip(&probs).enumerate() {
+                if mask >> bit & 1 == 1 {
+                    scenario.set(event, true);
+                    p *= prob;
+                } else {
+                    p *= 1.0 - prob;
+                }
+            }
+            if p > 0.0 && self.fails(self.top(), &scenario) {
+                total += p;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gate_evaluation_follows_logic() {
+        let t = example1();
+        let a = t.node_by_name("a").unwrap();
+        let c = t.node_by_name("c").unwrap();
+        let e = t.node_by_name("e").unwrap();
+        let top = t.top();
+        // Only pump 1 side fails: top not failed.
+        let s = Scenario::from_events(&t, [a]);
+        assert!(!t.fails(top, &s));
+        // Both pumps fail to start: top failed.
+        let s = Scenario::from_events(&t, [a, c]);
+        assert!(t.fails(top, &s));
+        // Tank alone fails the top.
+        let s = Scenario::from_events(&t, [e]);
+        assert!(t.fails(top, &s));
+    }
+
+    #[test]
+    fn atleast_gate_counts_failed_inputs() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.5).unwrap();
+        let y = b.static_event("y", 0.5).unwrap();
+        let z = b.static_event("z", 0.5).unwrap();
+        let g = b.atleast("g", 2, [x, y, z]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(!t.fails(t.top(), &Scenario::from_events(&t, [x])));
+        assert!(t.fails(t.top(), &Scenario::from_events(&t, [x, z])));
+        assert!(t.fails(t.top(), &Scenario::from_events(&t, [x, y, z])));
+    }
+
+    #[test]
+    fn example1_scenario_probability() {
+        // Example 1: p({a, d}) ≈ 2.988e-6.
+        let t = example1();
+        let a = t.node_by_name("a").unwrap();
+        let d = t.node_by_name("d").unwrap();
+        let s = Scenario::from_events(&t, [a, d]);
+        let p = t.scenario_probability(&s).unwrap();
+        let exact = 3e-3 * 1e-3 * (1.0 - 1e-3) * (1.0 - 3e-3) * (1.0 - 3e-6);
+        assert!((p - exact).abs() < 1e-18);
+        assert!((p - 2.988e-6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exact_probability_small_identities() {
+        // Single OR over two events: 1 - (1-p)(1-q).
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.3).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let g = b.or("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let p = t.exact_static_probability().unwrap();
+        assert!((p - (1.0 - 0.7 * 0.8)).abs() < 1e-12);
+
+        // AND: p*q.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.3).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let p = t.exact_static_probability().unwrap();
+        assert!((p - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_probability_example1() {
+        let t = example1();
+        let p = t.exact_static_probability().unwrap();
+        // p(top) = p(e) + (1-p(e)) * p(pump1) * p(pump2)
+        let p1 = 1.0 - (1.0 - 3e-3) * (1.0 - 1e-3);
+        let pe = 3e-6;
+        let exact = pe + (1.0 - pe) * p1 * p1;
+        assert!((p - exact).abs() < 1e-15, "{p} vs {exact}");
+    }
+
+    #[test]
+    fn exact_probability_rejects_large_or_dynamic_trees() {
+        let mut b = FaultTreeBuilder::new();
+        let events: Vec<_> = (0..26)
+            .map(|i| b.static_event(&format!("e{i}"), 0.1).unwrap())
+            .collect();
+        let g = b.or("g", events).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            t.exact_static_probability(),
+            Err(FtError::ExactAnalysisTooLarge { events: 26 })
+        ));
+    }
+
+    #[test]
+    fn scenario_events_iterates_failed_set() {
+        let t = example1();
+        let a = t.node_by_name("a").unwrap();
+        let e = t.node_by_name("e").unwrap();
+        let s = Scenario::from_events(&t, [e, a]);
+        let got: Vec<NodeId> = s.events().collect();
+        assert_eq!(got, vec![a, e]);
+        assert!(s.contains(a) && s.contains(e));
+        assert!(!s.contains(t.node_by_name("b").unwrap()));
+    }
+}

@@ -1,0 +1,735 @@
+//! Tree transformations: constant restriction, structural simplification
+//! and voting-gate expansion.
+//!
+//! These utilities operate on the static structure; trees with dynamic
+//! events are supported as long as the transformation does not touch
+//! them (assignments are restricted to static events, and gates that
+//! trigger dynamic events are never removed).
+
+use crate::error::FtError;
+use crate::node::{Behavior, GateKind, NodeId};
+use crate::tree::{FaultTree, FaultTreeBuilder};
+use std::collections::HashMap;
+
+/// The result of [`restrict`]: either the whole tree collapsed to a
+/// constant, or a rebuilt tree plus the map from old to new ids.
+#[derive(Debug, Clone)]
+pub enum Restriction {
+    /// The top gate became constant under the assignment.
+    Constant(bool),
+    /// The restricted tree.
+    Tree {
+        /// The rebuilt tree.
+        tree: FaultTree,
+        /// Map from original ids to nodes computing their function (nodes
+        /// collapsed to constants are absent; collapsed gates map to
+        /// their surviving replacement).
+        from_original: HashMap<NodeId, NodeId>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    Const(bool),
+    Node(NodeId),
+}
+
+/// Substitute constants for static basic events and propagate them
+/// through the gates: an AND with a false input dies, true inputs are
+/// dropped, single-input gates collapse, at-least thresholds adjust.
+///
+/// Gates that trigger dynamic events are preserved as (possibly
+/// single-input) gates so the triggering structure survives; the events
+/// they trigger must not be assigned.
+///
+/// # Errors
+///
+/// Returns an error if an assignment targets a gate or a dynamic event.
+pub fn restrict(
+    tree: &FaultTree,
+    assignments: &HashMap<NodeId, bool>,
+) -> Result<Restriction, FtError> {
+    for &id in assignments.keys() {
+        match tree.behavior(id) {
+            Some(Behavior::Static { .. }) => {}
+            Some(_) => {
+                return Err(FtError::KindMismatch {
+                    name: tree.name(id).to_owned(),
+                    expected: "a static basic event",
+                })
+            }
+            None => {
+                return Err(FtError::KindMismatch {
+                    name: tree.name(id).to_owned(),
+                    expected: "a basic event",
+                })
+            }
+        }
+    }
+
+    let mut builder = FaultTreeBuilder::new();
+    let mut val: Vec<Val> = Vec::with_capacity(tree.len());
+    let mut from_original = HashMap::new();
+    let mut trigger_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+
+    for id in tree.node_ids() {
+        let v = if tree.is_basic(id) {
+            match assignments.get(&id) {
+                Some(&value) => Val::Const(value),
+                None => {
+                    let new = match tree.behavior(id).expect("basic") {
+                        Behavior::Static { probability } => {
+                            builder.static_event(tree.name(id), *probability)?
+                        }
+                        Behavior::Dynamic(chain) => {
+                            builder.dynamic_event(tree.name(id), chain.clone())?
+                        }
+                        Behavior::Triggered(chain) => {
+                            builder.triggered_event(tree.name(id), chain.clone())?
+                        }
+                    };
+                    from_original.insert(id, new);
+                    Val::Node(new)
+                }
+            }
+        } else {
+            let kind = tree.gate_kind(id).expect("gate");
+            let mut live: Vec<NodeId> = Vec::new();
+            let mut true_count = 0usize;
+            let mut false_count = 0usize;
+            for &input in tree.gate_inputs(id) {
+                match val[input.index()] {
+                    Val::Const(true) => true_count += 1,
+                    Val::Const(false) => false_count += 1,
+                    Val::Node(n) => live.push(n),
+                }
+            }
+            // Never collapse the top gate or a triggering gate away.
+            let keep_gate = !tree.triggers_of(id).is_empty() || id == tree.top();
+            let outcome = match kind {
+                GateKind::And => {
+                    if false_count > 0 {
+                        Val::Const(false)
+                    } else if live.is_empty() {
+                        Val::Const(true)
+                    } else if live.len() == 1 && !keep_gate {
+                        Val::Node(live[0])
+                    } else {
+                        Val::Node(builder.gate(tree.name(id), GateKind::And, live)?)
+                    }
+                }
+                GateKind::Or => {
+                    if true_count > 0 {
+                        Val::Const(true)
+                    } else if live.is_empty() {
+                        Val::Const(false)
+                    } else if live.len() == 1 && !keep_gate {
+                        Val::Node(live[0])
+                    } else {
+                        Val::Node(builder.gate(tree.name(id), GateKind::Or, live)?)
+                    }
+                }
+                GateKind::AtLeast(k) => {
+                    let k = (k as usize).saturating_sub(true_count);
+                    if k == 0 {
+                        Val::Const(true)
+                    } else if k > live.len() {
+                        Val::Const(false)
+                    } else if k == live.len() {
+                        if live.len() == 1 && !keep_gate {
+                            Val::Node(live[0])
+                        } else {
+                            Val::Node(builder.gate(tree.name(id), GateKind::And, live)?)
+                        }
+                    } else if k == 1 {
+                        Val::Node(builder.gate(tree.name(id), GateKind::Or, live)?)
+                    } else {
+                        Val::Node(builder.gate(tree.name(id), GateKind::AtLeast(k as u32), live)?)
+                    }
+                }
+            };
+            if let Val::Node(new) = outcome {
+                // A collapsed gate maps to the node now computing its
+                // function (possibly a former input with another name).
+                from_original.insert(id, new);
+            }
+            outcome
+        };
+        val.push(v);
+        // Collect trigger edges to re-add once both ends exist.
+        if tree.is_basic(id) {
+            if let Some(gate) = tree.trigger_source(id) {
+                trigger_pairs.push((gate, id));
+            }
+        }
+    }
+
+    match val[tree.top().index()] {
+        Val::Const(c) => Ok(Restriction::Constant(c)),
+        Val::Node(new_top) => {
+            for (gate, event) in trigger_pairs {
+                let (Val::Node(g), Val::Node(e)) = (val[gate.index()], val[event.index()]) else {
+                    return Err(FtError::KindMismatch {
+                        name: tree.name(event).to_owned(),
+                        expected: "a triggered event with a live triggering gate",
+                    });
+                };
+                builder.trigger(g, e)?;
+            }
+            builder.top(new_top);
+            let restricted = builder.build()?;
+            Ok(Restriction::Tree {
+                tree: restricted,
+                from_original,
+            })
+        }
+    }
+}
+
+/// Structurally simplify a tree: collapse single-input pass-through
+/// gates (unless they trigger something or are the top), and merge gates
+/// with identical kind and input sets. The function computed by every
+/// surviving node is unchanged.
+///
+/// Real PSA models carry long transfer-gate chains; simplification can
+/// shrink the gate count by an order of magnitude without changing any
+/// cutset.
+///
+/// # Errors
+///
+/// Returns an error only if rebuilding fails (cannot happen for valid
+/// inputs).
+pub fn simplify(tree: &FaultTree) -> Result<FaultTree, FtError> {
+    let mut builder = FaultTreeBuilder::new();
+    let mut new_id: Vec<NodeId> = Vec::with_capacity(tree.len());
+    // Structural hash-consing of gates: (kind, sorted inputs) -> node.
+    let mut canon: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+
+    for id in tree.node_ids() {
+        let mapped = if tree.is_basic(id) {
+            match tree.behavior(id).expect("basic") {
+                Behavior::Static { probability } => {
+                    builder.static_event(tree.name(id), *probability)?
+                }
+                Behavior::Dynamic(chain) => builder.dynamic_event(tree.name(id), chain.clone())?,
+                Behavior::Triggered(chain) => {
+                    builder.triggered_event(tree.name(id), chain.clone())?
+                }
+            }
+        } else {
+            let kind = tree.gate_kind(id).expect("gate");
+            let mut inputs: Vec<NodeId> = tree
+                .gate_inputs(id)
+                .iter()
+                .map(|i| new_id[i.index()])
+                .collect();
+            inputs.sort();
+            // Voting gates count input *positions*: "2-of-(x, x)" fails
+            // with x alone, so duplicates must survive there.
+            if !matches!(kind, GateKind::AtLeast(_)) {
+                inputs.dedup();
+            }
+            let is_protected = !tree.triggers_of(id).is_empty() || id == tree.top();
+            // A single-input AND/OR (or 1-of-1) is the identity.
+            let pass_through = inputs.len() == 1
+                && matches!(kind, GateKind::And | GateKind::Or | GateKind::AtLeast(1));
+            if pass_through && !is_protected {
+                inputs[0]
+            } else {
+                let key = (kind, inputs.clone());
+                match canon.get(&key) {
+                    Some(&existing) if !is_protected => existing,
+                    _ => {
+                        let g = builder.gate(tree.name(id), kind, inputs)?;
+                        canon.entry(key).or_insert(g);
+                        g
+                    }
+                }
+            }
+        };
+        new_id.push(mapped);
+    }
+    for event in tree.basic_events() {
+        if let Some(gate) = tree.trigger_source(event) {
+            builder.trigger(new_id[gate.index()], new_id[event.index()])?;
+        }
+    }
+    builder.top(new_id[tree.top().index()]);
+    builder.build()
+}
+
+/// Expand every at-least gate into pure AND/OR structure (an OR over the
+/// ANDs of all `k`-subsets of its inputs), producing a tree in the
+/// paper's original formalism.
+///
+/// # Errors
+///
+/// Returns an error if a voting gate would expand into more than
+/// `max_combinations` subsets.
+pub fn expand_atleast(tree: &FaultTree, max_combinations: usize) -> Result<FaultTree, FtError> {
+    let mut builder = FaultTreeBuilder::new();
+    let mut new_id: Vec<NodeId> = Vec::with_capacity(tree.len());
+    for id in tree.node_ids() {
+        let mapped = if tree.is_basic(id) {
+            match tree.behavior(id).expect("basic") {
+                Behavior::Static { probability } => {
+                    builder.static_event(tree.name(id), *probability)?
+                }
+                Behavior::Dynamic(chain) => builder.dynamic_event(tree.name(id), chain.clone())?,
+                Behavior::Triggered(chain) => {
+                    builder.triggered_event(tree.name(id), chain.clone())?
+                }
+            }
+        } else {
+            let inputs: Vec<NodeId> = tree
+                .gate_inputs(id)
+                .iter()
+                .map(|i| new_id[i.index()])
+                .collect();
+            match tree.gate_kind(id).expect("gate") {
+                GateKind::And => builder.and(tree.name(id), inputs)?,
+                GateKind::Or => builder.or(tree.name(id), inputs)?,
+                GateKind::AtLeast(k) => {
+                    let k = k as usize;
+                    if k == 1 {
+                        builder.or(tree.name(id), inputs)?
+                    } else if k == inputs.len() {
+                        builder.and(tree.name(id), inputs)?
+                    } else {
+                        let combos = combinations(&inputs, k);
+                        if combos.len() > max_combinations {
+                            return Err(FtError::InvalidThreshold {
+                                name: tree.name(id).to_owned(),
+                                threshold: k as u32,
+                                inputs: inputs.len(),
+                            });
+                        }
+                        let ands: Vec<NodeId> = combos
+                            .iter()
+                            .enumerate()
+                            .map(|(i, combo)| {
+                                builder
+                                    .and(&format!("{}__c{i}", tree.name(id)), combo.iter().copied())
+                            })
+                            .collect::<Result<_, _>>()?;
+                        builder.or(tree.name(id), ands)?
+                    }
+                }
+            }
+        };
+        new_id.push(mapped);
+    }
+    for event in tree.basic_events() {
+        if let Some(gate) = tree.trigger_source(event) {
+            builder.trigger(new_id[gate.index()], new_id[event.index()])?;
+        }
+    }
+    builder.top(new_id[tree.top().index()]);
+    builder.build()
+}
+
+fn combinations(items: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut indices: Vec<usize> = (0..k).collect();
+    if k == 0 || k > items.len() {
+        return out;
+    }
+    loop {
+        out.push(indices.iter().map(|&i| items[i]).collect());
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            if indices[pos] != pos + items.len() - k {
+                indices[pos] += 1;
+                for j in pos + 1..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probs::EventProbabilities;
+    use crate::scenario::Scenario;
+    use sdft_ctmc::erlang;
+
+    fn sample_tree() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let z = b.static_event("z", 0.3).unwrap();
+        let g1 = b.or("g1", [x, y]).unwrap();
+        let g2 = b.atleast("g2", 2, [x, y, z]).unwrap();
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn agree_on_all_scenarios(a: &FaultTree, b: &FaultTree) {
+        let events_a: Vec<NodeId> = a.basic_events().collect();
+        assert!(events_a.len() <= 12);
+        for mask in 0u32..(1 << events_a.len()) {
+            let failed: Vec<&str> = events_a
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| a.name(e))
+                .collect();
+            let sa = Scenario::from_events(a, failed.iter().map(|n| a.node_by_name(n).unwrap()));
+            let sb = Scenario::from_events(b, failed.iter().filter_map(|n| b.node_by_name(n)));
+            assert_eq!(
+                a.fails(a.top(), &sa),
+                b.fails(b.top(), &sb),
+                "scenario {failed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn restrict_substitutes_and_simplifies() {
+        let t = sample_tree();
+        let x = t.node_by_name("x").unwrap();
+        let mut assignments = HashMap::new();
+        assignments.insert(x, true);
+        let Restriction::Tree {
+            tree: r,
+            from_original,
+        } = restrict(&t, &assignments).unwrap()
+        else {
+            panic!("should not be constant");
+        };
+        // With x true: g1 is true (dropped), g2 becomes 1-of-{y,z} = OR,
+        // top collapses to g2.
+        assert!(r.node_by_name("x").is_none());
+        assert_eq!(r.num_basic_events(), 2);
+        let exact = r.exact_static_probability().unwrap();
+        // p(y ∨ z) = 1 - 0.8·0.7
+        assert!((exact - (1.0 - 0.8 * 0.7)).abs() < 1e-12);
+        assert!(from_original.contains_key(&t.node_by_name("y").unwrap()));
+    }
+
+    #[test]
+    fn restrict_to_constant() {
+        let t = sample_tree();
+        let x = t.node_by_name("x").unwrap();
+        let y = t.node_by_name("y").unwrap();
+        let mut assignments = HashMap::new();
+        assignments.insert(x, false);
+        assignments.insert(y, false);
+        // g1 = OR(false, false) = false, top = AND(false, ..) = false.
+        match restrict(&t, &assignments).unwrap() {
+            Restriction::Constant(false) => {}
+            other => panic!("expected constant false, got {other:?}"),
+        }
+        let mut assignments = HashMap::new();
+        assignments.insert(x, true);
+        assignments.insert(y, true);
+        match restrict(&t, &assignments).unwrap() {
+            Restriction::Constant(true) => {}
+            other => panic!("expected constant true, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restrict_rejects_gates_and_dynamics() {
+        let mut b = FaultTreeBuilder::new();
+        let d = b
+            .dynamic_event("d", erlang::plain(1, 1e-3).unwrap())
+            .unwrap();
+        let g = b.or("g", [d]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let mut assignments = HashMap::new();
+        assignments.insert(d, true);
+        assert!(matches!(
+            restrict(&t, &assignments),
+            Err(FtError::KindMismatch { .. })
+        ));
+        let mut assignments = HashMap::new();
+        assignments.insert(g, true);
+        assert!(matches!(
+            restrict(&t, &assignments),
+            Err(FtError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn simplify_collapses_pass_through_chains() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let mut chain = b.or("c0", [x]).unwrap();
+        for i in 1..6 {
+            chain = b.or(&format!("c{i}"), [chain]).unwrap();
+        }
+        let top = b.and("top", [chain, y]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let s = simplify(&t).unwrap();
+        assert_eq!(s.num_gates(), 1, "only the top gate survives");
+        agree_on_all_scenarios(&t, &s);
+    }
+
+    #[test]
+    fn simplify_merges_identical_gates() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let g1 = b.or("g1", [x, y]).unwrap();
+        let g2 = b.or("g2", [y, x]).unwrap(); // same function
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let s = simplify(&t).unwrap();
+        assert_eq!(s.num_gates(), 2); // merged OR + top
+        agree_on_all_scenarios(&t, &s);
+    }
+
+    #[test]
+    fn simplify_preserves_triggering_gates() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let w = b.or("w", [x]).unwrap(); // pass-through, but triggers d
+        let top = b.and("top", [w, d]).unwrap();
+        b.trigger(w, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let s = simplify(&t).unwrap();
+        let w_new = s.node_by_name("w").expect("trigger gate preserved");
+        assert_eq!(s.trigger_source(s.node_by_name("d").unwrap()), Some(w_new));
+    }
+
+    #[test]
+    fn expand_atleast_preserves_semantics_and_probability() {
+        let t = sample_tree();
+        let e = expand_atleast(&t, 1000).unwrap();
+        assert!(e
+            .gates()
+            .all(|g| !matches!(e.gate_kind(g), Some(GateKind::AtLeast(_)))));
+        agree_on_all_scenarios(&t, &e);
+        let pt = t.exact_static_probability().unwrap();
+        let pe = e.exact_static_probability().unwrap();
+        assert!((pt - pe).abs() < 1e-12);
+        let _ = EventProbabilities::from_static(&e).unwrap();
+    }
+
+    #[test]
+    fn expand_atleast_honours_the_budget() {
+        let mut b = FaultTreeBuilder::new();
+        let events: Vec<_> = (0..12)
+            .map(|i| b.static_event(&format!("e{i}"), 0.1).unwrap())
+            .collect();
+        let g = b.atleast("g", 6, events).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            expand_atleast(&t, 100),
+            Err(FtError::InvalidThreshold { .. })
+        ));
+        assert!(expand_atleast(&t, 10_000).is_ok());
+    }
+
+    #[test]
+    fn simplify_industrial_style_chain_keeps_cutsets() {
+        // A miniature of the transfer-chain pattern: simplification must
+        // not change the evaluated function.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let z = b.static_event("z", 0.3).unwrap();
+        let sys = b.and("sys", [x, y]).unwrap();
+        let x1 = b.or("x1", [sys]).unwrap();
+        let x2 = b.or("x2", [x1]).unwrap();
+        let x3 = b.or("x3", [sys]).unwrap();
+        let s1 = b.and("s1", [x2, z]).unwrap();
+        let s2 = b.and("s2", [x3, z]).unwrap();
+        let top = b.or("top", [s1, s2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let s = simplify(&t).unwrap();
+        assert!(s.num_gates() < t.num_gates());
+        agree_on_all_scenarios(&t, &s);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+
+    /// Found by the workspace property tests: restricting a tree whose
+    /// top gate ends up with a single live input must keep the top a
+    /// gate rather than collapsing it into the basic event.
+    #[test]
+    fn restrict_keeps_a_single_input_top_gate() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.2).unwrap();
+        let y = b.static_event("y", 0.3).unwrap();
+        let top = b.and("top", [x, y]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let mut assignment = HashMap::new();
+        assignment.insert(y, true);
+        let Restriction::Tree { tree: r, .. } = restrict(&t, &assignment).unwrap() else {
+            panic!("not constant");
+        };
+        assert!(r.is_gate(r.top()));
+        assert_eq!(r.num_basic_events(), 1);
+        let p = r.exact_static_probability().unwrap();
+        assert!((p - 0.2).abs() < 1e-15);
+    }
+}
+
+#[cfg(test)]
+mod voting_duplicate_tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::tree::FaultTreeBuilder;
+
+    /// Found by the workspace property tests: collapsing a pass-through
+    /// gate can make two inputs of a voting gate identical; they still
+    /// count as two positions.
+    #[test]
+    fn simplify_keeps_duplicate_voting_inputs() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.5).unwrap();
+        let wrapped = b.or("wrapped", [x]).unwrap();
+        let g = b.atleast("g", 2, [x, wrapped]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        // Original: x fails -> both positions fail -> top fails.
+        let s = Scenario::from_events(&t, [x]);
+        assert!(t.fails(t.top(), &s));
+        let simplified = simplify(&t).unwrap();
+        let x2 = simplified.node_by_name("x").unwrap();
+        let s = Scenario::from_events(&simplified, [x2]);
+        assert!(simplified.fails(simplified.top(), &s));
+    }
+}
+
+/// Rebuild `tree` with every dynamic event's transition rates multiplied
+/// by `factor_for(event)` and every static event's probability replaced
+/// by `1 - (1-p)^f` (the probability a rate-scaled exponential would
+/// produce over the same horizon). Factors must be non-negative and
+/// finite; node ids are preserved.
+///
+/// This is the workhorse of parameter-uncertainty and sensitivity studies
+/// on SD trees: scale the rates, re-analyze, repeat.
+///
+/// # Errors
+///
+/// Returns an error if a factor is invalid or rebuilding fails.
+pub fn scale_event_rates<F>(tree: &FaultTree, mut factor_for: F) -> Result<FaultTree, FtError>
+where
+    F: FnMut(NodeId) -> f64,
+{
+    let mut builder = FaultTreeBuilder::new();
+    for id in tree.node_ids() {
+        let name = tree.name(id);
+        if tree.is_gate(id) {
+            builder.gate(
+                name,
+                tree.gate_kind(id).expect("gate"),
+                tree.gate_inputs(id).to_vec(),
+            )?;
+            continue;
+        }
+        let factor = factor_for(id);
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(FtError::InvalidProbability {
+                name: name.to_owned(),
+                probability: factor,
+            });
+        }
+        match tree.behavior(id).expect("basic") {
+            Behavior::Static { probability } => {
+                let scaled = 1.0 - (1.0 - probability).powf(factor);
+                builder.static_event(name, scaled.clamp(0.0, 1.0))?;
+            }
+            Behavior::Dynamic(chain) => {
+                builder.dynamic_event(name, chain.with_scaled_rates(factor)?)?;
+            }
+            Behavior::Triggered(chain) => {
+                builder.triggered_event(name, chain.with_scaled_rates(factor)?)?;
+            }
+        }
+    }
+    for event in tree.basic_events() {
+        if let Some(gate) = tree.trigger_source(event) {
+            builder.trigger(gate, event)?;
+        }
+    }
+    builder.top(tree.top());
+    builder.build()
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+
+    #[test]
+    fn scaling_preserves_ids_and_scales_rates() {
+        let mut b = FaultTreeBuilder::new();
+        let s = b.static_event("s", 0.1).unwrap();
+        let d = b
+            .dynamic_event("d", erlang::repairable(2, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let tr = b
+            .triggered_event("tr", erlang::spare(2e-3, 0.04).unwrap())
+            .unwrap();
+        let g = b.or("g", [s, d]).unwrap();
+        let top = b.and("top", [g, tr]).unwrap();
+        b.trigger(g, tr).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+
+        let scaled = scale_event_rates(&t, |_| 2.0).unwrap();
+        assert_eq!(scaled.len(), t.len());
+        for id in t.node_ids() {
+            assert_eq!(t.name(id), scaled.name(id), "ids preserved");
+        }
+        // Static: 1 - 0.9^2 = 0.19.
+        assert!((scaled.static_probability(s).unwrap() - 0.19).abs() < 1e-12);
+        // Dynamic rates doubled.
+        let old_rate = t.plain_chain(d).unwrap().transitions_from(0)[0].1;
+        let new_rate = scaled.plain_chain(d).unwrap().transitions_from(0)[0].1;
+        assert!((new_rate - 2.0 * old_rate).abs() < 1e-15);
+        // Trigger structure preserved.
+        assert_eq!(scaled.trigger_source(tr), Some(g));
+    }
+
+    #[test]
+    fn zero_factor_freezes_a_chain() {
+        let mut b = FaultTreeBuilder::new();
+        let d = b
+            .dynamic_event("d", erlang::repairable(1, 1e-2, 0.1).unwrap())
+            .unwrap();
+        let g = b.or("g", [d]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let frozen = scale_event_rates(&t, |_| 0.0).unwrap();
+        assert_eq!(frozen.plain_chain(d).unwrap().transition_count(), 0);
+    }
+
+    #[test]
+    fn invalid_factors_are_rejected() {
+        let mut b = FaultTreeBuilder::new();
+        let s = b.static_event("s", 0.1).unwrap();
+        let g = b.or("g", [s]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert!(scale_event_rates(&t, |_| f64::NAN).is_err());
+        assert!(scale_event_rates(&t, |_| -1.0).is_err());
+    }
+}

@@ -1,0 +1,1053 @@
+use crate::error::FtError;
+use crate::node::{Behavior, GateKind, Node, NodeId, NodeKind};
+use sdft_ctmc::{Ctmc, TriggeredCtmc};
+use std::collections::HashMap;
+
+/// A static-and-dynamic (SD) fault tree (§III-B of the paper).
+///
+/// A fault tree is a finite DAG whose leaves are *basic events* — either
+/// static (a failure probability) or dynamic (a CTMC, possibly triggered) —
+/// and whose inner nodes are AND/OR (and, as an extension, at-least) gates.
+/// A gate may *trigger* dynamic basic events: when the gate fails, the
+/// triggered chains switch on; when it is repaired, they switch off.
+///
+/// A purely static fault tree is simply an SD fault tree without dynamic
+/// events ([`FaultTree::is_static`]).
+///
+/// Trees are immutable once built; construct them with
+/// [`FaultTreeBuilder`], which validates all structural invariants:
+/// acyclicity (by construction: gate inputs must already exist), at most
+/// one triggering gate per event, and acyclicity of the triggering
+/// structure.
+///
+/// # Example
+///
+/// Example 1 of the paper — a water tank and two redundant pumps:
+///
+/// ```
+/// use sdft_ft::{FaultTreeBuilder, GateKind};
+///
+/// # fn main() -> Result<(), sdft_ft::FtError> {
+/// let mut b = FaultTreeBuilder::new();
+/// let a = b.static_event("a", 3e-3)?; // pump 1 fails to start
+/// let bb = b.static_event("b", 1e-3)?; // pump 1 fails in operation
+/// let c = b.static_event("c", 3e-3)?; // pump 2 fails to start
+/// let d = b.static_event("d", 1e-3)?; // pump 2 fails in operation
+/// let e = b.static_event("e", 3e-6)?; // water tank fails
+/// let p1 = b.or("pump1", [a, bb])?;
+/// let p2 = b.or("pump2", [c, d])?;
+/// let pumps = b.and("pumps", [p1, p2])?;
+/// let top = b.or("cooling", [pumps, e])?;
+/// b.top(top);
+/// let tree = b.build()?;
+/// assert_eq!(tree.num_basic_events(), 5);
+/// assert_eq!(tree.num_gates(), 4);
+/// assert!(tree.is_static());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTree {
+    nodes: Vec<Node>,
+    name_index: HashMap<String, NodeId>,
+    top: NodeId,
+    /// For each node: the gate triggering it (events only).
+    trigger_source: Vec<Option<NodeId>>,
+    /// For each node: whether its subtree contains a dynamic basic event.
+    dynamic_subtree: Vec<bool>,
+}
+
+impl FaultTree {
+    /// Total number of nodes (basic events plus gates).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes; always `false` for built trees.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The top gate.
+    #[must_use]
+    pub fn top(&self) -> NodeId {
+        self.top
+    }
+
+    /// All node ids, in creation order (inputs always precede the gates
+    /// that use them, so this order is topological bottom-up).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Look a node up by name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Whether `id` is a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_gate(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Gate { .. })
+    }
+
+    /// Whether `id` is a basic event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_basic(&self, id: NodeId) -> bool {
+        !self.is_gate(id)
+    }
+
+    /// The kind of gate `id`, or `None` for basic events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn gate_kind(&self, id: NodeId) -> Option<GateKind> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Gate { kind, .. } => Some(*kind),
+            NodeKind::Basic(_) => None,
+        }
+    }
+
+    /// Inputs of gate `id`; empty for basic events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn gate_inputs(&self, id: NodeId) -> &[NodeId] {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Gate { inputs, .. } => inputs,
+            NodeKind::Basic(_) => &[],
+        }
+    }
+
+    /// The behaviour of basic event `id`, or `None` for gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn behavior(&self, id: NodeId) -> Option<&Behavior> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Basic(b) => Some(b),
+            NodeKind::Gate { .. } => None,
+        }
+    }
+
+    /// The failure probability of a static basic event, or `None` for
+    /// gates and dynamic events.
+    #[must_use]
+    pub fn static_probability(&self, id: NodeId) -> Option<f64> {
+        match self.behavior(id) {
+            Some(Behavior::Static { probability }) => Some(*probability),
+            _ => None,
+        }
+    }
+
+    /// The gate triggering basic event `id`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn trigger_source(&self, id: NodeId) -> Option<NodeId> {
+        self.trigger_source[id.index()]
+    }
+
+    /// The dynamic basic events triggered by gate `id` (the set `trig(g)`);
+    /// empty for basic events and non-triggering gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn triggers_of(&self, id: NodeId) -> &[NodeId] {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Gate { triggers, .. } => triggers,
+            NodeKind::Basic(_) => &[],
+        }
+    }
+
+    /// Whether the subtree rooted at `id` contains a dynamic basic event.
+    /// For basic events: whether the event itself is dynamic. This is the
+    /// paper's notion of a *dynamic gate* (§V-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_dynamic_subtree(&self, id: NodeId) -> bool {
+        self.dynamic_subtree[id.index()]
+    }
+
+    /// All basic events, in creation order.
+    pub fn basic_events(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.is_basic(id))
+    }
+
+    /// All gates, in creation order.
+    pub fn gates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.is_gate(id))
+    }
+
+    /// All dynamic basic events, in creation order.
+    pub fn dynamic_basic_events(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.basic_events()
+            .filter(|&id| self.behavior(id).is_some_and(Behavior::is_dynamic))
+    }
+
+    /// Number of basic events.
+    #[must_use]
+    pub fn num_basic_events(&self) -> usize {
+        self.basic_events().count()
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates().count()
+    }
+
+    /// Whether the tree is purely static (no dynamic basic events).
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        !self.dynamic_subtree[self.top.index()] && self.dynamic_basic_events().next().is_none()
+    }
+
+    /// The basic events in the subtree rooted at `id` (each event once,
+    /// in creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn subtree_basic_events(&self, id: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut visited[n.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(self.gate_inputs(n));
+        }
+        self.node_ids()
+            .filter(|&n| visited[n.index()] && self.is_basic(n))
+            .collect()
+    }
+
+    /// All gates in the subtree rooted at `id`, including `id` itself if it
+    /// is a gate (each gate once, in creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn subtree_gates(&self, id: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut visited[n.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(self.gate_inputs(n));
+        }
+        self.node_ids()
+            .filter(|&n| visited[n.index()] && self.is_gate(n))
+            .collect()
+    }
+
+    /// The plain CTMC of an always-on dynamic event, if `id` is one.
+    #[must_use]
+    pub fn plain_chain(&self, id: NodeId) -> Option<&Ctmc> {
+        match self.behavior(id) {
+            Some(Behavior::Dynamic(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The triggered CTMC of a triggered dynamic event, if `id` is one.
+    #[must_use]
+    pub fn triggered_chain(&self, id: NodeId) -> Option<&TriggeredCtmc> {
+        match self.behavior(id) {
+            Some(Behavior::Triggered(c)) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for [`FaultTree`] values.
+///
+/// Nodes are created bottom-up: gate inputs must already exist, which makes
+/// the node DAG acyclic by construction. Node ids returned by the creation
+/// methods are valid for this builder and the tree it eventually builds.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTreeBuilder {
+    nodes: Vec<Node>,
+    name_index: HashMap<String, NodeId>,
+    top: Option<NodeId>,
+    trigger_source: Vec<Option<NodeId>>,
+}
+
+impl FaultTreeBuilder {
+    /// Start building an empty fault tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes created so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes were created yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether a node with this name was already created.
+    #[must_use]
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.name_index.contains_key(name)
+    }
+
+    /// The behaviour of an already-created basic event (`None` for gates
+    /// and unknown ids). Mirrors [`FaultTree::behavior`] so tooling can
+    /// introspect a tree while it is still under construction.
+    #[must_use]
+    pub fn behavior(&self, id: NodeId) -> Option<&Behavior> {
+        match self.nodes.get(id.index()).map(|n| &n.kind) {
+            Some(NodeKind::Basic(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Inputs of an already-created gate (empty for basic events and
+    /// unknown ids). Mirrors [`FaultTree::gate_inputs`].
+    #[must_use]
+    pub fn gate_inputs(&self, id: NodeId) -> &[NodeId] {
+        match self.nodes.get(id.index()).map(|n| &n.kind) {
+            Some(NodeKind::Gate { inputs, .. }) => inputs,
+            _ => &[],
+        }
+    }
+
+    /// The gate already declared to trigger `id`, if any. Mirrors
+    /// [`FaultTree::trigger_source`].
+    #[must_use]
+    pub fn trigger_source(&self, id: NodeId) -> Option<NodeId> {
+        self.trigger_source.get(id.index()).copied().flatten()
+    }
+
+    fn insert(&mut self, name: &str, kind: NodeKind) -> Result<NodeId, FtError> {
+        if name.is_empty() || name.contains(char::is_whitespace) || name.contains('#') {
+            return Err(FtError::InvalidName {
+                name: name.to_owned(),
+            });
+        }
+        if self.name_index.contains_key(name) {
+            return Err(FtError::DuplicateName {
+                name: name.to_owned(),
+            });
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind,
+        });
+        self.name_index.insert(name.to_owned(), id);
+        self.trigger_source.push(None);
+        Ok(id)
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), FtError> {
+        if id.index() >= self.nodes.len() {
+            Err(FtError::UnknownNode { index: id.index() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Add a static basic event with the given failure probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken or the probability is not in
+    /// `[0, 1]`.
+    pub fn static_event(&mut self, name: &str, probability: f64) -> Result<NodeId, FtError> {
+        if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+            return Err(FtError::InvalidProbability {
+                name: name.to_owned(),
+                probability,
+            });
+        }
+        self.insert(name, NodeKind::Basic(Behavior::Static { probability }))
+    }
+
+    /// Add an always-on dynamic basic event modelled by `chain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken.
+    pub fn dynamic_event(&mut self, name: &str, chain: Ctmc) -> Result<NodeId, FtError> {
+        self.insert(name, NodeKind::Basic(Behavior::Dynamic(chain)))
+    }
+
+    /// Add a triggered dynamic basic event modelled by `chain`. The event
+    /// must be given a triggering gate with [`FaultTreeBuilder::trigger`]
+    /// before the tree can be built.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken.
+    pub fn triggered_event(&mut self, name: &str, chain: TriggeredCtmc) -> Result<NodeId, FtError> {
+        self.insert(name, NodeKind::Basic(Behavior::Triggered(chain)))
+    }
+
+    /// Add a gate of the given kind over already-created inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken, any input id is unknown, the
+    /// input list is empty, or an at-least threshold is out of range.
+    pub fn gate<I>(&mut self, name: &str, kind: GateKind, inputs: I) -> Result<NodeId, FtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let inputs: Vec<NodeId> = inputs.into_iter().collect();
+        if inputs.is_empty() {
+            return Err(FtError::EmptyGate {
+                name: name.to_owned(),
+            });
+        }
+        for &input in &inputs {
+            self.check(input)?;
+        }
+        if let GateKind::AtLeast(k) = kind {
+            if k == 0 || k as usize > inputs.len() {
+                return Err(FtError::InvalidThreshold {
+                    name: name.to_owned(),
+                    threshold: k,
+                    inputs: inputs.len(),
+                });
+            }
+        }
+        self.insert(
+            name,
+            NodeKind::Gate {
+                kind,
+                inputs,
+                triggers: Vec::new(),
+            },
+        )
+    }
+
+    /// Add an AND gate. See [`FaultTreeBuilder::gate`] for errors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultTreeBuilder::gate`].
+    pub fn and<I>(&mut self, name: &str, inputs: I) -> Result<NodeId, FtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.gate(name, GateKind::And, inputs)
+    }
+
+    /// Add an OR gate. See [`FaultTreeBuilder::gate`] for errors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultTreeBuilder::gate`].
+    pub fn or<I>(&mut self, name: &str, inputs: I) -> Result<NodeId, FtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.gate(name, GateKind::Or, inputs)
+    }
+
+    /// Add an at-least-`k` (voting) gate. See [`FaultTreeBuilder::gate`]
+    /// for errors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultTreeBuilder::gate`].
+    pub fn atleast<I>(&mut self, name: &str, k: u32, inputs: I) -> Result<NodeId, FtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.gate(name, GateKind::AtLeast(k), inputs)
+    }
+
+    /// Declare that the failure of `gate` triggers the dynamic event
+    /// `event`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is unknown, `gate` is not a gate,
+    /// `event` is not a triggered dynamic event, or `event` already has a
+    /// triggering gate.
+    pub fn trigger(&mut self, gate: NodeId, event: NodeId) -> Result<&mut Self, FtError> {
+        self.check(gate)?;
+        self.check(event)?;
+        let gate_name = self.nodes[gate.index()].name.clone();
+        if !matches!(self.nodes[gate.index()].kind, NodeKind::Gate { .. }) {
+            return Err(FtError::KindMismatch {
+                name: gate_name,
+                expected: "a gate",
+            });
+        }
+        let event_node = &self.nodes[event.index()];
+        if !matches!(event_node.kind, NodeKind::Basic(Behavior::Triggered(_))) {
+            return Err(FtError::NotTriggerable {
+                name: event_node.name.clone(),
+            });
+        }
+        if self.trigger_source[event.index()].is_some() {
+            return Err(FtError::AlreadyTriggered {
+                name: event_node.name.clone(),
+            });
+        }
+        self.trigger_source[event.index()] = Some(gate);
+        if let NodeKind::Gate { triggers, .. } = &mut self.nodes[gate.index()].kind {
+            triggers.push(event);
+        }
+        Ok(self)
+    }
+
+    /// Designate the top gate.
+    pub fn top(&mut self, gate: NodeId) -> &mut Self {
+        self.top = Some(gate);
+        self
+    }
+
+    /// Validate and build the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no top gate was set, the top node is not a gate,
+    /// a triggered-chain event has no triggering gate, or the triggering
+    /// structure is cyclic (§III-B: the DAG enriched by reversed trigger
+    /// edges must be acyclic).
+    pub fn build(self) -> Result<FaultTree, FtError> {
+        let top = self.top.ok_or(FtError::MissingTop)?;
+        self.check(top)?;
+        if !matches!(self.nodes[top.index()].kind, NodeKind::Gate { .. }) {
+            return Err(FtError::TopNotGate);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.kind, NodeKind::Basic(Behavior::Triggered(_)))
+                && self.trigger_source[i].is_none()
+            {
+                return Err(FtError::UntriggeredTriggeredChain {
+                    name: node.name.clone(),
+                });
+            }
+        }
+        self.check_trigger_acyclic()?;
+
+        let mut dynamic_subtree = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            dynamic_subtree[i] = match &node.kind {
+                NodeKind::Basic(b) => b.is_dynamic(),
+                NodeKind::Gate { inputs, .. } => {
+                    inputs.iter().any(|inp| dynamic_subtree[inp.index()])
+                }
+            };
+        }
+
+        Ok(FaultTree {
+            nodes: self.nodes,
+            name_index: self.name_index,
+            top,
+            trigger_source: self.trigger_source,
+            dynamic_subtree,
+        })
+    }
+
+    /// Detect cycles in the graph of downward tree edges plus reversed
+    /// trigger edges (event → its triggering gate).
+    fn check_trigger_acyclic(&self) -> Result<(), FtError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.nodes.len();
+        let successors = |id: usize| -> Vec<usize> {
+            let mut out: Vec<usize> = match &self.nodes[id].kind {
+                NodeKind::Gate { inputs, .. } => inputs.iter().map(|i| i.index()).collect(),
+                NodeKind::Basic(_) => Vec::new(),
+            };
+            if let Some(g) = self.trigger_source[id] {
+                out.push(g.index());
+            }
+            out
+        };
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, next-child).
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(start, successors(start), 0)];
+            color[start] = Color::Gray;
+            while let Some((node, succs, idx)) = stack.last_mut() {
+                if *idx < succs.len() {
+                    let next = succs[*idx];
+                    *idx += 1;
+                    match color[next] {
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            let s = successors(next);
+                            stack.push((next, s, 0));
+                        }
+                        Color::Gray => {
+                            return Err(FtError::CyclicTriggering {
+                                name: self.nodes[next].name.clone(),
+                            });
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[*node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural statistics of a fault tree (see [`FaultTree::statistics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeStatistics {
+    /// Basic events (static).
+    pub static_events: usize,
+    /// Basic events (dynamic, plain or triggered).
+    pub dynamic_events: usize,
+    /// Triggered dynamic events.
+    pub triggered_events: usize,
+    /// AND gates.
+    pub and_gates: usize,
+    /// OR gates.
+    pub or_gates: usize,
+    /// At-least (voting) gates.
+    pub atleast_gates: usize,
+    /// Longest path from the top gate to a basic event (a lone basic
+    /// event under the top gives depth 1).
+    pub depth: usize,
+    /// Largest gate fan-in.
+    pub max_fan_in: usize,
+}
+
+impl FaultTree {
+    /// Structural statistics: event/gate mix, depth and fan-in.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use sdft_ft::FaultTreeBuilder;
+    /// # fn main() -> Result<(), sdft_ft::FtError> {
+    /// let mut b = FaultTreeBuilder::new();
+    /// let x = b.static_event("x", 0.1)?;
+    /// let y = b.static_event("y", 0.2)?;
+    /// let inner = b.or("inner", [x, y])?;
+    /// let top = b.and("top", [inner, x])?;
+    /// b.top(top);
+    /// let stats = b.build()?.statistics();
+    /// assert_eq!(stats.static_events, 2);
+    /// assert_eq!(stats.depth, 2);
+    /// assert_eq!(stats.max_fan_in, 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn statistics(&self) -> TreeStatistics {
+        let mut stats = TreeStatistics::default();
+        // Depth per node (ids are topological): events 0, gates
+        // 1 + max(child depth).
+        let mut depth = vec![0usize; self.len()];
+        for id in self.node_ids() {
+            match &self.nodes[id.index()].kind {
+                NodeKind::Basic(behavior) => match behavior {
+                    Behavior::Static { .. } => stats.static_events += 1,
+                    Behavior::Dynamic(_) => stats.dynamic_events += 1,
+                    Behavior::Triggered(_) => {
+                        stats.dynamic_events += 1;
+                        stats.triggered_events += 1;
+                    }
+                },
+                NodeKind::Gate { kind, inputs, .. } => {
+                    match kind {
+                        GateKind::And => stats.and_gates += 1,
+                        GateKind::Or => stats.or_gates += 1,
+                        GateKind::AtLeast(_) => stats.atleast_gates += 1,
+                    }
+                    stats.max_fan_in = stats.max_fan_in.max(inputs.len());
+                    depth[id.index()] =
+                        1 + inputs.iter().map(|i| depth[i.index()]).max().unwrap_or(0);
+                }
+            }
+        }
+        stats.depth = depth[self.top.index()];
+        stats
+    }
+}
+
+#[cfg(test)]
+mod statistics_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+
+    #[test]
+    fn statistics_count_the_example() {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        let stats = b.build().unwrap().statistics();
+        assert_eq!(stats.static_events, 3);
+        assert_eq!(stats.dynamic_events, 2);
+        assert_eq!(stats.triggered_events, 1);
+        assert_eq!(stats.and_gates, 1);
+        assert_eq!(stats.or_gates, 3);
+        assert_eq!(stats.atleast_gates, 0);
+        assert_eq!(stats.depth, 3); // cooling -> pumps -> pump1 -> a
+        assert_eq!(stats.max_fan_in, 2);
+    }
+
+    #[test]
+    fn statistics_depth_on_shared_dags() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [g1]).unwrap();
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let stats = t.statistics();
+        assert_eq!(stats.depth, 3); // top -> g2 -> g1 -> x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    /// Example 3 of the paper: pumps' failures in operation are dynamic,
+    /// pump 2 is triggered by the failure of pump 1.
+    pub(crate) fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example1_structure() {
+        let t = example1();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.num_basic_events(), 5);
+        assert_eq!(t.num_gates(), 4);
+        assert!(t.is_static());
+        assert_eq!(t.name(t.top()), "cooling");
+        let pumps = t.node_by_name("pumps").unwrap();
+        assert_eq!(t.gate_kind(pumps), Some(GateKind::And));
+        assert_eq!(t.gate_inputs(pumps).len(), 2);
+        let a = t.node_by_name("a").unwrap();
+        assert_eq!(t.static_probability(a), Some(3e-3));
+        assert!(t.gate_kind(a).is_none());
+        assert!(t.behavior(pumps).is_none());
+    }
+
+    #[test]
+    fn example3_triggers_and_dynamics() {
+        let t = example3();
+        assert!(!t.is_static());
+        let d = t.node_by_name("d").unwrap();
+        let p1 = t.node_by_name("pump1").unwrap();
+        assert_eq!(t.trigger_source(d), Some(p1));
+        assert_eq!(t.triggers_of(p1), &[d]);
+        assert_eq!(t.dynamic_basic_events().count(), 2);
+        assert!(t.is_dynamic_subtree(t.top()));
+        assert!(t.is_dynamic_subtree(p1));
+        let e = t.node_by_name("e").unwrap();
+        assert!(!t.is_dynamic_subtree(e));
+        assert!(t.triggered_chain(d).is_some());
+        assert!(t.plain_chain(t.node_by_name("b").unwrap()).is_some());
+    }
+
+    #[test]
+    fn subtree_queries() {
+        let t = example1();
+        let pumps = t.node_by_name("pumps").unwrap();
+        let events: Vec<&str> = t
+            .subtree_basic_events(pumps)
+            .iter()
+            .map(|&n| t.name(n))
+            .collect();
+        assert_eq!(events, vec!["a", "b", "c", "d"]);
+        let gates: Vec<&str> = t.subtree_gates(pumps).iter().map(|&n| t.name(n)).collect();
+        assert_eq!(gates, vec!["pump1", "pump2", "pumps"]);
+        let all: Vec<&str> = t
+            .subtree_basic_events(t.top())
+            .iter()
+            .map(|&n| t.name(n))
+            .collect();
+        assert_eq!(all, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn shared_subtrees_are_allowed() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.2).unwrap();
+        let shared = b.or("shared", [x, y]).unwrap();
+        let g1 = b.and("g1", [shared, x]).unwrap();
+        let g2 = b.and("g2", [shared, y]).unwrap();
+        let top = b.or("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(t.subtree_basic_events(t.top()).len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = FaultTreeBuilder::new();
+        b.static_event("x", 0.1).unwrap();
+        let err = b.static_event("x", 0.2);
+        assert_eq!(err, Err(FtError::DuplicateName { name: "x".into() }));
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let mut b = FaultTreeBuilder::new();
+        assert!(matches!(
+            b.static_event("x", 1.5),
+            Err(FtError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.static_event("x", f64::NAN),
+            Err(FtError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.static_event("x", -0.1),
+            Err(FtError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_gate_and_foreign_ids() {
+        let mut b = FaultTreeBuilder::new();
+        assert!(matches!(
+            b.and("g", std::iter::empty()),
+            Err(FtError::EmptyGate { .. })
+        ));
+        let phantom = NodeId::from_index(40);
+        assert!(matches!(
+            b.and("g", [phantom]),
+            Err(FtError::UnknownNode { index: 40 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        assert!(matches!(
+            b.atleast("g", 3, [x, y]),
+            Err(FtError::InvalidThreshold {
+                threshold: 3,
+                inputs: 2,
+                ..
+            })
+        ));
+        assert!(matches!(
+            b.atleast("g", 0, [x, y]),
+            Err(FtError::InvalidThreshold { threshold: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_or_invalid_top() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let b2 = b.clone();
+        assert_eq!(b2.build().unwrap_err(), FtError::MissingTop);
+        b.top(x);
+        assert_eq!(b.build().unwrap_err(), FtError::TopNotGate);
+    }
+
+    #[test]
+    fn rejects_double_trigger() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [x]).unwrap();
+        b.trigger(g1, d).unwrap();
+        assert!(matches!(
+            b.trigger(g2, d),
+            Err(FtError::AlreadyTriggered { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_triggering_static_or_plain_dynamic_events() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b
+            .dynamic_event("y", erlang::repairable(1, 1e-3, 0.0).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        assert!(matches!(
+            b.trigger(g, x),
+            Err(FtError::NotTriggerable { .. })
+        ));
+        assert!(matches!(
+            b.trigger(g, y),
+            Err(FtError::NotTriggerable { .. })
+        ));
+        assert!(matches!(b.trigger(x, y), Err(FtError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_triggered_chain_without_trigger() {
+        let mut b = FaultTreeBuilder::new();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [d]).unwrap();
+        b.top(g);
+        assert!(matches!(
+            b.build(),
+            Err(FtError::UntriggeredTriggeredChain { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cyclic_triggering() {
+        // d1 under g1, d2 under g2; g1 triggers d2 and g2 triggers d1:
+        // g1 -> d1 -> (trigger source) g2 -> d2 -> g1 is a cycle.
+        let mut b = FaultTreeBuilder::new();
+        let d1 = b
+            .triggered_event("d1", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let d2 = b
+            .triggered_event("d2", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g1 = b.or("g1", [d1]).unwrap();
+        let g2 = b.or("g2", [d2]).unwrap();
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.trigger(g1, d2).unwrap();
+        b.trigger(g2, d1).unwrap();
+        b.top(top);
+        assert!(matches!(b.build(), Err(FtError::CyclicTriggering { .. })));
+    }
+
+    #[test]
+    fn accepts_acyclic_trigger_chains() {
+        // g1 triggers d2 which is under g2; g2 triggers d3 under g3.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let d2 = b
+            .triggered_event("d2", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let d3 = b
+            .triggered_event("d3", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [d2]).unwrap();
+        let g3 = b.or("g3", [d3]).unwrap();
+        let top = b.and("top", [g1, g2, g3]).unwrap();
+        b.trigger(g1, d2).unwrap();
+        b.trigger(g2, d3).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(
+            t.trigger_source(d3),
+            Some(g3).filter(|_| false).or(Some(g2))
+        );
+    }
+
+    #[test]
+    fn node_ids_are_topological() {
+        let t = example1();
+        for g in t.gates() {
+            for &input in t.gate_inputs(g) {
+                assert!(input < g, "input {input} not before gate {g}");
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+#![warn(missing_docs)]
+
+//! Cutset-based importance measures for fault tree analysis.
+//!
+//! §VI-B of Krčál & Krčál (DSN 2015) selects which basic events to model
+//! dynamically by ranking them with the Fussell–Vesely importance factor
+//! and builds triggering chains between events of equal importance. This
+//! crate computes the standard importance measures on a minimal cutset
+//! list under the rare-event approximation:
+//!
+//! * **Fussell–Vesely** `FV(a) = Σ_{C∋a} p(C) / Σ_C p(C)` — the fraction
+//!   of risk flowing through the event,
+//! * **Birnbaum** `B(a) = ∂(Σ p(C))/∂p(a)` — the sensitivity of the risk
+//!   to the event's probability,
+//! * **Risk Achievement Worth** `RAW(a)` — risk ratio with `p(a) := 1`,
+//! * **Risk Reduction Worth** `RRW(a)` — risk ratio with `p(a) := 0`
+//!   (infinite when all risk flows through the event).
+//!
+//! The [`uncertainty`] module propagates lognormal parameter
+//! uncertainty through the same cutset list (the re-evaluation workflow
+//! the paper's conclusion highlights).
+//!
+//! # Example
+//!
+//! ```
+//! use sdft_ft::{EventProbabilities, FaultTreeBuilder};
+//! use sdft_importance::fussell_vesely_ranking;
+//! use sdft_mocus::{minimal_cutsets, MocusOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FaultTreeBuilder::new();
+//! let x = b.static_event("x", 0.01)?;
+//! let y = b.static_event("y", 0.001)?;
+//! let g = b.or("g", [x, y])?;
+//! b.top(g);
+//! let tree = b.build()?;
+//! let probs = EventProbabilities::from_static(&tree)?;
+//! let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default())?;
+//! let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+//! assert_eq!(ranking[0].0, x); // x carries ~10x more risk than y
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod uncertainty;
+
+use sdft_ft::{CutsetList, EventProbabilities, NodeId};
+use std::collections::HashMap;
+
+/// The importance measures of one basic event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImportanceReport {
+    /// The basic event.
+    pub event: NodeId,
+    /// Fussell–Vesely importance in `[0, 1]`.
+    pub fussell_vesely: f64,
+    /// Birnbaum importance (risk sensitivity).
+    pub birnbaum: f64,
+    /// Risk achievement worth (`≥ 1`).
+    pub raw: f64,
+    /// Risk reduction worth (`≥ 1`, infinite if all risk passes through
+    /// the event).
+    pub rrw: f64,
+}
+
+/// Compute the importance measures of `events` over a minimal cutset
+/// list, under the rare-event approximation.
+///
+/// Events that appear in no cutset get `FV = 0`, `B = 0`, `RAW = RRW = 1`.
+/// If the total risk is zero, `FV` is reported as zero and the risk
+/// ratios as one.
+pub fn importance<I>(
+    cutsets: &CutsetList,
+    probs: &EventProbabilities,
+    events: I,
+) -> Vec<ImportanceReport>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    // One pass over the cutsets accumulates, per event:
+    //   with[a]  = Σ_{C∋a} p(C)                  (Fussell–Vesely numerator)
+    //   deriv[a] = Σ_{C∋a} ∏_{b∈C, b≠a} p(b)     (Birnbaum)
+    let mut total = 0.0;
+    let mut with: HashMap<NodeId, f64> = HashMap::new();
+    let mut deriv: HashMap<NodeId, f64> = HashMap::new();
+    for cutset in cutsets {
+        let p = cutset.probability_with(|e| probs.get(e));
+        total += p;
+        for &a in cutset.events() {
+            *with.entry(a).or_insert(0.0) += p;
+            let rest: f64 = cutset
+                .events()
+                .iter()
+                .filter(|&&b| b != a)
+                .map(|&b| probs.get(b))
+                .product();
+            *deriv.entry(a).or_insert(0.0) += rest;
+        }
+    }
+
+    events
+        .into_iter()
+        .map(|event| {
+            let w = with.get(&event).copied().unwrap_or(0.0);
+            let d = deriv.get(&event).copied().unwrap_or(0.0);
+            if total <= 0.0 {
+                return ImportanceReport {
+                    event,
+                    fussell_vesely: 0.0,
+                    birnbaum: d,
+                    raw: 1.0,
+                    rrw: 1.0,
+                };
+            }
+            let without = total - w;
+            ImportanceReport {
+                event,
+                fussell_vesely: w / total,
+                birnbaum: d,
+                // p(a) := 1 turns every cutset containing a into its
+                // Birnbaum term.
+                raw: (without + d) / total,
+                rrw: if without > 0.0 {
+                    total / without
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect()
+}
+
+/// Rank `events` by descending Fussell–Vesely importance.
+///
+/// Ties are broken by event id, which makes the ranking deterministic —
+/// the property §VI-B relies on when building triggering chains among
+/// equally important redundant components.
+pub fn fussell_vesely_ranking<I>(
+    cutsets: &CutsetList,
+    probs: &EventProbabilities,
+    events: I,
+) -> Vec<(NodeId, f64)>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut ranked: Vec<(NodeId, f64)> = importance(cutsets, probs, events)
+        .into_iter()
+        .map(|r| (r.event, r.fussell_vesely))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_bdd::Bdd;
+    use sdft_ft::{FaultTree, FaultTreeBuilder};
+    use sdft_mocus::{minimal_cutsets, MocusOptions};
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn setup(t: &FaultTree) -> (CutsetList, EventProbabilities) {
+        let probs = EventProbabilities::from_static(t).unwrap();
+        let mcs = minimal_cutsets(t, &probs, &MocusOptions::exhaustive()).unwrap();
+        (mcs, probs)
+    }
+
+    #[test]
+    fn fussell_vesely_on_the_running_example() {
+        let t = example1();
+        let (mcs, probs) = setup(&t);
+        let a = t.node_by_name("a").unwrap();
+        let e = t.node_by_name("e").unwrap();
+        let reports = importance(&mcs, &probs, [a, e]);
+        // total = 1.9e-5; a appears in {a,c}=9e-6 and {a,d}=3e-6.
+        let total = 1.9e-5;
+        assert!((reports[0].fussell_vesely - 1.2e-5 / total).abs() < 1e-9);
+        assert!((reports[1].fussell_vesely - 3e-6 / total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn birnbaum_matches_bdd_derivative() {
+        // B(a) under the REA approximates p(top | a=1) - p(top | a=0).
+        let t = example1();
+        let (mcs, probs) = setup(&t);
+        let bdd = Bdd::new(&t).unwrap();
+        for event in t.basic_events() {
+            let mut hi = probs.clone();
+            hi.set(event, 1.0).unwrap();
+            let mut lo = probs.clone();
+            lo.set(event, 0.0).unwrap();
+            let exact = bdd.top_probability(&hi) - bdd.top_probability(&lo);
+            let report = importance(&mcs, &probs, [event])[0];
+            assert!(
+                (report.birnbaum - exact).abs() / exact.max(1e-30) < 0.02,
+                "{}: {} vs {exact}",
+                t.name(event),
+                report.birnbaum
+            );
+        }
+    }
+
+    #[test]
+    fn raw_and_rrw_are_risk_ratios() {
+        let t = example1();
+        let (mcs, probs) = setup(&t);
+        let total = mcs.rare_event_approximation(|e| probs.get(e));
+        for event in t.basic_events() {
+            let report = importance(&mcs, &probs, [event])[0];
+            let mut hi = probs.clone();
+            hi.set(event, 1.0).unwrap();
+            let raw_direct = mcs.rare_event_approximation(|e| hi.get(e)) / total;
+            assert!((report.raw - raw_direct).abs() < 1e-9, "{}", t.name(event));
+            let mut lo = probs.clone();
+            lo.set(event, 0.0).unwrap();
+            let rrw_direct = total / mcs.rare_event_approximation(|e| lo.get(e));
+            assert!((report.rrw - rrw_direct).abs() < 1e-9, "{}", t.name(event));
+            assert!(report.raw >= 1.0 && report.rrw >= 1.0);
+        }
+    }
+
+    #[test]
+    fn single_point_of_failure_has_infinite_rrw() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.01).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let (mcs, probs) = setup(&t);
+        let report = importance(&mcs, &probs, [x])[0];
+        assert_eq!(report.fussell_vesely, 1.0);
+        assert_eq!(report.rrw, f64::INFINITY);
+    }
+
+    #[test]
+    fn ranking_orders_by_risk_and_breaks_ties_by_id() {
+        let t = example1();
+        let (mcs, probs) = setup(&t);
+        let ranking = fussell_vesely_ranking(&mcs, &probs, t.basic_events());
+        assert_eq!(ranking.len(), 5);
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        // a and c are symmetric (both 3e-3, same cutset structure): the
+        // tie breaks by id.
+        let a = t.node_by_name("a").unwrap();
+        let c = t.node_by_name("c").unwrap();
+        let pa = ranking.iter().position(|&(e, _)| e == a).unwrap();
+        let pc = ranking.iter().position(|&(e, _)| e == c).unwrap();
+        assert!(pa < pc);
+        assert!((ranking[pa].1 - ranking[pc].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cutset_list_yields_neutral_measures() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let empty = CutsetList::new();
+        let a = t.node_by_name("a").unwrap();
+        let report = importance(&empty, &probs, [a])[0];
+        assert_eq!(report.fussell_vesely, 0.0);
+        assert_eq!(report.raw, 1.0);
+        assert_eq!(report.rrw, 1.0);
+    }
+}

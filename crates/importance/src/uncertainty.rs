@@ -1,0 +1,290 @@
+//! Monte-Carlo uncertainty propagation over a minimal cutset list.
+//!
+//! PSA practice attaches an uncertainty distribution — typically
+//! lognormal with an *error factor* `EF` (the ratio of the 95th
+//! percentile to the median) — to every basic event probability. The
+//! paper's closing remark points out that importance and uncertainty
+//! analyses re-evaluate the cutset list many times; this module does
+//! exactly that: sample parameter vectors, re-evaluate the rare-event
+//! approximation per sample, and report percentiles of the top-event
+//! frequency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdft_ft::{CutsetList, EventProbabilities, FaultTree, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A lognormal uncertainty on one event's probability, parameterized by
+/// the error factor `EF = p95 / p50` (so `σ = ln(EF) / 1.645`); the
+/// event's point probability is used as the median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorFactor(f64);
+
+impl ErrorFactor {
+    /// Create an error factor; must be `≥ 1` and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending value if it is below one or not finite.
+    pub fn new(ef: f64) -> Result<Self, f64> {
+        if ef.is_finite() && ef >= 1.0 {
+            Ok(ErrorFactor(ef))
+        } else {
+            Err(ef)
+        }
+    }
+
+    /// The underlying factor.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    fn sigma(self) -> f64 {
+        self.0.ln() / 1.644_853_626_951_472_6
+    }
+}
+
+impl fmt::Display for ErrorFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EF {}", self.0)
+    }
+}
+
+/// Options for the uncertainty analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintyOptions {
+    /// Number of parameter samples.
+    pub samples: usize,
+    /// RNG seed (the analysis is deterministic given the seed).
+    pub seed: u64,
+    /// Error factor applied to events without an explicit one.
+    pub default_error_factor: ErrorFactor,
+}
+
+impl Default for UncertaintyOptions {
+    fn default() -> Self {
+        UncertaintyOptions {
+            samples: 10_000,
+            seed: 0x0EF,
+            default_error_factor: ErrorFactor(3.0),
+        }
+    }
+}
+
+/// Percentile summary of the sampled top-event frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintyResult {
+    /// Mean of the sampled frequencies.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// The point estimate with the nominal probabilities.
+    pub point: f64,
+}
+
+impl fmt::Display for UncertaintyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point {:.3e}, mean {:.3e}, 5%/50%/95% = {:.3e}/{:.3e}/{:.3e}",
+            self.point, self.mean, self.p05, self.p50, self.p95
+        )
+    }
+}
+
+/// Propagate lognormal parameter uncertainty through the rare-event
+/// approximation of a cutset list.
+///
+/// `error_factors` overrides the default error factor per event. Events
+/// with zero nominal probability stay at zero. Sampled probabilities are
+/// clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `options.samples` is zero.
+#[must_use]
+pub fn propagate(
+    tree: &FaultTree,
+    cutsets: &CutsetList,
+    probs: &EventProbabilities,
+    error_factors: &HashMap<NodeId, ErrorFactor>,
+    options: &UncertaintyOptions,
+) -> UncertaintyResult {
+    assert!(options.samples > 0, "at least one sample required");
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    // Only the events appearing in cutsets matter.
+    let mut relevant: Vec<NodeId> = Vec::new();
+    {
+        let mut seen = vec![false; tree.len()];
+        for cutset in cutsets {
+            for &e in cutset.events() {
+                if !std::mem::replace(&mut seen[e.index()], true) {
+                    relevant.push(e);
+                }
+            }
+        }
+    }
+    let point = cutsets.rare_event_approximation(|e| probs.get(e));
+
+    let mut sampled = probs.clone();
+    let mut frequencies: Vec<f64> = Vec::with_capacity(options.samples);
+    for _ in 0..options.samples {
+        for &event in &relevant {
+            let median = probs.get(event);
+            if median <= 0.0 {
+                continue;
+            }
+            let sigma = error_factors
+                .get(&event)
+                .copied()
+                .unwrap_or(options.default_error_factor)
+                .sigma();
+            let z = standard_normal(&mut rng);
+            let value = (median.ln() + sigma * z).exp().clamp(0.0, 1.0);
+            sampled
+                .set(event, value)
+                .expect("clamped probability is valid");
+        }
+        frequencies.push(cutsets.rare_event_approximation(|e| sampled.get(e)));
+    }
+    frequencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = frequencies.iter().sum::<f64>() / frequencies.len() as f64;
+    let pct = |q: f64| -> f64 {
+        let idx = ((frequencies.len() as f64 - 1.0) * q).round() as usize;
+        frequencies[idx]
+    };
+    UncertaintyResult {
+        mean,
+        p05: pct(0.05),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        point,
+    }
+}
+
+/// A standard normal draw by Box–Muller (keeps the dependency surface at
+/// plain `rand`).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+    use sdft_mocus::{minimal_cutsets, MocusOptions};
+
+    fn setup() -> (FaultTree, CutsetList, EventProbabilities) {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 1e-3).unwrap();
+        let y = b.static_event("y", 2e-3).unwrap();
+        let z = b.static_event("z", 5e-4).unwrap();
+        let g1 = b.and("g1", [x, y]).unwrap();
+        let top = b.or("top", [g1, z]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
+        (t, mcs, probs)
+    }
+
+    #[test]
+    fn error_factor_validation() {
+        assert!(ErrorFactor::new(1.0).is_ok());
+        assert!(ErrorFactor::new(10.0).is_ok());
+        assert_eq!(ErrorFactor::new(0.5), Err(0.5));
+        assert!(ErrorFactor::new(f64::NAN).is_err());
+        assert!(ErrorFactor::new(f64::INFINITY).is_err());
+        assert_eq!(ErrorFactor::new(3.0).unwrap().value(), 3.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_point_estimate() {
+        let (t, mcs, probs) = setup();
+        let result = propagate(
+            &t,
+            &mcs,
+            &probs,
+            &HashMap::new(),
+            &UncertaintyOptions {
+                samples: 5_000,
+                ..UncertaintyOptions::default()
+            },
+        );
+        assert!(result.p05 < result.p50 && result.p50 < result.p95);
+        assert!(result.p05 < result.point && result.point < result.p95);
+        // Lognormal sampling is right-skewed: mean above median.
+        assert!(result.mean > result.p50);
+        // The median of the sampled REA is near the point estimate.
+        assert!((result.p50 / result.point).ln().abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (t, mcs, probs) = setup();
+        let opts = UncertaintyOptions {
+            samples: 500,
+            ..UncertaintyOptions::default()
+        };
+        let a = propagate(&t, &mcs, &probs, &HashMap::new(), &opts);
+        let b = propagate(&t, &mcs, &probs, &HashMap::new(), &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_error_factor_widens_the_band() {
+        let (t, mcs, probs) = setup();
+        let narrow = propagate(
+            &t,
+            &mcs,
+            &probs,
+            &HashMap::new(),
+            &UncertaintyOptions {
+                samples: 3_000,
+                default_error_factor: ErrorFactor::new(1.5).unwrap(),
+                ..UncertaintyOptions::default()
+            },
+        );
+        let wide = propagate(
+            &t,
+            &mcs,
+            &probs,
+            &HashMap::new(),
+            &UncertaintyOptions {
+                samples: 3_000,
+                default_error_factor: ErrorFactor::new(10.0).unwrap(),
+                ..UncertaintyOptions::default()
+            },
+        );
+        assert!(wide.p95 / wide.p05 > narrow.p95 / narrow.p05);
+    }
+
+    #[test]
+    fn per_event_overrides_apply() {
+        let (t, mcs, probs) = setup();
+        let z = t.node_by_name("z").unwrap();
+        // z dominates the REA; pinning its EF to ~1 collapses the band.
+        let mut overrides = HashMap::new();
+        overrides.insert(z, ErrorFactor::new(1.0001).unwrap());
+        let pinned = propagate(
+            &t,
+            &mcs,
+            &probs,
+            &overrides,
+            &UncertaintyOptions {
+                samples: 3_000,
+                default_error_factor: ErrorFactor::new(1.0001).unwrap(),
+                ..UncertaintyOptions::default()
+            },
+        );
+        assert!((pinned.p95 - pinned.p05) / pinned.p50 < 0.01);
+    }
+}

@@ -1,0 +1,930 @@
+use crate::assumptions::Assumptions;
+use crate::error::MocusError;
+use crate::options::MocusOptions;
+use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
+
+/// Generate the minimal cutsets of `tree` above the configured cutoff.
+///
+/// Dynamic basic events are treated statically through the probabilities
+/// in `probs` (for SD fault trees: the worst-case probabilities of §V-B2);
+/// trigger edges are ignored — callers analysing SD trees first translate
+/// triggers into AND gates (§V-B1), as `sdft-core` does.
+///
+/// # Errors
+///
+/// Returns an error if the cutoff is invalid or a safety budget in
+/// `options` is exceeded.
+pub fn minimal_cutsets(
+    tree: &FaultTree,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+) -> Result<CutsetList, MocusError> {
+    minimal_cutsets_with(tree, probs, options, &Assumptions::new(tree))
+}
+
+/// Like [`minimal_cutsets`], but with truth-value assumptions substituted
+/// into the tree: events assumed failed never appear in cutsets (they are
+/// already satisfied), events assumed functional kill any requirement on
+/// them.
+///
+/// # Errors
+///
+/// Returns an error if an assumption is placed on a gate, the cutoff is
+/// invalid, or a safety budget in `options` is exceeded.
+pub fn minimal_cutsets_with(
+    tree: &FaultTree,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+    assumptions: &Assumptions,
+) -> Result<CutsetList, MocusError> {
+    minimal_cutsets_rooted(tree, tree.top(), probs, options, assumptions)
+}
+
+/// Like [`minimal_cutsets_with`], but for the function of an arbitrary
+/// node instead of the top gate. Used by the SD analysis to compute the
+/// minimal failing subsets of a *triggering* gate (§V-C step 2).
+///
+/// # Errors
+///
+/// Same as [`minimal_cutsets_with`].
+pub fn minimal_cutsets_rooted(
+    tree: &FaultTree,
+    root: NodeId,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+    assumptions: &Assumptions,
+) -> Result<CutsetList, MocusError> {
+    if let Some(c) = options.cutoff {
+        if !c.is_finite() || c < 0.0 {
+            return Err(MocusError::InvalidCutoff { cutoff: c });
+        }
+    }
+    assumptions.validate(tree)?;
+    Engine::new(tree, probs, options, assumptions).run(root)
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    /// Basic events chosen to fail, sorted by id.
+    events: Vec<NodeId>,
+    /// Gates that still need to fail, used as a stack.
+    gates: Vec<NodeId>,
+    /// Product of the probabilities of `events`.
+    prob: f64,
+}
+
+enum Outcome {
+    Alive,
+    Dead,
+}
+
+struct Engine<'a> {
+    tree: &'a FaultTree,
+    probs: &'a EventProbabilities,
+    options: &'a MocusOptions,
+    assumptions: &'a Assumptions,
+    /// Per node: the largest probability of any single way to fail it
+    /// (OR → max over inputs, AND → product, respecting assumptions).
+    /// Used for look-ahead pruning; empty when the cutoff is disabled.
+    upper_bound: Vec<f64>,
+    /// Dense event index per node (`usize::MAX` for gates).
+    event_index: Vec<usize>,
+    /// Per node: bitmask over dense event indices of its subtree; empty
+    /// when the cutoff is disabled.
+    masks: Vec<Vec<u64>>,
+    /// Scratch bitset for the disjointness test in `within_bounds`.
+    scratch: Vec<u64>,
+    /// Scratch list for sorting pending gates by upper bound.
+    gate_scratch: Vec<NodeId>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        tree: &'a FaultTree,
+        probs: &'a EventProbabilities,
+        options: &'a MocusOptions,
+        assumptions: &'a Assumptions,
+    ) -> Self {
+        let mut event_index = vec![usize::MAX; tree.len()];
+        let mut num_events = 0;
+        for event in tree.basic_events() {
+            event_index[event.index()] = num_events;
+            num_events += 1;
+        }
+        let words = num_events.div_ceil(64);
+
+        let (upper_bound, masks) = if options.cutoff.is_some() && options.lookahead {
+            let mut ub = vec![0.0f64; tree.len()];
+            let mut masks: Vec<Vec<u64>> = vec![Vec::new(); tree.len()];
+            // Node ids are topological (inputs precede gates).
+            for id in tree.node_ids() {
+                let i = id.index();
+                if tree.is_basic(id) {
+                    ub[i] = if assumptions.is_failed(id) {
+                        1.0
+                    } else if assumptions.is_ok(id) {
+                        0.0
+                    } else {
+                        probs.get(id)
+                    };
+                    let mut mask = vec![0u64; words];
+                    let e = event_index[i];
+                    mask[e / 64] |= 1 << (e % 64);
+                    masks[i] = mask;
+                } else {
+                    let inputs = tree.gate_inputs(id);
+                    // Shared subtrees make naive products unsound (a
+                    // completion can reuse one event for several
+                    // children), so products only multiply children with
+                    // pairwise-disjoint subtrees; overlapping children
+                    // contribute a factor of 1.
+                    ub[i] = match tree.gate_kind(id).expect("gate") {
+                        GateKind::Or => inputs.iter().map(|c| ub[c.index()]).fold(0.0, f64::max),
+                        GateKind::And => {
+                            let mut order: Vec<&NodeId> = inputs.iter().collect();
+                            order.sort_by(|a, b| {
+                                ub[a.index()]
+                                    .partial_cmp(&ub[b.index()])
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            let mut union = vec![0u64; words];
+                            let mut product = 1.0;
+                            for c in order {
+                                let mask = &masks[c.index()];
+                                if mask.iter().zip(&union).all(|(m, u)| m & u == 0) {
+                                    product *= ub[c.index()];
+                                    for (u, m) in union.iter_mut().zip(mask) {
+                                        *u |= m;
+                                    }
+                                }
+                            }
+                            product
+                        }
+                        GateKind::AtLeast(k) => {
+                            let k = k as usize;
+                            let mut ubs: Vec<f64> = inputs.iter().map(|c| ub[c.index()]).collect();
+                            ubs.sort_by(|a, b| {
+                                b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            let pairwise_disjoint = inputs.iter().enumerate().all(|(x, a)| {
+                                inputs.iter().skip(x + 1).all(|b| {
+                                    masks[a.index()]
+                                        .iter()
+                                        .zip(&masks[b.index()])
+                                        .all(|(ma, mb)| ma & mb == 0)
+                                })
+                            });
+                            if pairwise_disjoint {
+                                // Any k-subset's product is at most the
+                                // product of the k largest bounds.
+                                ubs.iter().take(k).product()
+                            } else {
+                                // Any satisfied k-subset contains a child
+                                // whose bound is at most the k-th largest.
+                                ubs.get(k - 1).copied().unwrap_or(0.0)
+                            }
+                        }
+                    };
+                    let mut mask = vec![0u64; words];
+                    for c in inputs {
+                        for (w, m) in mask.iter_mut().zip(&masks[c.index()]) {
+                            *w |= m;
+                        }
+                    }
+                    masks[i] = mask;
+                }
+            }
+            (ub, masks)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        Engine {
+            tree,
+            probs,
+            options,
+            assumptions,
+            upper_bound,
+            event_index,
+            masks,
+            scratch: vec![0u64; words],
+            gate_scratch: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, root: NodeId) -> Result<CutsetList, MocusError> {
+        let tree = self.tree;
+        // A basic-event root degenerates to a single obligation.
+        let initial = if tree.is_basic(root) {
+            if self.assumptions.is_failed(root) {
+                return Ok(CutsetList::from_vec(vec![Cutset::new(std::iter::empty())]));
+            }
+            if self.assumptions.is_ok(root) {
+                return Ok(CutsetList::new());
+            }
+            Partial {
+                events: vec![root],
+                gates: Vec::new(),
+                prob: self.probs.get(root),
+            }
+        } else {
+            Partial {
+                events: Vec::new(),
+                gates: vec![root],
+                prob: 1.0,
+            }
+        };
+        if !self.within_bounds(&initial) {
+            return Ok(CutsetList::new());
+        }
+        let mut stack = vec![initial];
+        let mut found = CutsetList::new();
+        let mut processed: usize = 0;
+        while let Some(mut partial) = stack.pop() {
+            processed += 1;
+            if processed > self.options.max_partials {
+                return Err(MocusError::TooManyPartials {
+                    limit: self.options.max_partials,
+                });
+            }
+            let Some(gate) = partial.gates.pop() else {
+                found.push(Cutset::new(partial.events));
+                if found.len() > self.options.max_cutsets {
+                    return Err(MocusError::TooManyCutsets {
+                        limit: self.options.max_cutsets,
+                    });
+                }
+                continue;
+            };
+            match tree.gate_kind(gate).expect("pending nodes are gates") {
+                GateKind::And => {
+                    let mut alive = true;
+                    for &child in tree.gate_inputs(gate) {
+                        if matches!(self.add_child(&mut partial, child), Outcome::Dead) {
+                            alive = false;
+                            break;
+                        }
+                    }
+                    if alive && self.within_bounds(&partial) {
+                        stack.push(partial);
+                    }
+                }
+                GateKind::Or => {
+                    // If any input is an event assumed failed, the gate is
+                    // already failed and the obligation simply drops.
+                    let satisfied = tree
+                        .gate_inputs(gate)
+                        .iter()
+                        .any(|&c| tree.is_basic(c) && self.assumptions.is_failed(c));
+                    if satisfied {
+                        stack.push(partial);
+                        continue;
+                    }
+                    for &child in tree.gate_inputs(gate) {
+                        if tree.is_basic(child) && self.assumptions.is_ok(child) {
+                            continue;
+                        }
+                        let mut branch = partial.clone();
+                        if matches!(self.add_child(&mut branch, child), Outcome::Alive)
+                            && self.within_bounds(&branch)
+                        {
+                            stack.push(branch);
+                        }
+                    }
+                }
+                GateKind::AtLeast(k) => {
+                    self.expand_atleast(gate, k as usize, partial, &mut stack)?;
+                }
+            }
+        }
+        Ok(found.minimize())
+    }
+
+    /// Add one child requirement to a partial cutset.
+    fn add_child(&mut self, partial: &mut Partial, child: NodeId) -> Outcome {
+        if self.tree.is_gate(child) {
+            if !partial.gates.contains(&child) {
+                partial.gates.push(child);
+            }
+            return Outcome::Alive;
+        }
+        if self.assumptions.is_failed(child) {
+            return Outcome::Alive; // already satisfied, contributes nothing
+        }
+        if self.assumptions.is_ok(child) {
+            return Outcome::Dead; // requirement can never be met
+        }
+        if let Err(pos) = partial.events.binary_search(&child) {
+            partial.events.insert(pos, child);
+            partial.prob *= self.probs.get(child);
+        }
+        Outcome::Alive
+    }
+
+    /// Whether a partial cutset survives the cutoff and order limits.
+    ///
+    /// Beyond the plain probability test, a look-ahead bound prunes
+    /// partials whose pending gates can no longer produce a cutset above
+    /// the cutoff: each pending gate whose subtree is disjoint from the
+    /// chosen events *and* from the other counted subtrees contributes at
+    /// most its best single completion (`upper_bound`), so the product is
+    /// a sound upper bound on any refinement of the partial.
+    fn within_bounds(&mut self, partial: &Partial) -> bool {
+        if let Some(max_order) = self.options.max_order {
+            if partial.events.len() > max_order {
+                return false;
+            }
+        }
+        let Some(cutoff) = self.options.cutoff else {
+            return true;
+        };
+        if partial.prob <= cutoff {
+            return false;
+        }
+        if partial.gates.is_empty() || self.masks.is_empty() {
+            return true;
+        }
+        // Greedy disjoint look-ahead: cheapest gates first for the
+        // earliest possible exit.
+        self.gate_scratch.clear();
+        self.gate_scratch.extend_from_slice(&partial.gates);
+        let ub = &self.upper_bound;
+        self.gate_scratch.sort_by(|a, b| {
+            ub[a.index()]
+                .partial_cmp(&ub[b.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.scratch.fill(0);
+        for &event in &partial.events {
+            let e = self.event_index[event.index()];
+            self.scratch[e / 64] |= 1 << (e % 64);
+        }
+        let mut bound = partial.prob;
+        for i in 0..self.gate_scratch.len() {
+            let gate = self.gate_scratch[i];
+            let mask = &self.masks[gate.index()];
+            let disjoint = mask.iter().zip(&self.scratch).all(|(m, s)| m & s == 0);
+            if disjoint {
+                bound *= ub[gate.index()];
+                if bound <= cutoff {
+                    return false;
+                }
+                for (s, m) in self.scratch.iter_mut().zip(mask) {
+                    *s |= m;
+                }
+            }
+        }
+        true
+    }
+
+    fn expand_atleast(
+        &mut self,
+        gate: NodeId,
+        k: usize,
+        partial: Partial,
+        stack: &mut Vec<Partial>,
+    ) -> Result<(), MocusError> {
+        // Assumptions reduce the voting problem: failed inputs lower the
+        // threshold, functional inputs leave the candidate pool.
+        let tree = self.tree;
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let mut threshold = k;
+        for &child in tree.gate_inputs(gate) {
+            if tree.is_basic(child) {
+                if self.assumptions.is_failed(child) {
+                    threshold = threshold.saturating_sub(1);
+                    continue;
+                }
+                if self.assumptions.is_ok(child) {
+                    continue;
+                }
+            }
+            candidates.push(child);
+        }
+        if threshold == 0 {
+            stack.push(partial);
+            return Ok(());
+        }
+        if threshold > candidates.len() {
+            return Ok(()); // dead: not enough inputs can still fail
+        }
+        let combos = binomial(candidates.len() as u128, threshold as u128);
+        if combos > self.options.max_combinations {
+            return Err(MocusError::CombinationLimit {
+                gate: tree.name(gate).to_owned(),
+                combinations: combos,
+            });
+        }
+        // Enumerate all threshold-sized subsets of the candidates.
+        let mut indices: Vec<usize> = (0..threshold).collect();
+        loop {
+            let mut branch = partial.clone();
+            let mut alive = true;
+            for &i in &indices {
+                if matches!(self.add_child(&mut branch, candidates[i]), Outcome::Dead) {
+                    alive = false;
+                    break;
+                }
+            }
+            if alive && self.within_bounds(&branch) {
+                stack.push(branch);
+            }
+            // Advance to the next combination in lexicographic order.
+            let mut pos = threshold;
+            while pos > 0 {
+                pos -= 1;
+                if indices[pos] != pos + candidates.len() - threshold {
+                    indices[pos] += 1;
+                    for j in pos + 1..threshold {
+                        indices[j] = indices[j - 1] + 1;
+                    }
+                    break;
+                }
+                if pos == 0 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ft::{FaultTreeBuilder, Scenario};
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    fn mcs_names(tree: &FaultTree, list: &CutsetList) -> Vec<Vec<String>> {
+        let mut v: Vec<Vec<String>> = list
+            .iter()
+            .map(|c| {
+                c.events()
+                    .iter()
+                    .map(|&e| tree.name(e).to_owned())
+                    .collect()
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Brute-force minimal cutsets by enumerating all scenarios.
+    fn brute_force_mcs(tree: &FaultTree) -> Vec<Vec<String>> {
+        let events: Vec<NodeId> = tree.basic_events().collect();
+        assert!(events.len() <= 16);
+        let mut failing: Vec<u32> = Vec::new();
+        for mask in 0u32..(1 << events.len()) {
+            let scenario = Scenario::from_events(
+                tree,
+                events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &e)| e),
+            );
+            if tree.fails(tree.top(), &scenario) {
+                failing.push(mask);
+            }
+        }
+        let mut minimal: Vec<u32> = Vec::new();
+        for &m in &failing {
+            if !failing.iter().any(|&o| o != m && o & m == o) {
+                minimal.push(m);
+            }
+        }
+        let mut out: Vec<Vec<String>> = minimal
+            .iter()
+            .map(|&m| {
+                events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| m >> i & 1 == 1)
+                    .map(|(_, &e)| tree.name(e).to_owned())
+                    .collect()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn example7_minimal_cutsets() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::default()).unwrap();
+        assert_eq!(
+            mcs_names(&t, &mcs),
+            vec![
+                vec!["a".to_owned(), "c".to_owned()],
+                vec!["a".to_owned(), "d".to_owned()],
+                vec!["b".to_owned(), "c".to_owned()],
+                vec!["b".to_owned(), "d".to_owned()],
+                vec!["e".to_owned()],
+            ]
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_example1() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
+        assert_eq!(mcs_names(&t, &mcs), brute_force_mcs(&t));
+    }
+
+    #[test]
+    fn cutoff_prunes_low_probability_cutsets() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        // 5e-6 keeps only {a,c} (9e-6); {e} is 3e-6, {a,d},{b,c} are 3e-6,
+        // {b,d} is 1e-6.
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::with_cutoff(5e-6)).unwrap();
+        assert_eq!(
+            mcs_names(&t, &mcs),
+            vec![vec!["a".to_owned(), "c".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn max_order_keeps_only_short_cutsets() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let opts = MocusOptions {
+            max_order: Some(1),
+            ..MocusOptions::exhaustive()
+        };
+        let mcs = minimal_cutsets(&t, &probs, &opts).unwrap();
+        assert_eq!(mcs_names(&t, &mcs), vec![vec!["e".to_owned()]]);
+    }
+
+    #[test]
+    fn rare_event_approximation_matches_paper_structure() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::default()).unwrap();
+        let rea = mcs.rare_event_approximation(|e| probs.get(e));
+        // Σ = 3e-6 + 9e-6 + 3e-6 + 3e-6 + 1e-6 = 1.9e-5
+        assert!((rea - 1.9e-5).abs() < 1e-12);
+        // REA over-approximates the exact probability.
+        let exact = t.exact_static_probability().unwrap();
+        assert!(rea >= exact);
+        assert!((rea - exact) / exact < 0.01);
+    }
+
+    #[test]
+    fn atleast_gate_produces_pairs() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let g = b.atleast("g", 2, [x, y, z]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
+        assert_eq!(mcs.len(), 3);
+        assert_eq!(mcs_names(&t, &mcs), brute_force_mcs(&t));
+    }
+
+    #[test]
+    fn atleast_gate_with_cutoff_keeps_reachable_combos() {
+        // The look-ahead bound must respect voting gates: 2-of-3 with
+        // probabilities 0.1 has best pair 0.01.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.01).unwrap();
+        let g = b.atleast("g", 2, [x, y, z]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::with_cutoff(5e-3)).unwrap();
+        assert_eq!(
+            mcs_names(&t, &mcs),
+            vec![vec!["x".to_owned(), "y".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn shared_subtree_events_deduplicate() {
+        // AND(OR(x,y), x): with x failed both hold, so {x} is the single
+        // MCS.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let g = b.or("g", [x, y]).unwrap();
+        let top = b.and("top", [g, x]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
+        assert_eq!(mcs_names(&t, &mcs), vec![vec!["x".to_owned()]]);
+        assert_eq!(mcs_names(&t, &mcs), brute_force_mcs(&t));
+    }
+
+    #[test]
+    fn shared_events_with_cutoff_are_not_over_pruned() {
+        // top = AND(g1, g2) with g1 = OR(x), g2 = OR(x): the only MCS is
+        // {x} with probability p(x). A naive lookahead product
+        // p(x)·p(x) = 1e-4 would wrongly prune it under a 1e-3 cutoff;
+        // the disjointness test must prevent that.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.01).unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [x]).unwrap();
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::with_cutoff(1e-3)).unwrap();
+        assert_eq!(mcs_names(&t, &mcs), vec![vec!["x".to_owned()]]);
+    }
+
+    #[test]
+    fn lookahead_prunes_unreachable_branches() {
+        // AND of two independent pairs: every cutset has probability
+        // 1e-4 · 1e-4 = 1e-8; a 1e-6 cutoff keeps nothing, and the bound
+        // must discover this before expanding the whole product.
+        let mut b = FaultTreeBuilder::new();
+        let x1 = b.static_event("x1", 1e-4).unwrap();
+        let x2 = b.static_event("x2", 1e-4).unwrap();
+        let y1 = b.static_event("y1", 1e-4).unwrap();
+        let y2 = b.static_event("y2", 1e-4).unwrap();
+        let g1 = b.or("g1", [x1, x2]).unwrap();
+        let g2 = b.or("g2", [y1, y2]).unwrap();
+        let top = b.and("top", [g1, g2]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let opts = MocusOptions {
+            max_partials: 3,
+            ..MocusOptions::with_cutoff(1e-6)
+        };
+        // With the bound, the initial partial dies immediately — well
+        // within the tiny partial budget.
+        let mcs = minimal_cutsets(&t, &probs, &opts).unwrap();
+        assert!(mcs.is_empty());
+    }
+
+    #[test]
+    fn assumptions_restrict_the_function() {
+        // AND(x, OR(y, z)): assuming y failed leaves {x}; assuming y and z
+        // functional leaves nothing.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let g = b.or("g", [y, z]).unwrap();
+        let top = b.and("top", [x, g]).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+
+        let mut assume = Assumptions::new(&t);
+        assume.assume_failed(y).unwrap();
+        let mcs = minimal_cutsets_with(&t, &probs, &MocusOptions::exhaustive(), &assume).unwrap();
+        assert_eq!(mcs_names(&t, &mcs), vec![vec!["x".to_owned()]]);
+
+        let mut assume = Assumptions::new(&t);
+        assume.assume_ok(y).unwrap();
+        assume.assume_ok(z).unwrap();
+        let mcs = minimal_cutsets_with(&t, &probs, &MocusOptions::exhaustive(), &assume).unwrap();
+        assert!(mcs.is_empty());
+    }
+
+    #[test]
+    fn assumptions_on_atleast_adjust_threshold() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let y = b.static_event("y", 0.1).unwrap();
+        let z = b.static_event("z", 0.1).unwrap();
+        let g = b.atleast("g", 2, [x, y, z]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+
+        let mut assume = Assumptions::new(&t);
+        assume.assume_failed(x).unwrap();
+        let mcs = minimal_cutsets_with(&t, &probs, &MocusOptions::exhaustive(), &assume).unwrap();
+        // One more failure suffices.
+        assert_eq!(
+            mcs_names(&t, &mcs),
+            vec![vec!["y".to_owned()], vec!["z".to_owned()]]
+        );
+
+        let mut assume = Assumptions::new(&t);
+        assume.assume_ok(x).unwrap();
+        assume.assume_ok(y).unwrap();
+        let mcs = minimal_cutsets_with(&t, &probs, &MocusOptions::exhaustive(), &assume).unwrap();
+        // 2-of-3 with two inputs functional can never fail.
+        assert!(mcs.is_empty());
+    }
+
+    #[test]
+    fn rooted_generation_works_on_gates_and_events() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let p1 = t.node_by_name("pump1").unwrap();
+        let mcs = minimal_cutsets_rooted(
+            &t,
+            p1,
+            &probs,
+            &MocusOptions::exhaustive(),
+            &Assumptions::new(&t),
+        )
+        .unwrap();
+        assert_eq!(
+            mcs_names(&t, &mcs),
+            vec![vec!["a".to_owned()], vec!["b".to_owned()]]
+        );
+        // An event root yields the singleton cutset.
+        let a = t.node_by_name("a").unwrap();
+        let mcs = minimal_cutsets_rooted(
+            &t,
+            a,
+            &probs,
+            &MocusOptions::exhaustive(),
+            &Assumptions::new(&t),
+        )
+        .unwrap();
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs.get(0).unwrap().events(), &[a]);
+        // An assumed-failed event root yields the empty cutset.
+        let mut assume = Assumptions::new(&t);
+        assume.assume_failed(a).unwrap();
+        let mcs =
+            minimal_cutsets_rooted(&t, a, &probs, &MocusOptions::exhaustive(), &assume).unwrap();
+        assert_eq!(mcs.len(), 1);
+        assert!(mcs.get(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn conflicting_assumptions_are_rejected() {
+        let t = example1();
+        let x = t.node_by_name("a").unwrap();
+        let mut assume = Assumptions::new(&t);
+        assume.assume_failed(x).unwrap();
+        assert!(matches!(
+            assume.assume_ok(x),
+            Err(MocusError::ConflictingAssumption { .. })
+        ));
+    }
+
+    #[test]
+    fn assumptions_on_gates_are_rejected() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let g = t.node_by_name("pumps").unwrap();
+        let mut assume = Assumptions::new(&t);
+        assume.assume_failed(g).unwrap(); // not validated until use
+        assert!(matches!(
+            minimal_cutsets_with(&t, &probs, &MocusOptions::default(), &assume),
+            Err(MocusError::AssumptionOnGate { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_cutoff_and_enforces_budgets() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        assert!(matches!(
+            minimal_cutsets(&t, &probs, &MocusOptions::with_cutoff(f64::NAN)),
+            Err(MocusError::InvalidCutoff { .. })
+        ));
+        let opts = MocusOptions {
+            max_partials: 2,
+            ..MocusOptions::exhaustive()
+        };
+        assert!(matches!(
+            minimal_cutsets(&t, &probs, &opts),
+            Err(MocusError::TooManyPartials { limit: 2 })
+        ));
+        let opts = MocusOptions {
+            max_cutsets: 1,
+            ..MocusOptions::exhaustive()
+        };
+        assert!(matches!(
+            minimal_cutsets(&t, &probs, &opts),
+            Err(MocusError::TooManyCutsets { limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn deep_and_chain_produces_single_cutset() {
+        let mut b = FaultTreeBuilder::new();
+        let mut inputs = Vec::new();
+        for i in 0..50 {
+            inputs.push(b.static_event(&format!("e{i}"), 0.5).unwrap());
+        }
+        let mut gate = b.and("g0", [inputs[0], inputs[1]]).unwrap();
+        for (i, &e) in inputs.iter().enumerate().skip(2) {
+            gate = b.and(&format!("g{}", i - 1), [gate, e]).unwrap();
+        }
+        b.top(gate);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs.get(0).unwrap().order(), 50);
+    }
+}
+
+#[cfg(test)]
+mod lookahead_tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+
+    #[test]
+    fn disabling_lookahead_changes_nothing_semantically() {
+        let mut b = FaultTreeBuilder::new();
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            let x = b.static_event(&format!("x{i}"), 1e-2).unwrap();
+            let y = b.static_event(&format!("y{i}"), 1e-3).unwrap();
+            pairs.push(b.or(&format!("g{i}"), [x, y]).unwrap());
+        }
+        let top = b.and("top", pairs).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let with = minimal_cutsets(&t, &probs, &MocusOptions::with_cutoff(1e-7)).unwrap();
+        let opts = MocusOptions {
+            lookahead: false,
+            ..MocusOptions::with_cutoff(1e-7)
+        };
+        let without = minimal_cutsets(&t, &probs, &opts).unwrap();
+        let mut a: Vec<&Cutset> = with.iter().collect();
+        let mut b: Vec<&Cutset> = without.iter().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookahead_reduces_explored_partials() {
+        // A wide AND of improbable ORs: without the bound every branch of
+        // the first gates is explored; with it the root dies instantly.
+        let mut b = FaultTreeBuilder::new();
+        let mut gates = Vec::new();
+        for i in 0..4 {
+            let inputs: Vec<_> = (0..8)
+                .map(|j| b.static_event(&format!("e{i}_{j}"), 1e-4).unwrap())
+                .collect();
+            gates.push(b.or(&format!("g{i}"), inputs).unwrap());
+        }
+        let top = b.and("top", gates).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        // Every cutset has probability 1e-16 < 1e-12: nothing survives.
+        let tight = MocusOptions {
+            max_partials: 5,
+            ..MocusOptions::with_cutoff(1e-12)
+        };
+        assert!(minimal_cutsets(&t, &probs, &tight).unwrap().is_empty());
+        let blind = MocusOptions {
+            max_partials: 5,
+            lookahead: false,
+            ..MocusOptions::with_cutoff(1e-12)
+        };
+        assert!(matches!(
+            minimal_cutsets(&t, &probs, &blind),
+            Err(MocusError::TooManyPartials { .. })
+        ));
+    }
+}

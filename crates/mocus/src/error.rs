@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors produced by the MOCUS cutset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MocusError {
+    /// An error from the fault tree layer.
+    Ft(sdft_ft::FtError),
+    /// The number of live partial cutsets exceeded the configured budget.
+    TooManyPartials {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// The number of generated cutsets exceeded the configured budget.
+    TooManyCutsets {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// An at-least gate would expand into too many combinations.
+    CombinationLimit {
+        /// Name of the offending gate.
+        gate: String,
+        /// The number of combinations the expansion would produce.
+        combinations: u128,
+    },
+    /// The same event was assumed both failed and functional.
+    ConflictingAssumption {
+        /// Name of the offending event.
+        name: String,
+    },
+    /// An assumption was placed on a node that is not a basic event.
+    AssumptionOnGate {
+        /// Name of the offending node.
+        name: String,
+    },
+    /// The configured cutoff is negative or NaN.
+    InvalidCutoff {
+        /// The offending cutoff.
+        cutoff: f64,
+    },
+}
+
+impl fmt::Display for MocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MocusError::Ft(e) => write!(f, "fault tree error: {e}"),
+            MocusError::TooManyPartials { limit } => {
+                write!(
+                    f,
+                    "more than {limit} live partial cutsets; raise the cutoff or the budget"
+                )
+            }
+            MocusError::TooManyCutsets { limit } => {
+                write!(
+                    f,
+                    "more than {limit} cutsets generated; raise the cutoff or the budget"
+                )
+            }
+            MocusError::CombinationLimit { gate, combinations } => write!(
+                f,
+                "at-least gate {gate:?} expands into {combinations} combinations (limit exceeded)"
+            ),
+            MocusError::ConflictingAssumption { name } => {
+                write!(f, "event {name:?} assumed both failed and functional")
+            }
+            MocusError::AssumptionOnGate { name } => {
+                write!(
+                    f,
+                    "assumption placed on {name:?}, which is not a basic event"
+                )
+            }
+            MocusError::InvalidCutoff { cutoff } => write!(f, "invalid cutoff {cutoff}"),
+        }
+    }
+}
+
+impl std::error::Error for MocusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MocusError::Ft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sdft_ft::FtError> for MocusError {
+    fn from(e: sdft_ft::FtError) -> Self {
+        MocusError::Ft(e)
+    }
+}

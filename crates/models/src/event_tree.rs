@@ -1,0 +1,396 @@
+//! A linear event-tree front end for building SD fault trees with
+//! demand-ordered triggering.
+//!
+//! §V-A of the paper closes with the observation that *event trees* — the
+//! standard higher-level PSA formalism — already record the order in
+//! which safety functions are demanded, "offering a possibility for long
+//! triggering chains" that static analysis cannot use. This module makes
+//! that concrete: describe an initiating event and an ordered list of
+//! safety functions (each an existing gate of a fault tree under
+//! construction), say which failure combinations constitute damage, and
+//! [`EventTree::build`] emits
+//!
+//! * one sequence gate per damage combination (`IE ∧ failures`),
+//! * a top OR over the sequences, and
+//! * trigger edges that switch each function's *triggered* dynamic events
+//!   on when the previous function in the demand order has failed —
+//!   §VI-A's manual annotation, automated.
+//!
+//! The first function's triggered events are wired to the initiating
+//! event (they start when the accident starts).
+
+use sdft_ft::{Behavior, FaultTreeBuilder, FtError, NodeId};
+
+/// One safety function of the event tree: a name and the gate modelling
+/// its failure.
+#[derive(Debug, Clone)]
+struct Function {
+    name: String,
+    gate: NodeId,
+}
+
+/// A linear event tree over safety functions, compiled onto a
+/// [`FaultTreeBuilder`].
+///
+/// # Example
+///
+/// ```
+/// use sdft_ctmc::erlang;
+/// use sdft_ft::FaultTreeBuilder;
+/// use sdft_models::event_tree::EventTree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = FaultTreeBuilder::new();
+/// // Two cooling functions; the second one's pump is a triggered spare.
+/// let p1 = b.dynamic_event("p1", erlang::repairable(1, 1e-3, 0.05)?)?;
+/// let f1 = b.or("f1_fail", [p1])?;
+/// let p2 = b.triggered_event("p2", erlang::spare(1e-3, 0.05)?)?;
+/// let f2 = b.or("f2_fail", [p2])?;
+///
+/// let mut et = EventTree::new("loss_of_feedwater", 1e-3);
+/// et.function("f1", f1)?;
+/// et.function("f2", f2)?;
+/// et.damage_if(&["f1", "f2"])?; // core damage when both fail
+/// let top = et.build(&mut b)?;
+/// b.top(top);
+/// let tree = b.build()?;
+/// // p2 is now triggered by f1's failure (the demand order).
+/// let p2 = tree.node_by_name("p2").unwrap();
+/// assert_eq!(tree.trigger_source(p2), tree.node_by_name("f1_fail"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventTree {
+    initiator_name: String,
+    initiator_probability: f64,
+    functions: Vec<Function>,
+    damage: Vec<Vec<String>>,
+}
+
+impl EventTree {
+    /// Start an event tree for the given initiating event (created as a
+    /// static basic event at build time).
+    #[must_use]
+    pub fn new(initiator: &str, probability: f64) -> Self {
+        EventTree {
+            initiator_name: initiator.to_owned(),
+            initiator_probability: probability,
+            functions: Vec::new(),
+            damage: Vec::new(),
+        }
+    }
+
+    /// Append a safety function (demanded after all previously added
+    /// ones), modeled by the failure gate `gate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already used by another function.
+    pub fn function(&mut self, name: &str, gate: NodeId) -> Result<&mut Self, FtError> {
+        if self.functions.iter().any(|f| f.name == name) {
+            return Err(FtError::DuplicateName {
+                name: name.to_owned(),
+            });
+        }
+        self.functions.push(Function {
+            name: name.to_owned(),
+            gate,
+        });
+        Ok(self)
+    }
+
+    /// Declare that the joint failure of `functions` (by name) is a
+    /// damage state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a name is unknown or the combination is empty.
+    pub fn damage_if(&mut self, functions: &[&str]) -> Result<&mut Self, FtError> {
+        if functions.is_empty() {
+            return Err(FtError::EmptyGate {
+                name: "damage combination".to_owned(),
+            });
+        }
+        for name in functions {
+            if !self.functions.iter().any(|f| f.name == *name) {
+                return Err(FtError::UnknownName {
+                    name: (*name).to_owned(),
+                });
+            }
+        }
+        self.damage
+            .push(functions.iter().map(|s| (*s).to_owned()).collect());
+        Ok(self)
+    }
+
+    /// Convenience: damage when *all* functions fail (the single-sequence
+    /// event tree).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no functions were added.
+    pub fn damage_if_all_fail(&mut self) -> Result<&mut Self, FtError> {
+        let names: Vec<String> = self.functions.iter().map(|f| f.name.clone()).collect();
+        if names.is_empty() {
+            return Err(FtError::EmptyGate {
+                name: "event tree".to_owned(),
+            });
+        }
+        self.damage.push(names);
+        Ok(self)
+    }
+
+    /// Compile the event tree onto `builder`: create the initiating
+    /// event, one AND gate per damage combination, the top OR, and the
+    /// demand-order trigger edges. Returns the top gate (not yet marked
+    /// as the tree's top — callers may combine several event trees).
+    ///
+    /// Triggering: for every function after the first, each *triggered*
+    /// dynamic event in its failure gate's subtree that has no triggering
+    /// gate yet is wired to the previous function's gate; the first
+    /// function's pending triggered events are wired to a gate over the
+    /// initiating event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no damage combination was declared or the
+    /// builder rejects a node (duplicate names and the like).
+    pub fn build(&self, builder: &mut FaultTreeBuilder) -> Result<NodeId, FtError> {
+        if self.damage.is_empty() {
+            return Err(FtError::EmptyGate {
+                name: format!("{}_sequences", self.initiator_name),
+            });
+        }
+        let initiator = builder.static_event(&self.initiator_name, self.initiator_probability)?;
+
+        // Demand-order triggering. The builder cannot tell us which
+        // events already have triggers, so collect trigger targets first
+        // and let `trigger` errors surface modeling conflicts.
+        let mut previous: Option<NodeId> = None;
+        let mut ie_gate: Option<NodeId> = None;
+        for function in &self.functions {
+            let pending = builder.pending_triggered_events_under(function.gate);
+            if !pending.is_empty() {
+                // The demand gate over the initiator is created lazily,
+                // only when the first function actually has triggered
+                // events — otherwise it would dangle in the built tree.
+                let source = match previous {
+                    Some(gate) => gate,
+                    None => *ie_gate.get_or_insert(builder.gate(
+                        &format!("{}_demand", self.initiator_name),
+                        sdft_ft::GateKind::Or,
+                        [initiator],
+                    )?),
+                };
+                for event in pending {
+                    builder.trigger(source, event)?;
+                }
+            }
+            previous = Some(function.gate);
+        }
+
+        // Sequences and the top OR.
+        let mut sequences = Vec::with_capacity(self.damage.len());
+        for (i, combination) in self.damage.iter().enumerate() {
+            let mut inputs = vec![initiator];
+            for name in combination {
+                let f = self
+                    .functions
+                    .iter()
+                    .find(|f| &f.name == name)
+                    .expect("validated in damage_if");
+                inputs.push(f.gate);
+            }
+            sequences.push(builder.and(&format!("{}_seq{}", self.initiator_name, i + 1), inputs)?);
+        }
+        builder.gate(
+            &format!("{}_damage", self.initiator_name),
+            sdft_ft::GateKind::Or,
+            sequences,
+        )
+    }
+}
+
+/// Builder support used by [`EventTree::build`]: the triggered dynamic
+/// events under a node that do not have a triggering gate yet.
+trait PendingTriggers {
+    fn pending_triggered_events_under(&self, node: NodeId) -> Vec<NodeId>;
+}
+
+impl PendingTriggers for FaultTreeBuilder {
+    fn pending_triggered_events_under(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(Behavior::Triggered(_)) = self.behavior(n) {
+                if self.trigger_source(n).is_none() {
+                    out.push(n);
+                }
+            }
+            stack.extend_from_slice(self.gate_inputs(n));
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn two_function_setup() -> (FaultTreeBuilder, NodeId, NodeId) {
+        let mut b = FaultTreeBuilder::new();
+        let s1 = b.static_event("v1", 1e-3).unwrap();
+        let p1 = b
+            .dynamic_event("p1", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let f1 = b.or("f1_fail", [s1, p1]).unwrap();
+        let s2 = b.static_event("v2", 1e-3).unwrap();
+        let p2 = b
+            .triggered_event("p2", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let f2 = b.or("f2_fail", [s2, p2]).unwrap();
+        (b, f1, f2)
+    }
+
+    #[test]
+    fn compiles_sequences_and_demand_triggers() {
+        let (mut b, f1, f2) = two_function_setup();
+        let mut et = EventTree::new("ie", 2e-3);
+        et.function("f1", f1).unwrap();
+        et.function("f2", f2).unwrap();
+        et.damage_if(&["f1", "f2"]).unwrap();
+        let top = et.build(&mut b).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+
+        // p2 triggered by f1 (the previous function in demand order).
+        let p2 = t.node_by_name("p2").unwrap();
+        assert_eq!(t.trigger_source(p2), t.node_by_name("f1_fail"));
+        // The damage sequence is IE ∧ f1 ∧ f2.
+        let seq = t.node_by_name("ie_seq1").unwrap();
+        assert_eq!(t.gate_inputs(seq).len(), 3);
+        assert_eq!(t.name(t.top()), "ie_damage");
+    }
+
+    #[test]
+    fn first_function_triggers_from_the_initiator() {
+        let mut b = FaultTreeBuilder::new();
+        let p1 = b
+            .triggered_event("p1", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let f1 = b.or("f1_fail", [p1]).unwrap();
+        let mut et = EventTree::new("ie", 1e-2);
+        et.function("f1", f1).unwrap();
+        et.damage_if_all_fail().unwrap();
+        let top = et.build(&mut b).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let p1 = t.node_by_name("p1").unwrap();
+        let demand = t.node_by_name("ie_demand").unwrap();
+        assert_eq!(t.trigger_source(p1), Some(demand));
+        // The demand gate fires iff the initiator fails.
+        assert_eq!(t.gate_inputs(demand), &[t.node_by_name("ie").unwrap()]);
+    }
+
+    #[test]
+    fn multiple_damage_combinations_or_together() {
+        let (mut b, f1, f2) = two_function_setup();
+        let mut et = EventTree::new("ie", 2e-3);
+        et.function("f1", f1).unwrap();
+        et.function("f2", f2).unwrap();
+        et.damage_if(&["f1", "f2"]).unwrap();
+        et.damage_if(&["f2"]).unwrap(); // f2 alone is already damage
+        let top = et.build(&mut b).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(t.gate_inputs(t.top()).len(), 2);
+    }
+
+    #[test]
+    fn analysis_of_a_compiled_event_tree_is_time_aware() {
+        let (mut b, f1, f2) = two_function_setup();
+        let mut et = EventTree::new("ie", 2e-3);
+        et.function("f1", f1).unwrap();
+        et.function("f2", f2).unwrap();
+        et.damage_if(&["f1", "f2"]).unwrap();
+        let top = et.build(&mut b).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        // The classification of f1 (the trigger of p2) must be efficient.
+        // f1 = OR(v1, p1): one dynamic child => static branching.
+        let f1 = t.node_by_name("f1_fail").unwrap();
+        assert!(!t.triggers_of(f1).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_functions_and_empty_trees() {
+        let (_, f1, _) = two_function_setup();
+        let mut et = EventTree::new("ie", 1e-3);
+        et.function("f1", f1).unwrap();
+        assert!(matches!(
+            et.damage_if(&["nope"]),
+            Err(FtError::UnknownName { .. })
+        ));
+        assert!(matches!(et.damage_if(&[]), Err(FtError::EmptyGate { .. })));
+        let mut b = FaultTreeBuilder::new();
+        let empty = EventTree::new("ie", 1e-3);
+        assert!(matches!(
+            empty.build(&mut b),
+            Err(FtError::EmptyGate { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod review_regression_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    /// Found in review: when no function has pending triggered events,
+    /// no demand gate may dangle in the built tree.
+    #[test]
+    fn no_dangling_demand_gate_without_triggered_events() {
+        let mut b = FaultTreeBuilder::new();
+        let p1 = b
+            .dynamic_event("p1", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let f1 = b.or("f1_fail", [p1]).unwrap();
+        let mut et = EventTree::new("ie", 1e-3);
+        et.function("f1", f1).unwrap();
+        et.damage_if_all_fail().unwrap();
+        let top = et.build(&mut b).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert!(
+            t.node_by_name("ie_demand").is_none(),
+            "demand gate must be lazy"
+        );
+        // Every gate is reachable from the top.
+        let reachable = t.subtree_gates(t.top()).len();
+        assert_eq!(reachable, t.num_gates());
+    }
+
+    /// Duplicate function names are rejected instead of silently
+    /// resolving to the first entry.
+    #[test]
+    fn duplicate_function_names_are_rejected() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.1).unwrap();
+        let f1 = b.or("f1_fail", [x]).unwrap();
+        let mut et = EventTree::new("ie", 1e-3);
+        et.function("f1", f1).unwrap();
+        assert!(matches!(
+            et.function("f1", f1),
+            Err(FtError::DuplicateName { .. })
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! The running example of the paper: an emergency cooling system with a
+//! water tank and two redundant pumps (Examples 1 and 3).
+
+use sdft_ctmc::erlang;
+use sdft_ft::{FaultTree, FaultTreeBuilder};
+
+/// Example 1: the purely static toy model.
+///
+/// Basic events: `a`/`c` — pumps 1/2 fail to start (3·10⁻³), `b`/`d` —
+/// pumps fail in operation (1·10⁻³), `e` — water tank fails (3·10⁻⁶).
+/// The minimal cutsets are `{e}`, `{a,c}`, `{a,d}`, `{b,c}`, `{b,d}`.
+#[must_use]
+pub fn example1() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    let a = b.static_event("a", 3e-3).expect("valid");
+    let bb = b.static_event("b", 1e-3).expect("valid");
+    let c = b.static_event("c", 3e-3).expect("valid");
+    let d = b.static_event("d", 1e-3).expect("valid");
+    let e = b.static_event("e", 3e-6).expect("valid");
+    let p1 = b.or("pump1", [a, bb]).expect("valid");
+    let p2 = b.or("pump2", [c, d]).expect("valid");
+    let pumps = b.and("pumps", [p1, p2]).expect("valid");
+    let top = b.or("cooling", [pumps, e]).expect("valid");
+    b.top(top);
+    b.build().expect("example 1 is a valid fault tree")
+}
+
+/// Example 3: the SD refinement of [`example1`].
+///
+/// The failures in operation become dynamic: `b` is an always-on
+/// repairable pump (failure rate 10⁻³/h, repair rate 0.05/h, Example 2)
+/// and `d` is a spare pump triggered by the failure of pump 1.
+#[must_use]
+pub fn example3() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    let a = b.static_event("a", 3e-3).expect("valid");
+    let bb = b
+        .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).expect("valid"))
+        .expect("valid");
+    let c = b.static_event("c", 3e-3).expect("valid");
+    let d = b
+        .triggered_event("d", erlang::spare(1e-3, 0.05).expect("valid"))
+        .expect("valid");
+    let e = b.static_event("e", 3e-6).expect("valid");
+    let p1 = b.or("pump1", [a, bb]).expect("valid");
+    let p2 = b.or("pump2", [c, d]).expect("valid");
+    let pumps = b.and("pumps", [p1, p2]).expect("valid");
+    let top = b.or("cooling", [pumps, e]).expect("valid");
+    b.trigger(p1, d).expect("valid");
+    b.top(top);
+    b.build().expect("example 3 is a valid fault tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_has_the_paper_structure() {
+        let t = example1();
+        assert_eq!(t.num_basic_events(), 5);
+        assert_eq!(t.num_gates(), 4);
+        assert!(t.is_static());
+    }
+
+    #[test]
+    fn example3_is_dynamic_with_one_trigger() {
+        let t = example3();
+        assert_eq!(t.dynamic_basic_events().count(), 2);
+        let d = t.node_by_name("d").unwrap();
+        assert_eq!(t.trigger_source(d), t.node_by_name("pump1"));
+    }
+}

@@ -1,0 +1,1009 @@
+use crate::error::ProductError;
+use sdft_ctmc::{Ctmc, CtmcBuilder, Mode};
+use sdft_ft::{Behavior, FaultTree, NodeId, Scenario};
+use std::collections::HashMap;
+
+/// Options for product chain construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductOptions {
+    /// Abort once the explored product state space exceeds this size.
+    pub max_states: usize,
+}
+
+impl Default for ProductOptions {
+    fn default() -> Self {
+        ProductOptions {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// One basic event's contribution to the product state.
+#[derive(Debug, Clone)]
+struct Component {
+    event: NodeId,
+    chain: Ctmc,
+    /// Mode and (un)triggering maps for triggered chains.
+    modes: Option<ComponentModes>,
+    trigger_gate: Option<NodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct ComponentModes {
+    mode: Vec<Mode>,
+    on_map: Vec<usize>,
+    off_map: Vec<usize>,
+}
+
+/// The product Markov chain `C_FT` of an SD fault tree (§III-C).
+#[derive(Debug, Clone)]
+pub struct ProductChain {
+    chain: Ctmc,
+    /// Per product state: the component state of every tracked event.
+    states: Vec<Vec<u16>>,
+    /// Slot order: the basic events of the tree, in id order.
+    events: Vec<NodeId>,
+    /// Per slot: which component states count as failed.
+    comp_failed: Vec<Vec<bool>>,
+    /// Every transition with the component slot that drives it:
+    /// `(from, to, slot, rate)`.
+    tagged_transitions: Vec<(usize, usize, usize, f64)>,
+}
+
+impl ProductChain {
+    /// Build the product chain of `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the explored state space exceeds
+    /// `options.max_states`.
+    pub fn build(tree: &FaultTree, options: &ProductOptions) -> Result<Self, ProductError> {
+        // Component states are packed into u16 slots; a single chain
+        // larger than that would overflow the packing (and would exceed
+        // any practical product budget anyway).
+        for event in tree.dynamic_basic_events() {
+            let len = match tree.behavior(event) {
+                Some(sdft_ft::Behavior::Dynamic(c)) => c.len(),
+                Some(sdft_ft::Behavior::Triggered(c)) => c.len(),
+                _ => 0,
+            };
+            if len > usize::from(u16::MAX) {
+                return Err(ProductError::TooManyStates {
+                    limit: usize::from(u16::MAX),
+                });
+            }
+        }
+        Builder::new(tree).run(options)
+    }
+
+    /// The underlying CTMC (initial distribution, rates, failed states).
+    #[must_use]
+    pub fn chain(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Number of (consistent, reachable) product states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The basic events tracked per state, in slot order.
+    #[must_use]
+    pub fn events(&self) -> &[NodeId] {
+        &self.events
+    }
+
+    /// The component states of product state `i`, in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn component_states(&self, i: usize) -> &[u16] {
+        &self.states[i]
+    }
+
+    /// Find a product state by its component states.
+    #[must_use]
+    pub fn find_state(&self, components: &[u16]) -> Option<usize> {
+        self.states.iter().position(|s| s == components)
+    }
+
+    /// `Pr[Reach≤t(F)]` — the failure probability of the tree within the
+    /// horizon `t` (§III-C2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` or `epsilon` is invalid.
+    pub fn failure_probability(&self, t: f64, epsilon: f64) -> Result<f64, ProductError> {
+        Ok(self.chain.reach_failed_probability(t, epsilon)?)
+    }
+
+    /// `Pr[Reach≤t(F)]` at several horizons from one uniformization pass
+    /// (see [`sdft_ctmc::reach_probability_many`]); results follow the
+    /// order of `horizons`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `horizons` is empty or contains an invalid
+    /// value.
+    pub fn failure_probability_many(
+        &self,
+        horizons: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<f64>, ProductError> {
+        Ok(sdft_ctmc::reach_probability_many(
+            &self.chain,
+            horizons,
+            epsilon,
+        )?)
+    }
+
+    /// The steady-state unavailability of the tree: the long-run
+    /// probability that the top gate is failed. Only meaningful for
+    /// repairable models (without repairs every failure is absorbing and
+    /// the value tends to 1 whenever failure is reachable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying power iteration does not
+    /// converge.
+    pub fn steady_state_unavailability(
+        &self,
+        options: &sdft_ctmc::StationaryOptions,
+    ) -> Result<f64, ProductError> {
+        Ok(self.chain.steady_state_unavailability(options)?)
+    }
+
+    /// `Pr[Reach≤t(Failed(C))]` — the probability that all of `events`
+    /// are failed *simultaneously* at some time within `t` (§V,
+    /// property i of the SD cutset characterization). This is the exact
+    /// reference value for the per-cutset quantification `p̃(C)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` or `epsilon` is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id in `events` is not a basic event of the tree.
+    pub fn reach_events_failed_probability(
+        &self,
+        events: &[NodeId],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<f64, ProductError> {
+        let slots: Vec<usize> = events
+            .iter()
+            .map(|e| {
+                self.events
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("event is a basic event of the tree")
+            })
+            .collect();
+        let mut builder = CtmcBuilder::new(self.states.len());
+        for (s, p) in self.chain.initial_distribution().iter().enumerate() {
+            if *p > 0.0 {
+                builder.initial(s, *p);
+            }
+        }
+        for s in 0..self.states.len() {
+            for &(to, rate) in self.chain.transitions_from(s) {
+                builder.rate(s, to, rate);
+            }
+        }
+        for (s, comp) in self.states.iter().enumerate() {
+            if slots.iter().all(|&i| self.comp_failed[i][comp[i] as usize]) {
+                builder.failed(s);
+            }
+        }
+        Ok(builder.build()?.reach_failed_probability(t, epsilon)?)
+    }
+
+    /// Split `Pr[Reach≤t(Failed(C))]` by the event whose transition
+    /// *completes* the simultaneous failure — a quantitative take on the
+    /// *minimal cut sequences* of the related literature (cutsets plus
+    /// temporal order information).
+    ///
+    /// The completing event is the basic event whose stochastic
+    /// transition enters `Failed(C)`; note it can lie *outside* the
+    /// cutset, when its failure fires a trigger that switches a
+    /// latent-failed chain on. Mass already in `Failed(C)` at time zero
+    /// is reported separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` or `epsilon` is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id in `events` is not a basic event of the tree.
+    pub fn completion_by_event(
+        &self,
+        events: &[NodeId],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<CompletionSplit, ProductError> {
+        let slots: Vec<usize> = events
+            .iter()
+            .map(|e| {
+                self.events
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("event is a basic event of the tree")
+            })
+            .collect();
+        let n = self.states.len();
+        let m = self.events.len();
+        let in_failed: Vec<bool> = self
+            .states
+            .iter()
+            .map(|comp| slots.iter().all(|&i| self.comp_failed[i][comp[i] as usize]))
+            .collect();
+
+        // States 0..n as-is; n..n+m are per-slot completion sinks.
+        let mut builder = CtmcBuilder::new(n + m);
+        for (s, p) in self.chain.initial_distribution().iter().enumerate() {
+            if *p > 0.0 {
+                builder.initial(s, *p);
+            }
+        }
+        for &(from, to, slot, rate) in &self.tagged_transitions {
+            if in_failed[from] {
+                continue; // absorbed
+            }
+            if in_failed[to] {
+                builder.rate(from, n + slot, rate);
+            } else {
+                builder.rate(from, to, rate);
+            }
+        }
+        let absorbed = builder.build()?;
+        let pi = sdft_ctmc::transient_distribution(&absorbed, t, epsilon)?;
+
+        let initial: f64 = (0..n).filter(|&s| in_failed[s]).map(|s| pi[s]).sum();
+        let by_event: Vec<(NodeId, f64)> = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(slot, &event)| (event, pi[n + slot]))
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
+        let total = initial + by_event.iter().map(|&(_, p)| p).sum::<f64>();
+        Ok(CompletionSplit {
+            initial,
+            by_event,
+            total,
+        })
+    }
+}
+
+/// The result of [`ProductChain::completion_by_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionSplit {
+    /// Probability that the cutset is already failed at time zero.
+    pub initial: f64,
+    /// Probability of completing via each event's transition (events with
+    /// zero contribution are omitted).
+    pub by_event: Vec<(NodeId, f64)>,
+    /// `initial` plus all event contributions — equals
+    /// `Pr[Reach≤t(Failed(C))]`.
+    pub total: f64,
+}
+
+/// Convenience wrapper: build the product chain of `tree` and compute its
+/// failure probability at horizon `t` with truncation error `1e-12`.
+///
+/// # Errors
+///
+/// Returns an error if the state space exceeds the budget or the horizon
+/// is invalid.
+pub fn failure_probability(
+    tree: &FaultTree,
+    t: f64,
+    options: &ProductOptions,
+) -> Result<f64, ProductError> {
+    ProductChain::build(tree, options)?.failure_probability(t, sdft_ctmc::DEFAULT_EPSILON)
+}
+
+struct Builder<'a> {
+    tree: &'a FaultTree,
+    components: Vec<Component>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(tree: &'a FaultTree) -> Self {
+        let components = tree
+            .basic_events()
+            .map(|event| match tree.behavior(event).expect("basic event") {
+                Behavior::Static { probability } => {
+                    let mut b = CtmcBuilder::new(2);
+                    b.initial(0, 1.0 - probability)
+                        .initial(1, *probability)
+                        .failed(1);
+                    Component {
+                        event,
+                        chain: b.build().expect("static two-state chain is valid"),
+                        modes: None,
+                        trigger_gate: None,
+                    }
+                }
+                Behavior::Dynamic(chain) => Component {
+                    event,
+                    chain: chain.clone(),
+                    modes: None,
+                    trigger_gate: None,
+                },
+                Behavior::Triggered(chain) => {
+                    let n = chain.len();
+                    let mode: Vec<Mode> = (0..n).map(|s| chain.mode(s)).collect();
+                    let on_map = (0..n)
+                        .map(|s| {
+                            if mode[s] == Mode::Off {
+                                chain.on_of(s)
+                            } else {
+                                s
+                            }
+                        })
+                        .collect();
+                    let off_map = (0..n)
+                        .map(|s| {
+                            if mode[s] == Mode::On {
+                                chain.off_of(s)
+                            } else {
+                                s
+                            }
+                        })
+                        .collect();
+                    Component {
+                        event,
+                        chain: chain.chain().clone(),
+                        modes: Some(ComponentModes {
+                            mode,
+                            on_map,
+                            off_map,
+                        }),
+                        trigger_gate: tree.trigger_source(event),
+                    }
+                }
+            })
+            .collect();
+        Builder { tree, components }
+    }
+
+    /// Whether component `i` is failed in component state `s`.
+    fn comp_failed(&self, i: usize, s: u16) -> bool {
+        self.components[i].chain.is_failed(s as usize)
+    }
+
+    fn scenario_of(&self, state: &[u16]) -> Scenario {
+        Scenario::from_events(
+            self.tree,
+            state
+                .iter()
+                .enumerate()
+                .filter(|&(i, &s)| self.comp_failed(i, s))
+                .map(|(i, _)| self.components[i].event),
+        )
+    }
+
+    /// Apply trigger updates until the state is consistent (§III-C1b).
+    fn update(&self, mut state: Vec<u16>) -> Result<Vec<u16>, ProductError> {
+        // Each pass applies every pending switch; acyclicity of the
+        // triggering structure bounds the number of passes by the number
+        // of triggered events (a switched component can enable at most a
+        // strictly "later" trigger in the acyclic order).
+        let limit = self.components.len() + 2;
+        for _ in 0..limit {
+            let scenario = self.scenario_of(&state);
+            let failed = self.tree.evaluate_scenario(&scenario);
+            let mut changed = false;
+            for (i, comp) in self.components.iter().enumerate() {
+                let (Some(modes), Some(gate)) = (&comp.modes, comp.trigger_gate) else {
+                    continue;
+                };
+                let s = state[i] as usize;
+                if failed[gate.index()] {
+                    if modes.mode[s] == Mode::Off {
+                        state[i] = u16::try_from(modes.on_map[s]).expect("state fits u16");
+                        changed = true;
+                    }
+                } else if modes.mode[s] == Mode::On {
+                    state[i] = u16::try_from(modes.off_map[s]).expect("state fits u16");
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(state);
+            }
+        }
+        Err(ProductError::UpdateDiverged)
+    }
+
+    fn run(self, options: &ProductOptions) -> Result<ProductChain, ProductError> {
+        // Enumerate the support of the initial product distribution.
+        let mut initial: HashMap<Vec<u16>, f64> = HashMap::new();
+        let mut partial: Vec<(Vec<u16>, f64)> = vec![(Vec::new(), 1.0)];
+        for comp in &self.components {
+            let mut next = Vec::new();
+            for (prefix, p) in &partial {
+                for s in 0..comp.chain.len() {
+                    let ps = comp.chain.initial_probability(s);
+                    if ps > 0.0 {
+                        let mut v = prefix.clone();
+                        v.push(u16::try_from(s).expect("state fits u16"));
+                        next.push((v, p * ps));
+                    }
+                }
+            }
+            partial = next;
+            if partial.len() > options.max_states {
+                return Err(ProductError::TooManyStates {
+                    limit: options.max_states,
+                });
+            }
+        }
+        // Update each initial combination into its consistent state and
+        // merge probabilities (the initial-distribution rule of §III-C1).
+        for (state, p) in partial {
+            let consistent = self.update(state)?;
+            *initial.entry(consistent).or_insert(0.0) += p;
+        }
+
+        // Breadth-first exploration of consistent states.
+        let mut index: HashMap<Vec<u16>, usize> = HashMap::new();
+        let mut states: Vec<Vec<u16>> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let mut add_state = |s: Vec<u16>,
+                             states: &mut Vec<Vec<u16>>,
+                             queue: &mut Vec<usize>|
+         -> Result<usize, ProductError> {
+            if let Some(&i) = index.get(&s) {
+                return Ok(i);
+            }
+            if states.len() >= options.max_states {
+                return Err(ProductError::TooManyStates {
+                    limit: options.max_states,
+                });
+            }
+            let i = states.len();
+            index.insert(s.clone(), i);
+            states.push(s);
+            queue.push(i);
+            Ok(i)
+        };
+
+        let mut init_list: Vec<(usize, f64)> = Vec::new();
+        for (state, p) in initial {
+            let i = add_state(state, &mut states, &mut queue)?;
+            init_list.push((i, p));
+        }
+
+        let mut transitions: Vec<(usize, usize, usize, f64)> = Vec::new();
+        let mut head = 0;
+        while head < queue.len() {
+            let from = queue[head];
+            head += 1;
+            let current = states[from].clone();
+            for (i, comp) in self.components.iter().enumerate() {
+                for &(to_comp, rate) in comp.chain.transitions_from(current[i] as usize) {
+                    let mut evolved = current.clone();
+                    evolved[i] = u16::try_from(to_comp).expect("state fits u16");
+                    let updated = self.update(evolved)?;
+                    let to = add_state(updated, &mut states, &mut queue)?;
+                    transitions.push((from, to, i, rate));
+                }
+            }
+        }
+
+        let mut b = CtmcBuilder::new(states.len());
+        for (i, p) in init_list {
+            b.initial(i, p);
+        }
+        for &(from, to, _, rate) in &transitions {
+            b.rate(from, to, rate);
+        }
+        for (i, state) in states.iter().enumerate() {
+            let scenario = self.scenario_of(state);
+            if self.tree.fails(self.tree.top(), &scenario) {
+                b.failed(i);
+            }
+        }
+        let chain = b.build()?;
+        let events = self.components.iter().map(|c| c.event).collect();
+        let comp_failed = self
+            .components
+            .iter()
+            .map(|c| (0..c.chain.len()).map(|s| c.chain.is_failed(s)).collect())
+            .collect();
+        Ok(ProductChain {
+            chain,
+            states,
+            events,
+            comp_failed,
+            tagged_transitions: transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    /// Example 3 of the paper.
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_only_tree_matches_enumeration() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.2).unwrap();
+        let y = b.static_event("y", 0.3).unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let p = failure_probability(&t, 100.0, &ProductOptions::default()).unwrap();
+        assert!((p - 0.06).abs() < 1e-12);
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        assert_eq!(pc.num_states(), 4);
+        assert_eq!(pc.chain().transition_count(), 0);
+    }
+
+    #[test]
+    fn single_dynamic_event_matches_chain_analysis() {
+        let mut b = FaultTreeBuilder::new();
+        let chain = erlang::repairable(2, 1e-2, 0.1).unwrap();
+        let x = b.dynamic_event("x", chain.clone()).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let p = failure_probability(&t, 24.0, &ProductOptions::default()).unwrap();
+        let expected = chain.reach_failed_probability(24.0, 1e-12).unwrap();
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example3_builds_and_behaves() {
+        let t = example3();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        // Components: a(2) b(2) c(2) d(4) e(2) = 128 raw states, but only
+        // consistent ones are kept (d is on iff pump1 is failed).
+        assert!(pc.num_states() <= 64, "states: {}", pc.num_states());
+        assert!(pc.num_states() >= 16);
+        let p24 = pc.failure_probability(24.0, 1e-12).unwrap();
+        let p48 = pc.failure_probability(48.0, 1e-12).unwrap();
+        assert!(p24 > 0.0 && p24 < 1e-3);
+        assert!(p48 > p24, "failure probability must grow with the horizon");
+    }
+
+    #[test]
+    fn example5_update_chain() {
+        // From Example 5: failing b in (ok,ok,ok,off,fail-e? ...) — here
+        // we check the core mechanism: when b fails, pump1 fails and d is
+        // switched on; when b is repaired, d is switched off again.
+        let t = example3();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        // Slots are in id order: a=0, b=1, c=2, d=3, e=4.
+        // Initial state: everything ok, d off (component state 0).
+        let init = pc
+            .find_state(&[0, 0, 0, 0, 0])
+            .expect("initial state exists");
+        // b fails (component state 1) => pump1 failed => d switched on:
+        // spare layout: 0=off-ok, 1=off-latent? erlang::spare uses
+        // triggered_with(phases=1): off states {0,1}, on states {2,3}.
+        // on(0) = 2.
+        let after = pc
+            .find_state(&[0, 1, 0, 2, 0])
+            .expect("b-failed state exists");
+        let rate = pc
+            .chain()
+            .transitions_from(init)
+            .iter()
+            .find(|&&(to, _)| to == after)
+            .map(|&(_, r)| r);
+        assert_eq!(
+            rate,
+            Some(1e-3),
+            "evolution b fails with rate 0.001 + update d on"
+        );
+        // And back: repairing b (rate 0.05) switches d off again.
+        let back = pc
+            .chain()
+            .transitions_from(after)
+            .iter()
+            .find(|&&(to, _)| to == init)
+            .map(|&(_, r)| r);
+        assert_eq!(
+            back,
+            Some(0.05),
+            "repair of b with rate 0.05 + update d off"
+        );
+    }
+
+    #[test]
+    fn initial_distribution_merges_updated_states() {
+        // A static event failing at t=0 triggers d immediately: the
+        // initial distribution must put d's mass on the on-state.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.25).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        let top = b.and("top", [g, d]).unwrap();
+        b.trigger(g, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        // State (x failed, d on-ok): initial probability 0.25.
+        let s = pc.find_state(&[1, 2]).expect("triggered initial state");
+        assert!((pc.chain().initial_probability(s) - 0.25).abs() < 1e-15);
+        // State (x ok, d off-ok): initial probability 0.75.
+        let s = pc.find_state(&[0, 0]).expect("untouched initial state");
+        assert!((pc.chain().initial_probability(s) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn failed_states_follow_the_top_gate() {
+        let t = example3();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        // (ok, ok, ok, off, fail): water tank failure alone fails the top.
+        let s = pc.find_state(&[0, 0, 0, 0, 1]).expect("tank-failed state");
+        assert!(pc.chain().is_failed(s));
+        let s0 = pc.find_state(&[0, 0, 0, 0, 0]).unwrap();
+        assert!(!pc.chain().is_failed(s0));
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let t = example3();
+        let err = ProductChain::build(&t, &ProductOptions { max_states: 3 });
+        assert!(matches!(err, Err(ProductError::TooManyStates { limit: 3 })));
+    }
+
+    #[test]
+    fn triggered_event_cannot_fail_while_off() {
+        // d alone under the top (via AND with a never-failing partner
+        // wouldn't be expressible; instead check reachability): with no
+        // other failures, pump1 never fails, d never turns on, and the
+        // probability of the AND(top) staying safe is 1 minus tank-ish...
+        // Simpler: tree whose top = AND(x, d) with x never failing: the
+        // top probability must be 0 because d is never triggered.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.0).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let g = b.or("g", [x]).unwrap();
+        let top = b.and("top", [g, d]).unwrap();
+        b.trigger(g, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let p = failure_probability(&t, 1000.0, &ProductOptions::default()).unwrap();
+        assert_eq!(p, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod stationary_tests {
+    use super::*;
+    use sdft_ctmc::StationaryOptions;
+    use sdft_ft::FaultTreeBuilder;
+
+    #[test]
+    fn steady_state_of_two_repairable_components() {
+        // AND of two independent repairable components: the long-run
+        // unavailability is the product of the component unavailabilities.
+        let mut b = FaultTreeBuilder::new();
+        let c1 = sdft_ctmc::erlang::repairable(1, 2e-3, 0.1).unwrap();
+        let c2 = sdft_ctmc::erlang::repairable(1, 3e-3, 0.2).unwrap();
+        let x = b.dynamic_event("x", c1).unwrap();
+        let y = b.dynamic_event("y", c2).unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        let u = pc
+            .steady_state_unavailability(&StationaryOptions::default())
+            .unwrap();
+        let u1 = 2e-3 / (2e-3 + 0.1);
+        let u2 = 3e-3 / (3e-3 + 0.2);
+        assert!((u - u1 * u2).abs() < 1e-9, "{u} vs {}", u1 * u2);
+    }
+
+    #[test]
+    fn triggered_spare_reduces_steady_state_unavailability() {
+        // A spare that only runs while the primary is failed has a lower
+        // long-run joint unavailability than an always-on redundant pair.
+        let mut always = FaultTreeBuilder::new();
+        let x = always
+            .dynamic_event("x", sdft_ctmc::erlang::repairable(1, 5e-3, 0.05).unwrap())
+            .unwrap();
+        let y = always
+            .dynamic_event("y", sdft_ctmc::erlang::repairable(1, 5e-3, 0.05).unwrap())
+            .unwrap();
+        let g = always.and("g", [x, y]).unwrap();
+        always.top(g);
+        let always_tree = always.build().unwrap();
+
+        let mut spare = FaultTreeBuilder::new();
+        let x = spare
+            .dynamic_event("x", sdft_ctmc::erlang::repairable(1, 5e-3, 0.05).unwrap())
+            .unwrap();
+        let d = spare
+            .triggered_event("d", sdft_ctmc::erlang::spare(5e-3, 0.05).unwrap())
+            .unwrap();
+        let w = spare.or("w", [x]).unwrap();
+        let g = spare.and("g", [w, d]).unwrap();
+        spare.trigger(w, d).unwrap();
+        spare.top(g);
+        let spare_tree = spare.build().unwrap();
+
+        let opts = StationaryOptions::default();
+        let u_always = ProductChain::build(&always_tree, &ProductOptions::default())
+            .unwrap()
+            .steady_state_unavailability(&opts)
+            .unwrap();
+        let u_spare = ProductChain::build(&spare_tree, &ProductOptions::default())
+            .unwrap()
+            .steady_state_unavailability(&opts)
+            .unwrap();
+        assert!(
+            u_spare < u_always,
+            "spare {u_spare} should beat always-on {u_always}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod completion_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    #[test]
+    fn completion_split_sums_to_reach_probability() {
+        // Example 3: cutset {b, d}.
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        let events = [t.node_by_name("b").unwrap(), t.node_by_name("d").unwrap()];
+        let split = pc.completion_by_event(&events, 24.0, 1e-12).unwrap();
+        let reach = pc
+            .reach_events_failed_probability(&events, 24.0, 1e-12)
+            .unwrap();
+        assert!(
+            (split.total - reach).abs() < 1e-12,
+            "{} vs {reach}",
+            split.total
+        );
+        assert_eq!(split.initial, 0.0, "nothing is failed at time zero");
+        // Both completions happen: d fails last (after b triggered it)
+        // and b fails last (d failed while on from an earlier b episode,
+        // b repaired and failed again).
+        let share = |name: &str| {
+            let id = t.node_by_name(name).unwrap();
+            split
+                .by_event
+                .iter()
+                .find(|&&(e2, _)| e2 == id)
+                .map_or(0.0, |&(_, p)| p)
+        };
+        assert!(share("d") > 0.0);
+        assert!(share("b") > 0.0);
+        // d completing dominates: d can only fail while b is failed.
+        assert!(share("d") > share("b"));
+    }
+
+    #[test]
+    fn static_cutsets_complete_at_time_zero() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.2).unwrap();
+        let y = b.static_event("y", 0.5).unwrap();
+        let g = b.and("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        let split = pc.completion_by_event(&[x, y], 100.0, 1e-12).unwrap();
+        assert!((split.initial - 0.1).abs() < 1e-12);
+        assert!(split.by_event.is_empty());
+        assert!((split.total - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trigger_switch_attributes_to_the_firing_event() {
+        // d degrades while off (passive factor) into a latent failure;
+        // when x fails, the trigger switches d on *already failed* — the
+        // completion is driven by x.
+        let mut b = FaultTreeBuilder::new();
+        let x = b
+            .dynamic_event("x", erlang::repairable(1, 5e-3, 0.0).unwrap())
+            .unwrap();
+        // High passive factor so latent failures are common.
+        let chain = erlang::triggered_with(sdft_ctmc::erlang::ErlangOptions {
+            phases: 1,
+            failure_rate: 5e-3,
+            repair_rate: 0.0,
+            passive_factor: 1.0,
+            repair_while_off: false,
+        })
+        .unwrap();
+        let d = b.triggered_event("d", chain).unwrap();
+        let w = b.or("w", [x]).unwrap();
+        let top = b.and("top", [w, d]).unwrap();
+        b.trigger(w, d).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        let split = pc.completion_by_event(&[x, d], 200.0, 1e-12).unwrap();
+        let share = |name: &str| {
+            let id = t.node_by_name(name).unwrap();
+            split
+                .by_event
+                .iter()
+                .find(|&&(e2, _)| e2 == id)
+                .map_or(0.0, |&(_, p)| p)
+        };
+        assert!(
+            share("x") > 0.0,
+            "x's failure completes via the trigger switch"
+        );
+        assert!(share("d") > 0.0, "d can also fail last while on");
+        let reach = pc
+            .reach_events_failed_probability(&[x, d], 200.0, 1e-12)
+            .unwrap();
+        assert!((split.total - reach).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod cascade_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    /// One evolution step can require several update rounds: x failing
+    /// fires g1 which switches d2 on; if d2 switches on *into a latent
+    /// failure*, g2 fires in the same instant and switches d3 on too.
+    #[test]
+    fn cascading_trigger_updates_resolve_in_one_transition() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b
+            .dynamic_event("x", erlang::repairable(1, 1e-2, 0.0).unwrap())
+            .unwrap();
+        // d2 degrades at the full rate while off, so latent failures are
+        // common; no repair.
+        let latent = erlang::triggered_with(sdft_ctmc::erlang::ErlangOptions {
+            phases: 1,
+            failure_rate: 1e-2,
+            repair_rate: 0.0,
+            passive_factor: 1.0,
+            repair_while_off: false,
+        })
+        .unwrap();
+        let d2 = b.triggered_event("d2", latent.clone()).unwrap();
+        let d3 = b.triggered_event("d3", latent).unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let g2 = b.or("g2", [d2]).unwrap();
+        let g3 = b.or("g3", [d3]).unwrap();
+        let top = b.and("top", [g1, g2, g3]).unwrap();
+        b.trigger(g1, d2).unwrap();
+        b.trigger(g2, d3).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+
+        // Layout per triggered event (k=1): off {0: ok, 1: latent},
+        // on {2: ok, 3: failed}; x: {0 ok, 1 failed}.
+        // State: x ok, d2 latent-off, d3 latent-off.
+        let staged = pc.find_state(&[0, 1, 1]).expect("latent stage exists");
+        // x fails: g1 fires -> d2 on (failed) -> g2 fires -> d3 on
+        // (failed) — a two-round cascade merged into one transition.
+        let done = pc.find_state(&[1, 3, 3]).expect("fully failed state");
+        let rate = pc
+            .chain()
+            .transitions_from(staged)
+            .iter()
+            .find(|&&(to, _)| to == done)
+            .map(|&(_, r)| r);
+        assert_eq!(
+            rate,
+            Some(1e-2),
+            "single transition covers the whole cascade"
+        );
+        assert!(pc.chain().is_failed(done));
+    }
+
+    /// The reverse cascade: repairing the root un-triggers the chain.
+    #[test]
+    fn repair_cascades_switch_chains_off() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b
+            .dynamic_event("x", erlang::repairable(1, 1e-2, 0.5).unwrap())
+            .unwrap();
+        let d2 = b
+            .triggered_event("d2", erlang::spare(1e-2, 0.0).unwrap())
+            .unwrap();
+        let g1 = b.or("g1", [x]).unwrap();
+        let top = b.and("top", [g1, d2]).unwrap();
+        b.trigger(g1, d2).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+        // spare layout: off {0 ok, 1 latent}, on {2 ok, 3 failed}.
+        // x failed, d2 on-ok --repair x (rate 0.5)--> x ok, d2 off-ok.
+        let running = pc.find_state(&[1, 2]).expect("triggered state");
+        let idle = pc.find_state(&[0, 0]).expect("idle state");
+        let rate = pc
+            .chain()
+            .transitions_from(running)
+            .iter()
+            .find(|&&(to, _)| to == idle)
+            .map(|&(_, r)| r);
+        assert_eq!(rate, Some(0.5), "repair switches the spare off again");
+    }
+}
+
+#[cfg(test)]
+mod u16_guard_tests {
+    use super::*;
+    use sdft_ctmc::CtmcBuilder;
+    use sdft_ft::FaultTreeBuilder;
+
+    /// Found in review: a component chain wider than u16 must produce a
+    /// clean error, not a packing panic.
+    #[test]
+    fn oversized_component_chains_error_cleanly() {
+        let n = usize::from(u16::MAX) + 2;
+        let mut cb = CtmcBuilder::new(n);
+        cb.initial(0, 1.0);
+        for s in 0..n - 1 {
+            cb.rate(s, s + 1, 1e-6);
+        }
+        cb.failed(n - 1);
+        let chain = cb.build().unwrap();
+        let mut b = FaultTreeBuilder::new();
+        let x = b.dynamic_event("x", chain).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let err = ProductChain::build(&t, &ProductOptions::default());
+        assert!(matches!(err, Err(ProductError::TooManyStates { .. })));
+    }
+}

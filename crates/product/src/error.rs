@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors produced when building or analysing a product chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProductError {
+    /// The product state space exceeded the configured budget.
+    TooManyStates {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// Trigger updates failed to reach a consistent state (impossible for
+    /// trees accepted by the builder; indicates an internal invariant
+    /// violation).
+    UpdateDiverged,
+    /// An error from the Markov chain layer.
+    Ctmc(sdft_ctmc::CtmcError),
+}
+
+impl fmt::Display for ProductError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProductError::TooManyStates { limit } => {
+                write!(f, "product chain exceeded the state budget of {limit}")
+            }
+            ProductError::UpdateDiverged => {
+                write!(f, "trigger updates did not reach a consistent state")
+            }
+            ProductError::Ctmc(e) => write!(f, "markov chain error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProductError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProductError::Ctmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sdft_ctmc::CtmcError> for ProductError {
+    fn from(e: sdft_ctmc::CtmcError) -> Self {
+        ProductError::Ctmc(e)
+    }
+}

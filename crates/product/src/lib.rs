@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! The exact product-chain semantics of SD fault trees (§III-C of
+//! Krčál & Krčál, DSN 2015).
+//!
+//! Each state of the product Markov chain `C_FT` records the state of
+//! every basic event; static events contribute a frozen two-state chain
+//! whose failure is decided by the initial random draw. An *evolution*
+//! step of one component may leave the state inconsistent with the
+//! triggering structure (a gate failed while a triggered chain is still
+//! off, or vice versa); such states are *updated* — the (un)triggering
+//! maps are applied until a consistent state is reached (guaranteed by the
+//! acyclicity of the triggering structure) — and the evolution plus its
+//! updates merge into a single transition.
+//!
+//! The failure probability of the tree within a horizon `t` is the
+//! probability that the product chain reaches a state failing the top
+//! gate.
+//!
+//! Building the product chain is exponential in the number of basic
+//! events. It serves two purposes in this workspace:
+//!
+//! * ground truth for validating the scalable analysis on small models,
+//! * the quantification engine for the small per-cutset trees `FT_C`
+//!   constructed by `sdft-core` (§V-C), where the state space is small by
+//!   construction.
+//!
+//! # Example
+//!
+//! ```
+//! use sdft_ft::format;
+//! use sdft_product::{failure_probability, ProductOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tree = format::parse_str(
+//!     "top g\n\
+//!      basic x 0.01\n\
+//!      dynamic y erlang k=1 lambda=0.001 mu=0.05\n\
+//!      gate g and x y\n",
+//! )?;
+//! let p = failure_probability(&tree, 24.0, &ProductOptions::default())?;
+//! assert!(p > 0.0 && p < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+mod build;
+mod error;
+
+pub use build::{failure_probability, CompletionSplit, ProductChain, ProductOptions};
+pub use error::ProductError;

@@ -1,0 +1,596 @@
+#![warn(missing_docs)]
+
+//! Monte-Carlo discrete-event simulation of SD fault tree semantics.
+//!
+//! The simulator samples runs of the product Markov chain of §III-C of
+//! Krčál & Krčál (DSN 2015) *without building it*: each run draws the
+//! initial state of every basic event, resolves trigger updates, and then
+//! races the exponential clocks of all components until the top gate fails
+//! or the mission horizon expires.
+//!
+//! The trigger-update logic is implemented independently from
+//! `sdft-product` on purpose: two separate implementations of the
+//! semantics agreeing (see the cross-validation tests in `sdft-core` and
+//! `tests/`) is part of this workspace's evidence that both are right.
+//!
+//! # Example
+//!
+//! ```
+//! use sdft_ft::format;
+//! use sdft_sim::{simulate, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tree = format::parse_str(
+//!     "top g\n\
+//!      dynamic x erlang k=1 lambda=0.01 mu=0\n\
+//!      gate g or x\n",
+//! )?;
+//! let result = simulate(&tree, &SimOptions { samples: 20_000, horizon: 24.0, seed: 7 })?;
+//! let exact = 1.0 - (-0.01f64 * 24.0).exp();
+//! let (lo, hi) = result.confidence_interval_95();
+//! assert!(lo <= exact && exact <= hi);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdft_ctmc::{Ctmc, CtmcBuilder, Mode};
+use sdft_ft::{Behavior, FaultTree, NodeId, Scenario};
+use std::fmt;
+
+/// Options for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Number of independent runs.
+    pub samples: usize,
+    /// Mission horizon `t`.
+    pub horizon: f64,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            samples: 100_000,
+            horizon: 24.0,
+            seed: 0x5D_F7,
+        }
+    }
+}
+
+/// The outcome of a simulation campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Number of runs in which the top gate failed within the horizon.
+    pub failures: usize,
+    /// Total number of runs.
+    pub samples: usize,
+}
+
+impl SimResult {
+    /// Point estimate of the failure probability.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.samples as f64
+    }
+
+    /// 95% Wilson score interval for the failure probability.
+    #[must_use]
+    pub fn confidence_interval_95(&self) -> (f64, f64) {
+        if self.samples == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.samples as f64;
+        let p = self.estimate();
+        let z = 1.959_963_984_540_054_f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.confidence_interval_95();
+        write!(
+            f,
+            "{}/{} failures, estimate {:.3e} (95% CI [{:.3e}, {:.3e}])",
+            self.failures,
+            self.samples,
+            self.estimate(),
+            lo,
+            hi
+        )
+    }
+}
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The horizon is negative or not finite.
+    InvalidHorizon {
+        /// The offending horizon.
+        horizon: f64,
+    },
+    /// Trigger updates failed to converge (internal invariant violation).
+    UpdateDiverged,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidHorizon { horizon } => {
+                write!(f, "invalid simulation horizon {horizon}")
+            }
+            SimError::UpdateDiverged => {
+                write!(f, "trigger updates did not reach a consistent state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct Component {
+    event: NodeId,
+    chain: Ctmc,
+    modes: Option<(Vec<Mode>, Vec<usize>, Vec<usize>)>,
+    trigger_gate: Option<NodeId>,
+}
+
+/// Estimate `Pr[Reach≤t(F)]` of `tree` by Monte-Carlo simulation across
+/// `threads` worker threads.
+///
+/// Runs are split evenly; each worker derives its RNG stream from the
+/// seed and its index, so the result is deterministic for a fixed
+/// `(seed, threads)` pair. `threads == 0` uses all available cores (the
+/// result then depends on the machine's core count).
+///
+/// # Errors
+///
+/// Returns an error if the horizon is negative or not finite.
+pub fn simulate_parallel(
+    tree: &FaultTree,
+    options: &SimOptions,
+    threads: usize,
+) -> Result<SimResult, SimError> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        return simulate(tree, options);
+    }
+    let per_worker = options.samples / threads;
+    let remainder = options.samples % threads;
+    let outcomes: Vec<Result<SimResult, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let worker_options = SimOptions {
+                    samples: per_worker + usize::from(w < remainder),
+                    seed: options
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(w as u64),
+                    ..*options
+                };
+                scope.spawn(move || simulate(tree, &worker_options))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker does not panic"))
+            .collect()
+    });
+    let mut failures = 0;
+    let mut samples = 0;
+    for outcome in outcomes {
+        let r = outcome?;
+        failures += r.failures;
+        samples += r.samples;
+    }
+    Ok(SimResult { failures, samples })
+}
+
+/// Estimate `Pr[Reach≤t(F)]` of `tree` by Monte-Carlo simulation.
+///
+/// # Errors
+///
+/// Returns an error if the horizon is negative or not finite.
+pub fn simulate(tree: &FaultTree, options: &SimOptions) -> Result<SimResult, SimError> {
+    if !options.horizon.is_finite() || options.horizon < 0.0 {
+        return Err(SimError::InvalidHorizon {
+            horizon: options.horizon,
+        });
+    }
+    let components: Vec<Component> = tree
+        .basic_events()
+        .map(|event| match tree.behavior(event).expect("basic event") {
+            Behavior::Static { probability } => {
+                let mut b = CtmcBuilder::new(2);
+                b.initial(0, 1.0 - probability)
+                    .initial(1, *probability)
+                    .failed(1);
+                Component {
+                    event,
+                    chain: b.build().expect("static two-state chain is valid"),
+                    modes: None,
+                    trigger_gate: None,
+                }
+            }
+            Behavior::Dynamic(chain) => Component {
+                event,
+                chain: chain.clone(),
+                modes: None,
+                trigger_gate: None,
+            },
+            Behavior::Triggered(chain) => {
+                let n = chain.len();
+                let mode: Vec<Mode> = (0..n).map(|s| chain.mode(s)).collect();
+                let on_map = (0..n)
+                    .map(|s| {
+                        if mode[s] == Mode::Off {
+                            chain.on_of(s)
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                let off_map = (0..n)
+                    .map(|s| {
+                        if mode[s] == Mode::On {
+                            chain.off_of(s)
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                Component {
+                    event,
+                    chain: chain.chain().clone(),
+                    modes: Some((mode, on_map, off_map)),
+                    trigger_gate: tree.trigger_source(event),
+                }
+            }
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut failures = 0;
+    for _ in 0..options.samples {
+        if run_once(tree, &components, options.horizon, &mut rng)? {
+            failures += 1;
+        }
+    }
+    Ok(SimResult {
+        failures,
+        samples: options.samples,
+    })
+}
+
+fn run_once(
+    tree: &FaultTree,
+    components: &[Component],
+    horizon: f64,
+    rng: &mut StdRng,
+) -> Result<bool, SimError> {
+    // Draw initial component states.
+    let mut state: Vec<usize> = components
+        .iter()
+        .map(|c| {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            for s in 0..c.chain.len() {
+                acc += c.chain.initial_probability(s);
+                if u < acc {
+                    return s;
+                }
+            }
+            c.chain.len() - 1
+        })
+        .collect();
+    resolve_triggers(tree, components, &mut state)?;
+    if fails_top(tree, components, &state) {
+        return Ok(true);
+    }
+
+    let mut t = 0.0;
+    loop {
+        // Race the exponential clocks of all enabled transitions.
+        let total: f64 = state
+            .iter()
+            .zip(components)
+            .map(|(&s, c)| c.chain.exit_rate(s))
+            .sum();
+        if total <= 0.0 {
+            return Ok(false);
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / total;
+        if t > horizon {
+            return Ok(false);
+        }
+        // Pick the transition proportionally to its rate.
+        let mut pick = rng.gen::<f64>() * total;
+        'chosen: for (i, c) in components.iter().enumerate() {
+            for &(to, rate) in c.chain.transitions_from(state[i]) {
+                pick -= rate;
+                if pick <= 0.0 {
+                    state[i] = to;
+                    break 'chosen;
+                }
+            }
+        }
+        resolve_triggers(tree, components, &mut state)?;
+        if fails_top(tree, components, &state) {
+            return Ok(true);
+        }
+    }
+}
+
+fn scenario_of(tree: &FaultTree, components: &[Component], state: &[usize]) -> Scenario {
+    Scenario::from_events(
+        tree,
+        state
+            .iter()
+            .zip(components)
+            .filter(|&(&s, c)| c.chain.is_failed(s))
+            .map(|(_, c)| c.event),
+    )
+}
+
+fn fails_top(tree: &FaultTree, components: &[Component], state: &[usize]) -> bool {
+    let scenario = scenario_of(tree, components, state);
+    tree.fails(tree.top(), &scenario)
+}
+
+fn resolve_triggers(
+    tree: &FaultTree,
+    components: &[Component],
+    state: &mut [usize],
+) -> Result<(), SimError> {
+    let limit = components.len() + 2;
+    for _ in 0..limit {
+        let scenario = scenario_of(tree, components, state);
+        let failed = tree.evaluate_scenario(&scenario);
+        let mut changed = false;
+        for (i, c) in components.iter().enumerate() {
+            let (Some((mode, on_map, off_map)), Some(gate)) = (&c.modes, c.trigger_gate) else {
+                continue;
+            };
+            let s = state[i];
+            if failed[gate.index()] {
+                if mode[s] == Mode::Off {
+                    state[i] = on_map[s];
+                    changed = true;
+                }
+            } else if mode[s] == Mode::On {
+                state[i] = off_map[s];
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(SimError::UpdateDiverged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+    use sdft_product::{failure_probability, ProductOptions};
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-2).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-2, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-2).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-2, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-4).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_tree_estimate_matches_exact() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.3).unwrap();
+        let y = b.static_event("y", 0.4).unwrap();
+        let g = b.or("g", [x, y]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let exact = t.exact_static_probability().unwrap();
+        let r = simulate(
+            &t,
+            &SimOptions {
+                samples: 50_000,
+                horizon: 1.0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let (lo, hi) = r.confidence_interval_95();
+        assert!(lo <= exact && exact <= hi, "{exact} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn agrees_with_product_chain_on_sd_tree() {
+        // Scaled-up rates so failures are frequent enough to estimate.
+        let t = example3();
+        let exact = failure_probability(&t, 48.0, &ProductOptions::default()).unwrap();
+        let r = simulate(
+            &t,
+            &SimOptions {
+                samples: 200_000,
+                horizon: 48.0,
+                seed: 42,
+            },
+        )
+        .unwrap();
+        let (lo, hi) = r.confidence_interval_95();
+        assert!(
+            lo <= exact && exact <= hi,
+            "product {exact} outside simulation CI [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = example3();
+        let opts = SimOptions {
+            samples: 5_000,
+            horizon: 24.0,
+            seed: 9,
+        };
+        let a = simulate(&t, &opts).unwrap();
+        let b = simulate(&t, &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_horizon_counts_initial_failures_only() {
+        let mut b = FaultTreeBuilder::new();
+        let x = b.static_event("x", 0.5).unwrap();
+        let g = b.or("g", [x]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        let r = simulate(
+            &t,
+            &SimOptions {
+                samples: 20_000,
+                horizon: 0.0,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!((r.estimate() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_invalid_horizon() {
+        let t = example3();
+        assert!(matches!(
+            simulate(
+                &t,
+                &SimOptions {
+                    horizon: -1.0,
+                    ..SimOptions::default()
+                }
+            ),
+            Err(SimError::InvalidHorizon { .. })
+        ));
+        assert!(matches!(
+            simulate(
+                &t,
+                &SimOptions {
+                    horizon: f64::NAN,
+                    ..SimOptions::default()
+                }
+            ),
+            Err(SimError::InvalidHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let r = SimResult {
+            failures: 0,
+            samples: 1000,
+        };
+        let (lo, hi) = r.confidence_interval_95();
+        assert!(lo < 1e-12, "lo = {lo}");
+        assert!(hi > 0.0 && hi < 0.01);
+        let r = SimResult {
+            failures: 1000,
+            samples: 1000,
+        };
+        let (lo, hi) = r.confidence_interval_95();
+        assert!(lo > 0.99 && hi > 0.999 && hi <= 1.0);
+        let r = SimResult {
+            failures: 0,
+            samples: 0,
+        };
+        assert_eq!(r.confidence_interval_95(), (0.0, 1.0));
+        assert_eq!(r.estimate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use sdft_ft::format;
+
+    fn model() -> FaultTree {
+        format::parse_str(
+            "top g\ndynamic x erlang k=1 lambda=0.01 mu=0\nbasic y 0.3\ngate g and x y\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_simulation_is_deterministic_and_consistent() {
+        let t = model();
+        let opts = SimOptions {
+            samples: 40_000,
+            horizon: 24.0,
+            seed: 11,
+        };
+        let a = simulate_parallel(&t, &opts, 4).unwrap();
+        let b = simulate_parallel(&t, &opts, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.samples, 40_000);
+        // Statistically consistent with the sequential estimate.
+        let sequential = simulate(&t, &opts).unwrap();
+        let exact = 0.3 * (1.0 - (-0.01f64 * 24.0).exp());
+        let (lo, hi) = a.confidence_interval_95();
+        assert!(lo <= exact && exact <= hi, "{exact} outside [{lo}, {hi}]");
+        let (lo, hi) = sequential.confidence_interval_95();
+        assert!(lo <= exact && exact <= hi);
+    }
+
+    #[test]
+    fn one_thread_delegates_to_sequential() {
+        let t = model();
+        let opts = SimOptions {
+            samples: 5_000,
+            horizon: 24.0,
+            seed: 3,
+        };
+        assert_eq!(
+            simulate_parallel(&t, &opts, 1).unwrap(),
+            simulate(&t, &opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn odd_sample_counts_are_fully_used() {
+        let t = model();
+        let opts = SimOptions {
+            samples: 10_001,
+            horizon: 24.0,
+            seed: 5,
+        };
+        let r = simulate_parallel(&t, &opts, 3).unwrap();
+        assert_eq!(r.samples, 10_001);
+    }
+}

@@ -1,0 +1,75 @@
+//! The §VI-A case study: a fictive boiling water reactor's core damage
+//! frequency, analyzed statically and then with increasingly rich dynamic
+//! behaviour — repairs at growing rates, then the six triggering
+//! dependencies added one by one (FEED&BLEED, RHR, EFW, ECC, SWS, CCW).
+//!
+//! Run with: `cargo run --release --example bwr_study`
+
+use sdft::core::{analyze, AnalysisOptions};
+use sdft::ft::EventProbabilities;
+use sdft::mocus::{minimal_cutsets, MocusOptions};
+use sdft::models::bwr::{build, BwrConfig, Triggers};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = 24.0;
+
+    // The purely static safety study.
+    let static_tree = build(&BwrConfig::static_model());
+    let probs = EventProbabilities::from_static(&static_tree)?;
+    let mcs = minimal_cutsets(&static_tree, &probs, &MocusOptions::default())?;
+    println!(
+        "BWR model: {} basic events, {} gates, {} minimal cutsets",
+        static_tree.num_basic_events(),
+        static_tree.num_gates(),
+        mcs.len()
+    );
+    let static_freq = mcs.rare_event_approximation(|e| probs.get(e));
+    println!("\n{:<28} {:>12}  {:>9}", "setting", "failure freq.", "time");
+    println!("{:<28} {:>12.3e}  {:>9}", "no timing", static_freq, "-");
+
+    let run = |label: &str, config: &BwrConfig| -> Result<f64, Box<dyn std::error::Error>> {
+        let tree = build(config);
+        let begin = Instant::now();
+        let result = analyze(&tree, &AnalysisOptions::new(horizon))?;
+        println!(
+            "{:<28} {:>12.3e}  {:>8.2?}",
+            label,
+            result.frequency,
+            begin.elapsed()
+        );
+        Ok(result.frequency)
+    };
+
+    // Repairs make the analysis time-aware: two simultaneous failures are
+    // needed, not just two failures anywhere in the mission.
+    run("repair rate 1/1000h", &BwrConfig::repairs_only(1e-3, 1))?;
+    run("repair rate 1/100h", &BwrConfig::repairs_only(1e-2, 1))?;
+    run("repair rate 1/10h", &BwrConfig::repairs_only(1e-1, 1))?;
+
+    // Triggers defer the start of standby trains, shortening their
+    // exposure — every added trigger lowers the frequency further.
+    let mut last = f64::INFINITY;
+    let labels = [
+        "+FEED&BLEED trigger",
+        "+RHR trigger",
+        "+EFW trigger",
+        "+ECC trigger",
+        "+SWS trigger",
+        "+CCW trigger",
+    ];
+    for (i, label) in labels.iter().enumerate() {
+        let config = BwrConfig {
+            triggers: Triggers::first(i + 1),
+            ..BwrConfig::repairs_only(1e-2, 1)
+        };
+        let freq = run(label, &config)?;
+        assert!(
+            freq <= last * 1.0001,
+            "each trigger should lower the frequency"
+        );
+        last = freq;
+    }
+    println!("\nEvery dynamic refinement lowered the conservative static estimate.");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Event-tree-driven modeling: the demand order of safety functions
+//! (which static analysis cannot use, §V-A of the paper) becomes
+//! triggering structure automatically.
+//!
+//! A loss-of-feedwater initiator demands three cooling functions in
+//! sequence; each function's standby pumps are triggered spares that
+//! start only when the previous function has failed. The same plant
+//! analyzed without the demand order treats every pump as running from
+//! time zero — and over-estimates the damage frequency.
+//!
+//! Run with: `cargo run --release --example event_tree`
+
+use sdft::core::{analyze, AnalysisOptions};
+use sdft::ctmc::erlang;
+use sdft::ft::{FaultTreeBuilder, NodeId};
+use sdft::models::event_tree::EventTree;
+
+/// One cooling function: a valve (static) plus a pump whose
+/// failure-in-operation is dynamic; standby functions get triggered
+/// spares.
+fn function(
+    b: &mut FaultTreeBuilder,
+    name: &str,
+    standby: bool,
+) -> Result<NodeId, Box<dyn std::error::Error>> {
+    let valve = b.static_event(&format!("{name}_valve"), 8e-4)?;
+    let pump = if standby {
+        b.triggered_event(&format!("{name}_pump"), erlang::triggered(1, 2e-3, 0.02)?)?
+    } else {
+        b.dynamic_event(&format!("{name}_pump"), erlang::repairable(1, 2e-3, 0.02)?)?
+    };
+    Ok(b.or(&format!("{name}_fail"), [valve, pump])?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // With the demand order: MFW runs from the start, ECC and EFW are
+    // standby functions started by the preceding failure.
+    let mut b = FaultTreeBuilder::new();
+    let mfw = function(&mut b, "mfw", false)?;
+    let ecc = function(&mut b, "ecc", true)?;
+    let efw = function(&mut b, "efw", true)?;
+    let mut et = EventTree::new("loss_of_feedwater", 5e-3);
+    et.function("mfw", mfw)?;
+    et.function("ecc", ecc)?;
+    et.function("efw", efw)?;
+    et.damage_if_all_fail()?;
+    let top = et.build(&mut b)?;
+    b.top(top);
+    let sequenced = b.build()?;
+
+    // The same plant without demand ordering: every pump always on.
+    let mut b = FaultTreeBuilder::new();
+    let mfw = function(&mut b, "mfw", false)?;
+    let ecc = function(&mut b, "ecc", false)?;
+    let efw = function(&mut b, "efw", false)?;
+    let ie = b.static_event("loss_of_feedwater", 5e-3)?;
+    let seq = b.and("seq", [ie, mfw, ecc, efw])?;
+    b.top(seq);
+    let always_on = b.build()?;
+
+    let horizon = 72.0;
+    let with_order = analyze(&sequenced, &AnalysisOptions::new(horizon))?;
+    let without_order = analyze(&always_on, &AnalysisOptions::new(horizon))?;
+    println!("core damage frequency over {horizon}h:");
+    println!(
+        "  demand-ordered (event tree): {:.4e}",
+        with_order.frequency
+    );
+    println!(
+        "  all functions always on:     {:.4e}",
+        without_order.frequency
+    );
+    println!(
+        "  static worst case:           {:.4e}",
+        with_order.static_rea
+    );
+    println!(
+        "\nthe demand order removes {:.0}% of the always-on estimate",
+        100.0 * (1.0 - with_order.frequency / without_order.frequency)
+    );
+    assert!(with_order.frequency < without_order.frequency);
+    assert!(without_order.frequency <= with_order.static_rea * 1.0001);
+
+    // The wiring the event tree created:
+    for name in ["ecc_pump", "efw_pump"] {
+        let event = sequenced.node_by_name(name).unwrap();
+        let source = sequenced.trigger_source(event).unwrap();
+        println!("{name} is triggered by {}", sequenced.name(source));
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The §VI-B workflow on an industrial-scale model: generate a PSA-shaped
+//! fault tree, rank basic events by Fussell–Vesely importance, replace a
+//! growing fraction of them with dynamic (repairable, triggered) events,
+//! and watch the failure frequency sharpen while the analysis stays fast.
+//!
+//! Run with: `cargo run --release --example industrial_sweep [scale]`
+//! (default scale 0.2; 1.0 reproduces the paper's ~3,000-event model).
+
+use sdft::core::{analyze, AnalysisOptions};
+use sdft::ft::EventProbabilities;
+use sdft::importance::fussell_vesely_ranking;
+use sdft::mocus::{minimal_cutsets, MocusOptions};
+use sdft::models::annotate::{annotate, AnnotationConfig};
+use sdft::models::industrial;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).map_or(Ok(0.2), |s| s.parse())?;
+
+    let begin = Instant::now();
+    let tree = industrial::generate(&industrial::model1().scaled(scale));
+    println!(
+        "generated model: {} basic events, {} gates ({:.2?})",
+        tree.num_basic_events(),
+        tree.num_gates(),
+        begin.elapsed()
+    );
+
+    let probs = EventProbabilities::from_static(&tree)?;
+    let begin = Instant::now();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default())?;
+    println!(
+        "{} minimal cutsets above 1e-15 ({:.2?}), static REA {:.3e}",
+        mcs.len(),
+        begin.elapsed(),
+        mcs.rare_event_approximation(|e| probs.get(e))
+    );
+
+    // Rank events by how much risk flows through them; the most important
+    // ones get dynamic models first (§VI-B).
+    let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    println!("\ntop 5 events by Fussell–Vesely importance:");
+    for (event, fv) in ranking.iter().take(5) {
+        println!("  {:<24} FV = {:.3}", tree.name(*event), fv);
+    }
+
+    println!(
+        "\n{:>7} {:>7} {:>14} {:>10} {:>9}",
+        "% dyn", "% trig", "failure freq.", "MCS", "time"
+    );
+    for pct in [10.0, 30.0, 50.0, 100.0] {
+        let annotated = annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(pct))?;
+        let begin = Instant::now();
+        let result = analyze(&annotated.tree, &AnalysisOptions::new(24.0))?;
+        println!(
+            "{:>7} {:>7} {:>14.3e} {:>10} {:>8.2?}",
+            pct,
+            pct / 10.0,
+            result.frequency,
+            result.stats.num_cutsets,
+            begin.elapsed()
+        );
+    }
+    println!("\nTiming-aware modeling removed conservatism that a static study keeps.");
+    Ok(())
+}

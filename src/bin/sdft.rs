@@ -1,0 +1,310 @@
+//! The `sdft` command-line tool: analyze SD fault trees written in the
+//! plain-text format (see `sdft::ft::format`).
+//!
+//! ```text
+//! sdft check      <file>                     validate + classify triggers
+//! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--fast] [--csv OUT]
+//! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N]
+//! sdft exact      <file> [--horizon H]       product-chain reference (small models)
+//! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
+//! sdft importance <file> [--horizon H] [--top N]
+//! sdft metrics    <file>                     MTTF + steady-state unavailability
+//! sdft dot        <file>                     Graphviz export to stdout
+//! ```
+
+use sdft::core::{analyze, classify_triggering_gates, AnalysisOptions, TriggerTreatment};
+use sdft::ft::{dot, format, EventProbabilities, FaultTree};
+use sdft::mocus::MocusOptions;
+use sdft::product::{failure_probability, ProductOptions};
+use sdft::sim::{simulate, SimOptions};
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    horizon: f64,
+    cutoff: f64,
+    top: usize,
+    samples: usize,
+    seed: u64,
+    fast: bool,
+    csv: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
+         [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--fast] [--csv OUT]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some((file, flags)) = rest.split_first() else {
+        return usage();
+    };
+    let mut args = Args {
+        file: file.clone(),
+        horizon: 24.0,
+        cutoff: 1e-15,
+        top: 10,
+        samples: 100_000,
+        seed: 7,
+        fast: false,
+        csv: None,
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v.cloned()
+        };
+        let ok = match flag.as_str() {
+            "--horizon" => value("--horizon")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.horizon = v),
+            "--cutoff" => value("--cutoff")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.cutoff = v),
+            "--top" => value("--top")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.top = v),
+            "--samples" => value("--samples")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.samples = v),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.seed = v),
+            "--csv" => value("--csv").map(|v| args.csv = Some(v)),
+            "--fast" => {
+                args.fast = true;
+                Some(())
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                None
+            }
+        };
+        if ok.is_none() {
+            return usage();
+        }
+    }
+
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let tree = match format::parse_str(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command.as_str() {
+        "check" => cmd_check(&tree),
+        "analyze" => cmd_analyze(&tree, &args),
+        "mcs" => cmd_mcs(&tree, &args),
+        "exact" => cmd_exact(&tree, &args),
+        "simulate" => cmd_simulate(&tree, &args),
+        "importance" => cmd_importance(&tree, &args),
+        "metrics" => cmd_metrics(&tree),
+        "dot" => {
+            print!("{}", dot::to_dot(&tree));
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_check(tree: &FaultTree) -> CliResult {
+    println!(
+        "valid SD fault tree: {} basic events ({} dynamic), {} gates, top {:?}",
+        tree.num_basic_events(),
+        tree.dynamic_basic_events().count(),
+        tree.num_gates(),
+        tree.name(tree.top()),
+    );
+    let stats = tree.statistics();
+    println!(
+        "structure: depth {}, max fan-in {}, gates {} and / {} or / {} atleast, \
+         {} triggered events",
+        stats.depth,
+        stats.max_fan_in,
+        stats.and_gates,
+        stats.or_gates,
+        stats.atleast_gates,
+        stats.triggered_events,
+    );
+    let mods = sdft::ft::modules(tree);
+    println!("independent modules: {}", mods.len());
+    let classes = classify_triggering_gates(tree);
+    if classes.is_empty() {
+        println!("no triggering gates");
+    } else {
+        println!("triggering gates ({}):", classes.len());
+        let mut sorted: Vec<_> = classes.into_iter().collect();
+        sorted.sort_by_key(|&(gate, _)| gate);
+        for (gate, class) in sorted {
+            let targets: Vec<&str> = tree
+                .triggers_of(gate)
+                .iter()
+                .map(|&e| tree.name(e))
+                .collect();
+            println!(
+                "  {:<24} {class}  (triggers: {})",
+                tree.name(gate),
+                targets.join(", ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn analysis_options(args: &Args) -> AnalysisOptions {
+    let mut options = AnalysisOptions::new(args.horizon);
+    options.mocus = MocusOptions::with_cutoff(args.cutoff);
+    if args.fast {
+        options.treatment = TriggerTreatment::CutsetOnly;
+    }
+    options
+}
+
+fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
+    let result = analyze(tree, &analysis_options(args))?;
+    println!(
+        "failure frequency over {}h: {:.4e}  (static worst case {:.4e})",
+        args.horizon, result.frequency, result.static_rea
+    );
+    println!(
+        "{} cutsets above {:.0e} ({} dynamic, largest chain {} states)",
+        result.stats.num_cutsets,
+        args.cutoff,
+        result.stats.num_dynamic_cutsets,
+        result.stats.max_chain_states,
+    );
+    println!(
+        "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}",
+        result.timings.worst_case,
+        result.timings.translation,
+        result.timings.mcs_generation,
+        result.timings.quantification,
+    );
+    println!("\ntop cutsets:");
+    for report in result.cutsets.iter().take(args.top) {
+        let names: Vec<&str> = report
+            .cutset
+            .events()
+            .iter()
+            .map(|&e| tree.name(e))
+            .collect();
+        println!("  {:>12.4e}  {{{}}}", report.probability, names.join(", "));
+    }
+    if let Some(path) = &args.csv {
+        let file = std::fs::File::create(path)?;
+        result.write_csv(tree, std::io::BufWriter::new(file))?;
+        println!("\nper-cutset records written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_mcs(tree: &FaultTree, args: &Args) -> CliResult {
+    let probs = sdft::core::worst_case_probabilities(tree, args.horizon, 1e-12)?;
+    let translated = sdft::core::translate(tree, &probs)?;
+    let static_probs = EventProbabilities::from_static(&translated.tree)?;
+    let mcs = sdft::mocus::minimal_cutsets(
+        &translated.tree,
+        &static_probs,
+        &MocusOptions::with_cutoff(args.cutoff),
+    )?;
+    let mut list = translated.cutsets_to_original(&mcs);
+    list.sort_by_probability_desc(|e| probs.get(e));
+    println!(
+        "{} minimal cutsets above {:.0e} (REA {:.4e}):",
+        list.len(),
+        args.cutoff,
+        list.rare_event_approximation(|e| probs.get(e))
+    );
+    for cutset in list.iter().take(args.top) {
+        let names: Vec<&str> = cutset.events().iter().map(|&e| tree.name(e)).collect();
+        println!(
+            "  {:>12.4e}  {{{}}}",
+            cutset.probability_with(|e| probs.get(e)),
+            names.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_exact(tree: &FaultTree, args: &Args) -> CliResult {
+    let p = failure_probability(tree, args.horizon, &ProductOptions::default())?;
+    println!(
+        "exact product-chain failure probability over {}h: {:.6e}",
+        args.horizon, p
+    );
+    Ok(())
+}
+
+fn cmd_simulate(tree: &FaultTree, args: &Args) -> CliResult {
+    let result = simulate(
+        tree,
+        &SimOptions {
+            samples: args.samples,
+            horizon: args.horizon,
+            seed: args.seed,
+        },
+    )?;
+    println!("simulation over {}h: {result}", args.horizon);
+    Ok(())
+}
+
+fn cmd_metrics(tree: &FaultTree) -> CliResult {
+    use sdft::ctmc::StationaryOptions;
+    use sdft::product::{ProductChain, ProductOptions};
+    let chain = ProductChain::build(tree, &ProductOptions::default())?;
+    println!("product chain: {} states", chain.num_states());
+    let opts = StationaryOptions::default();
+    let mttf = chain.chain().mean_time_to_failure(&opts)?;
+    if mttf.is_infinite() {
+        println!("mean time to failure: unreachable (the top gate can never fail)");
+    } else {
+        println!(
+            "mean time to failure: {mttf:.3} h ({:.2} years)",
+            mttf / 8766.0
+        );
+    }
+    let unavailability = chain.steady_state_unavailability(&opts)?;
+    println!("steady-state unavailability: {unavailability:.4e}");
+    Ok(())
+}
+
+fn cmd_importance(tree: &FaultTree, args: &Args) -> CliResult {
+    let result = analyze(tree, &analysis_options(args))?;
+    println!(
+        "time-aware Fussell–Vesely importance (frequency {:.4e}):",
+        result.frequency
+    );
+    for (event, share) in result.fussell_vesely().into_iter().take(args.top) {
+        println!("  {:<24} {share:.4}", tree.name(event));
+    }
+    Ok(())
+}

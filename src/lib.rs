@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! SD fault trees and their scalable analysis — a Rust implementation of
+//! Krčál & Krčál, *Scalable Analysis of Fault Trees with Dynamic
+//! Features* (DSN 2015).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`ft`] — the fault tree formalism (builder, scenarios, cutsets,
+//!   text format, DOT export),
+//! * [`ctmc`] — continuous-time Markov chains (transient analysis,
+//!   triggered chains, Erlang models),
+//! * [`mocus`] — minimal cutset generation with a probabilistic cutoff,
+//! * [`bdd`] — exact static analysis on ROBDDs,
+//! * [`product`] — the exact product-chain semantics of SD trees,
+//! * [`sim`] — Monte-Carlo simulation of the SD semantics,
+//! * [`core`] — the paper's scalable analysis pipeline,
+//! * [`importance`] — Fussell–Vesely / Birnbaum / RAW / RRW measures,
+//! * [`models`] — the paper's example models and an industrial-scale
+//!   generator.
+//!
+//! # Example
+//!
+//! ```
+//! use sdft::core::{analyze, AnalysisOptions};
+//! use sdft::ft::format;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tree = format::parse_str(
+//!     "top cooling\n\
+//!      basic a 0.003\n\
+//!      basic c 0.003\n\
+//!      basic e 0.000003\n\
+//!      dynamic b erlang k=1 lambda=0.001 mu=0.05\n\
+//!      dynamic d spare lambda=0.001 mu=0.05\n\
+//!      gate pump1 or a b\n\
+//!      gate pump2 or c d\n\
+//!      gate pumps and pump1 pump2\n\
+//!      gate cooling or pumps e\n\
+//!      trigger pump1 d\n",
+//! )?;
+//! let result = analyze(&tree, &AnalysisOptions::new(24.0))?;
+//! assert!(result.frequency > 0.0 && result.frequency < result.static_rea);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sdft_bdd as bdd;
+pub use sdft_core as core;
+pub use sdft_ctmc as ctmc;
+pub use sdft_ft as ft;
+pub use sdft_importance as importance;
+pub use sdft_mocus as mocus;
+pub use sdft_models as models;
+pub use sdft_product as product;
+pub use sdft_sim as sim;

@@ -1,0 +1,162 @@
+//! API-guideline conformance checks: thread-safety of the public types
+//! (C-SEND-SYNC), meaningful error messages (C-GOOD-ERR), and non-empty
+//! Debug output (C-DEBUG-NONEMPTY).
+
+use sdft::ctmc::erlang;
+use sdft::models::toy;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<sdft::ft::FaultTree>();
+    assert_send_sync::<sdft::ft::FaultTreeBuilder>();
+    assert_send_sync::<sdft::ft::Cutset>();
+    assert_send_sync::<sdft::ft::CutsetList>();
+    assert_send_sync::<sdft::ft::EventProbabilities>();
+    assert_send_sync::<sdft::ft::Scenario>();
+    assert_send_sync::<sdft::ctmc::Ctmc>();
+    assert_send_sync::<sdft::ctmc::TriggeredCtmc>();
+    assert_send_sync::<sdft::ctmc::PoissonWeights>();
+    assert_send_sync::<sdft::bdd::Bdd>();
+    assert_send_sync::<sdft::product::ProductChain>();
+    assert_send_sync::<sdft::core::AnalysisResult>();
+    assert_send_sync::<sdft::core::FtcContext>();
+    assert_send_sync::<sdft::core::CutsetModel>();
+    assert_send_sync::<sdft::mocus::Assumptions>();
+    assert_send_sync::<sdft::importance::ImportanceReport>();
+    assert_send_sync::<sdft::sim::SimResult>();
+}
+
+#[test]
+fn error_types_are_send_sync_errors() {
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<sdft::ft::FtError>();
+    assert_error::<sdft::ctmc::CtmcError>();
+    assert_error::<sdft::mocus::MocusError>();
+    assert_error::<sdft::bdd::BddError>();
+    assert_error::<sdft::product::ProductError>();
+    assert_error::<sdft::sim::SimError>();
+    assert_error::<sdft::core::CoreError>();
+}
+
+#[test]
+fn error_messages_are_lowercase_and_informative() {
+    let messages = vec![
+        sdft::ctmc::CtmcError::EmptyStateSpace.to_string(),
+        sdft::ctmc::CtmcError::InvalidRate {
+            from: 0,
+            to: 1,
+            rate: -1.0,
+        }
+        .to_string(),
+        sdft::ctmc::CtmcError::InvalidHorizon { horizon: f64::NAN }.to_string(),
+        sdft::ctmc::CtmcError::DidNotConverge { iterations: 5 }.to_string(),
+        sdft::ft::FtError::MissingTop.to_string(),
+        sdft::ft::FtError::DuplicateName { name: "x".into() }.to_string(),
+        sdft::ft::FtError::CyclicTriggering { name: "d".into() }.to_string(),
+        sdft::ft::FtError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        }
+        .to_string(),
+        sdft::mocus::MocusError::TooManyPartials { limit: 10 }.to_string(),
+        sdft::mocus::MocusError::InvalidCutoff { cutoff: -1.0 }.to_string(),
+        sdft::bdd::BddError::TooManyNodes { limit: 4 }.to_string(),
+        sdft::product::ProductError::TooManyStates { limit: 9 }.to_string(),
+        sdft::sim::SimError::InvalidHorizon { horizon: -2.0 }.to_string(),
+        sdft::core::CoreError::InvalidHorizon { horizon: -2.0 }.to_string(),
+    ];
+    for message in messages {
+        assert!(!message.is_empty());
+        let first_word = message.split_whitespace().next().unwrap();
+        let acronym = first_word
+            .chars()
+            .all(|c| !c.is_alphabetic() || c.is_uppercase());
+        let first = message.chars().next().unwrap();
+        assert!(
+            first.is_lowercase() || !first.is_alphabetic() || acronym,
+            "error message should start lowercase (or with an acronym): {message:?}"
+        );
+        assert!(
+            !message.ends_with('.'),
+            "no trailing punctuation: {message:?}"
+        );
+        assert!(
+            message.len() > 10,
+            "message should carry detail: {message:?}"
+        );
+    }
+}
+
+#[test]
+fn error_sources_are_chained() {
+    use std::error::Error;
+    let inner = sdft::ctmc::CtmcError::EmptyStateSpace;
+    let outer = sdft::ft::FtError::Ctmc(inner.clone());
+    assert!(outer.source().is_some());
+    let core: sdft::core::CoreError = outer.into();
+    assert!(core.source().is_some());
+    let mocus = sdft::mocus::MocusError::Ft(sdft::ft::FtError::MissingTop);
+    assert!(mocus.source().is_some());
+    let product: sdft::product::ProductError = inner.into();
+    assert!(product.source().is_some());
+}
+
+#[test]
+fn debug_output_is_never_empty() {
+    let tree = toy::example3();
+    assert!(!format!("{tree:?}").is_empty());
+    let chain = erlang::spare(1e-3, 0.05).unwrap();
+    assert!(!format!("{chain:?}").is_empty());
+    let cutset = sdft::ft::Cutset::new(std::iter::empty());
+    assert!(!format!("{cutset:?}").is_empty());
+    assert_eq!(cutset.to_string(), "{}");
+    let list = sdft::ft::CutsetList::new();
+    assert!(!format!("{list:?}").is_empty());
+}
+
+#[test]
+fn display_formats_are_human_readable() {
+    use sdft::core::TriggerClass;
+    assert_eq!(
+        TriggerClass::StaticBranching.to_string(),
+        "static branching"
+    );
+    assert_eq!(TriggerClass::General.to_string(), "general");
+    assert_eq!(
+        TriggerClass::StaticJoinsUniform.to_string(),
+        "static joins with uniform triggering"
+    );
+    assert_eq!(sdft::ft::GateKind::And.to_string(), "and");
+    assert_eq!(sdft::ft::GateKind::AtLeast(2).to_string(), "atleast 2");
+    assert_eq!(sdft::ft::NodeId::from_index(7).to_string(), "n7");
+    let ef = sdft::importance::uncertainty::ErrorFactor::new(3.0).unwrap();
+    assert_eq!(ef.to_string(), "EF 3");
+}
+
+#[test]
+fn collections_implement_from_iterator_and_extend() {
+    use sdft::ft::{Cutset, CutsetList, NodeId};
+    let cutset: Cutset = (0..3).map(NodeId::from_index).collect();
+    assert_eq!(cutset.order(), 3);
+    let mut list: CutsetList = std::iter::once(cutset.clone()).collect();
+    list.extend(std::iter::once(cutset));
+    assert_eq!(list.len(), 2);
+    let back: Vec<Cutset> = list.into_iter().collect();
+    assert_eq!(back.len(), 2);
+}
+
+#[test]
+fn builders_support_chaining() {
+    let mut b = sdft::ctmc::CtmcBuilder::new(2);
+    b.initial(0, 1.0).rate(0, 1, 1e-3).failed(1);
+    assert!(b.build().is_ok());
+    let mut tb = sdft::ctmc::TriggeredCtmcBuilder::new();
+    tb.off_state()
+        .on_state()
+        .initial(0, 1.0)
+        .map(0, 1)
+        .rate(1, 1, 0.0);
+    assert!(tb.build().is_ok());
+}

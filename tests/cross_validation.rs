@@ -1,0 +1,165 @@
+//! Cross-validation across engines at workspace level: MOCUS vs BDD on
+//! static models, the scalable pipeline vs Monte-Carlo simulation on SD
+//! models, and the exact product chain as referee where it fits.
+
+use sdft::bdd::Bdd;
+use sdft::core::{analyze, AnalysisOptions};
+use sdft::ft::{Cutset, EventProbabilities};
+use sdft::mocus::{minimal_cutsets, MocusOptions};
+use sdft::models::annotate::{annotate, AnnotationConfig};
+use sdft::models::{bwr, industrial, toy};
+use sdft::sim::{simulate, SimOptions};
+
+/// MOCUS (no cutoff) and the BDD extraction agree exactly on the toy
+/// model and on moderately sized generated models.
+#[test]
+fn mocus_and_bdd_agree_on_minimal_cutsets() {
+    // Exhaustive comparison on the toy model.
+    let tree = toy::example1();
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mocus_mcs = minimal_cutsets(&tree, &probs, &MocusOptions::exhaustive()).unwrap();
+    let mut bdd = Bdd::new(&tree).unwrap();
+    let bdd_mcs = bdd.minimal_cutsets().unwrap();
+    let mut a: Vec<&Cutset> = mocus_mcs.iter().collect();
+    let mut b: Vec<&Cutset> = bdd_mcs.iter().collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "cutset lists differ");
+
+    // Cutoff comparison on a generated industrial model: MOCUS above the
+    // cutoff must equal the BDD's complete list filtered by the same
+    // cutoff (exhaustive MOCUS would enumerate millions of irrelevant
+    // cutsets here — the cutoff is the point of the algorithm).
+    let tree = industrial::generate(&industrial::model1().scaled(0.02));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let cutoff = 1e-15;
+    let mocus_mcs = minimal_cutsets(&tree, &probs, &MocusOptions::with_cutoff(cutoff)).unwrap();
+    let mut bdd = Bdd::new(&tree).unwrap();
+    let bdd_all = bdd.minimal_cutsets().unwrap();
+    let mut a: Vec<&Cutset> = mocus_mcs.iter().collect();
+    let mut b: Vec<&Cutset> = bdd_all
+        .iter()
+        .filter(|c| c.probability_with(|e| probs.get(e)) > cutoff)
+        .collect();
+    a.sort();
+    b.sort();
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "cutset counts differ above the cutoff");
+    assert_eq!(a, b, "cutset lists differ above the cutoff");
+}
+
+/// The rare-event approximation brackets the exact BDD probability from
+/// above on the BWR study.
+#[test]
+fn bwr_rea_brackets_exact_probability() {
+    let tree = bwr::build(&bwr::BwrConfig::static_model());
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::exhaustive()).unwrap();
+    let rea = mcs.rare_event_approximation(|e| probs.get(e));
+    let bdd = Bdd::new(&tree).unwrap();
+    let exact = bdd.top_probability(&probs);
+    assert!(
+        rea >= exact,
+        "REA {rea} must over-approximate exact {exact}"
+    );
+    assert!(rea / exact < 1.01, "rare events: the gap stays below 1%");
+    // And the cutoff loses almost nothing here.
+    let cut = minimal_cutsets(&tree, &probs, &MocusOptions::default()).unwrap();
+    let cut_rea = cut.rare_event_approximation(|e| probs.get(e));
+    assert!(cut_rea <= rea && cut_rea > rea * 0.98);
+}
+
+/// The scalable pipeline agrees with Monte-Carlo simulation on the BWR
+/// model scaled up to visible failure rates.
+#[test]
+fn pipeline_agrees_with_simulation_on_sd_model() {
+    // The real BWR frequency (~1e-8) is unreachable by simulation, so
+    // build a small SD model with visible probabilities instead.
+    let text = "
+        top top
+        basic ie 0.05
+        basic v1 0.02
+        basic v2 0.02
+        dynamic p1 erlang k=1 lambda=0.01 mu=0.04
+        dynamic g1 erlang k=2 lambda=0.008 mu=0.03
+        dynamic p2 spare lambda=0.012 mu=0.05
+        gate train1 or v1 p1 g1
+        gate train2 or v2 p2
+        gate cooling and train1 train2
+        gate top and ie cooling
+        trigger train1 p2
+    ";
+    let tree = sdft::ft::format::parse_str(text).unwrap();
+    let horizon = 48.0;
+    let mut opts = AnalysisOptions::new(horizon);
+    opts.mocus = MocusOptions::exhaustive();
+    let result = analyze(&tree, &opts).unwrap();
+    let sim = simulate(
+        &tree,
+        &SimOptions {
+            samples: 400_000,
+            horizon,
+            seed: 2015,
+        },
+    )
+    .unwrap();
+    let (lo, hi) = sim.confidence_interval_95();
+    // REA over-approximates; allow the interval or a modest overshoot.
+    assert!(
+        result.frequency >= lo * 0.9 && result.frequency <= hi * 1.3,
+        "pipeline {} outside widened simulation band [{lo}, {hi}]",
+        result.frequency
+    );
+    // The exact product chain agrees with both.
+    let exact = sdft::product::failure_probability(
+        &tree,
+        horizon,
+        &sdft::product::ProductOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        lo <= exact && exact <= hi,
+        "exact {exact} outside [{lo}, {hi}]"
+    );
+    assert!((result.frequency - exact).abs() / exact < 0.2);
+}
+
+/// Annotated industrial models keep their analysis deterministic and
+/// reproducible across runs and thread counts.
+#[test]
+fn industrial_analysis_is_deterministic() {
+    let tree = industrial::generate(&industrial::model1().scaled(0.05));
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).unwrap();
+    let ranking = sdft::importance::fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    let annotated = annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(30.0)).unwrap();
+
+    let mut opts = AnalysisOptions::new(24.0);
+    opts.threads = 1;
+    let sequential = analyze(&annotated.tree, &opts).unwrap();
+    opts.threads = 8;
+    let parallel = analyze(&annotated.tree, &opts).unwrap();
+    assert_eq!(sequential.stats.num_cutsets, parallel.stats.num_cutsets);
+    assert!((sequential.frequency - parallel.frequency).abs() <= sequential.frequency * 1e-12);
+
+    let again = analyze(&annotated.tree, &opts).unwrap();
+    assert_eq!(again.frequency.to_bits(), parallel.frequency.to_bits());
+}
+
+/// The static-analysis identity: a dynamic model without repairs or
+/// triggers quantifies to exactly the static rare-event approximation.
+#[test]
+fn no_repairs_no_triggers_equals_static() {
+    let static_tree = bwr::build(&bwr::BwrConfig::static_model());
+    let probs = EventProbabilities::from_static(&static_tree).unwrap();
+    let mcs = minimal_cutsets(&static_tree, &probs, &MocusOptions::default()).unwrap();
+    let static_rea = mcs.rare_event_approximation(|e| probs.get(e));
+
+    let dynamic_tree = bwr::build(&bwr::BwrConfig::repairs_only(0.0, 1));
+    let result = analyze(&dynamic_tree, &AnalysisOptions::new(24.0)).unwrap();
+    assert!(
+        (result.frequency - static_rea).abs() / static_rea < 1e-6,
+        "{} vs {static_rea}",
+        result.frequency
+    );
+}

@@ -1,0 +1,48 @@
+//! The text-format parser must never panic, whatever bytes it is fed.
+
+use proptest::prelude::*;
+use sdft::ft::format;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode input: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+        let _ = format::parse_str(&input);
+    }
+
+    /// Keyword-shaped noise: lines assembled from the format's own
+    /// vocabulary, which reaches much deeper into the parser.
+    #[test]
+    fn parser_never_panics_on_vocabulary_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "top", "basic", "gate", "dynamic", "chain", "trigger", "end",
+                "and", "or", "atleast", "state", "rate", "map", "plain",
+                "triggered", "erlang", "erlang-triggered", "spare", "on",
+                "off", "failed", "init=1", "init=0.5", "k=2", "lambda=0.001",
+                "mu=0.05", "passive=0.01", "repair-off", "a", "b", "g", "s0",
+                "s1", "0.5", "-1", "1e999", "NaN", "#", "\n",
+            ]),
+            0..60,
+        )
+    ) {
+        let mut text = String::new();
+        for (i, token) in tokens.iter().enumerate() {
+            text.push_str(token);
+            text.push(if i % 4 == 3 { '\n' } else { ' ' });
+        }
+        let _ = format::parse_str(&text);
+    }
+
+    /// Valid models survive arbitrary comment injection.
+    #[test]
+    fn comments_are_inert(junk in "[^\n]{0,80}") {
+        let model = format!(
+            "top g #{junk}\nbasic x 0.1 #{junk}\ngate g or x #{junk}\n"
+        );
+        let tree = format::parse_str(&model).unwrap();
+        prop_assert_eq!(tree.num_basic_events(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! The concrete facts stated in the paper's running examples (§II–§V,
+//! Examples 1–11), verified against this implementation.
+
+use sdft::core::{
+    analyze, classify_gate, quantify_cutset, AnalysisOptions, FtcContext, QuantifyOptions,
+    TriggerClass,
+};
+use sdft::ctmc::erlang;
+use sdft::ft::{Cutset, EventProbabilities, FaultTree, FaultTreeBuilder, NodeId, Scenario};
+use sdft::mocus::{minimal_cutsets, MocusOptions};
+use sdft::models::toy;
+use sdft::product::{ProductChain, ProductOptions};
+
+fn names(tree: &FaultTree, cutset: &Cutset) -> Vec<String> {
+    cutset
+        .events()
+        .iter()
+        .map(|&e| tree.name(e).to_owned())
+        .collect()
+}
+
+/// Example 1: `p({a,d}) ≈ 2.988·10⁻⁶`.
+#[test]
+fn example1_scenario_probability() {
+    let tree = toy::example1();
+    let a = tree.node_by_name("a").unwrap();
+    let d = tree.node_by_name("d").unwrap();
+    let scenario = Scenario::from_events(&tree, [a, d]);
+    let p = tree.scenario_probability(&scenario).unwrap();
+    assert!((p - 2.988e-6).abs() < 1e-8, "{p}");
+}
+
+/// Example 7: the minimal cutsets are {e}, {a,c}, {a,d}, {b,c}, {b,d};
+/// {a,b,c} is a cutset but not minimal.
+#[test]
+fn example7_minimal_cutsets() {
+    let tree = toy::example1();
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::exhaustive()).unwrap();
+    let mut got: Vec<Vec<String>> = mcs.iter().map(|c| names(&tree, c)).collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            vec!["a".to_owned(), "c".to_owned()],
+            vec!["a".to_owned(), "d".to_owned()],
+            vec!["b".to_owned(), "c".to_owned()],
+            vec!["b".to_owned(), "d".to_owned()],
+            vec!["e".to_owned()],
+        ]
+    );
+    // {a, b, c} is a cutset (fails the top) but is subsumed by {a, c}.
+    let a = tree.node_by_name("a").unwrap();
+    let b = tree.node_by_name("b").unwrap();
+    let c = tree.node_by_name("c").unwrap();
+    let abc = Scenario::from_events(&tree, [a, b, c]);
+    assert!(tree.fails(tree.top(), &abc));
+    assert!(!mcs.contains_set(&Cutset::new([a, b, c])));
+}
+
+/// §IV-A: the rare-event approximation over-approximates `p(FT)` and
+/// `p(C) = ∏ p(a)`.
+#[test]
+fn rare_event_approximation_bounds() {
+    let tree = toy::example1();
+    let probs = EventProbabilities::from_static(&tree).unwrap();
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::exhaustive()).unwrap();
+    let rea = mcs.rare_event_approximation(|e| probs.get(e));
+    let exact = tree.exact_static_probability().unwrap();
+    assert!(rea >= exact);
+    assert!((rea - 1.9e-5).abs() < 1e-12);
+}
+
+/// Example 4: the failed product states listed in the paper exist and
+/// are failed; Example 5/6: the evolution and update transitions carry
+/// the rates 0.001 and 0.05 and the initial distribution merges updated
+/// states.
+#[test]
+fn examples_4_5_6_product_chain() {
+    let tree = toy::example3();
+    let pc = ProductChain::build(&tree, &ProductOptions::default()).unwrap();
+    // Component slots in id order: a, b, c, d, e. The spare pump d has
+    // off states {0 ok, 1 latent} and on states {2 ok, 3 failed}.
+    let tank_failure = pc
+        .find_state(&[0, 0, 0, 0, 1])
+        .expect("(ok,ok,ok,off,fail)");
+    assert!(pc.chain().is_failed(tank_failure));
+    let both_pumps = pc
+        .find_state(&[1, 0, 0, 3, 0])
+        .expect("(fail,ok,ok,fail,ok)");
+    assert!(pc.chain().is_failed(both_pumps));
+
+    // s1 = everything fine; b fails (rate 0.001) and d switches on.
+    let s1 = pc.find_state(&[0, 0, 0, 0, 0]).unwrap();
+    let s2 = pc.find_state(&[0, 1, 0, 2, 0]).unwrap();
+    let rate = pc
+        .chain()
+        .transitions_from(s1)
+        .iter()
+        .find(|&&(to, _)| to == s2);
+    assert_eq!(rate, Some(&(s2, 1e-3)), "R(s1, s2) = 0.001 (Example 6)");
+    // And back with the repair rate 0.05: d switches off again.
+    let back = pc
+        .chain()
+        .transitions_from(s2)
+        .iter()
+        .find(|&&(to, _)| to == s1);
+    assert_eq!(back, Some(&(s1, 0.05)), "R(s2, s1) = 0.05 (Example 6)");
+
+    // Example 6's initial distribution: the consistent all-fine state has
+    // probability (1-p(a))(1-p(b=0 dynamic starts ok))(1-p(c))(1-p(e)).
+    let nu = pc.chain().initial_probability(s1);
+    let expected = (1.0 - 3e-3) * (1.0 - 3e-3) * (1.0 - 3e-6);
+    assert!((nu - expected).abs() < 1e-12, "{nu} vs {expected}");
+}
+
+/// §V-A: the classification of the three trigger shapes from Example 9 —
+/// static branching, static joins, and the general case.
+#[test]
+fn example9_classification_shapes() {
+    // Static branching: OR with one dynamic child.
+    let mut b = FaultTreeBuilder::new();
+    let s = b.static_event("i", 0.1).unwrap();
+    let g_dyn = b
+        .dynamic_event("g", erlang::repairable(1, 1e-3, 0.05).unwrap())
+        .unwrap();
+    let branch = b.or("branching", [s, g_dyn]).unwrap();
+    let j = b
+        .triggered_event("j", erlang::spare(1e-3, 0.05).unwrap())
+        .unwrap();
+    let top = b.and("top", [branch, j]).unwrap();
+    b.trigger(branch, j).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    assert_eq!(
+        classify_gate(&t, t.node_by_name("branching").unwrap()),
+        TriggerClass::StaticBranching
+    );
+
+    // Static joins: OR with two dynamic children, no dynamic under AND.
+    let mut b = FaultTreeBuilder::new();
+    let e = b
+        .dynamic_event("e", erlang::repairable(1, 1e-3, 0.05).unwrap())
+        .unwrap();
+    let f = b
+        .dynamic_event("f", erlang::repairable(1, 1e-3, 0.05).unwrap())
+        .unwrap();
+    let joins = b.or("joins", [e, f]).unwrap();
+    let g = b
+        .triggered_event("g", erlang::spare(1e-3, 0.05).unwrap())
+        .unwrap();
+    let top = b.and("top", [joins, g]).unwrap();
+    b.trigger(joins, g).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    assert_eq!(
+        classify_gate(&t, t.node_by_name("joins").unwrap()),
+        TriggerClass::StaticJoins
+    );
+
+    // General: an AND guards a dynamic event under an OR with another
+    // dynamic child (the trigger of e in Example 9).
+    let mut b = FaultTreeBuilder::new();
+    let bb = b
+        .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+        .unwrap();
+    let d = b.static_event("d", 0.1).unwrap();
+    let a = b
+        .dynamic_event("a2", erlang::repairable(1, 1e-3, 0.05).unwrap())
+        .unwrap();
+    let guard = b.and("guard", [bb, d]).unwrap();
+    let gen = b.or("general", [guard, a]).unwrap();
+    let e = b
+        .triggered_event("e", erlang::spare(1e-3, 0.05).unwrap())
+        .unwrap();
+    let top = b.and("top", [gen, e]).unwrap();
+    b.trigger(gen, e).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    assert_eq!(
+        classify_gate(&t, t.node_by_name("general").unwrap()),
+        TriggerClass::General
+    );
+}
+
+/// Example 10/11: quantifying a cutset with a static-joins trigger must
+/// include the sibling dynamic event (`f` for the trigger of `g`), and
+/// the general case must include the guarding events.
+#[test]
+fn example_10_11_ftc_contents() {
+    // Static joins: trigger gate OR(e, f), cutset {e, g}.
+    let mut b = FaultTreeBuilder::new();
+    let e = b
+        .dynamic_event("e", erlang::repairable(1, 5e-3, 0.08).unwrap())
+        .unwrap();
+    let f = b
+        .dynamic_event("f", erlang::repairable(1, 4e-3, 0.06).unwrap())
+        .unwrap();
+    let joins = b.or("joins", [e, f]).unwrap();
+    let g = b
+        .triggered_event("g", erlang::spare(6e-3, 0.05).unwrap())
+        .unwrap();
+    let top = b.and("top", [joins, g]).unwrap();
+    b.trigger(joins, g).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    let ctx = FtcContext::new(&t).unwrap();
+    let e_id = t.node_by_name("e").unwrap();
+    let g_id = t.node_by_name("g").unwrap();
+    let cutset = Cutset::new([e_id, g_id]);
+    let q = quantify_cutset(&t, &ctx, &cutset, &QuantifyOptions::new(48.0)).unwrap();
+    assert_eq!(
+        q.added_dynamic, 1,
+        "f is added even though it is not in the cutset"
+    );
+    // And the value matches the exact reference (Example 11's point:
+    // without f the runs where f triggers g and is then repaired would
+    // be missed).
+    let pc = ProductChain::build(&t, &ProductOptions::default()).unwrap();
+    let exact = pc
+        .reach_events_failed_probability(&[e_id, g_id], 48.0, 1e-12)
+        .unwrap();
+    assert!(
+        (q.probability - exact).abs() / exact < 1e-6,
+        "{} vs {exact}",
+        q.probability
+    );
+}
+
+/// §V-B2: the worst case for a triggered event is being triggered at
+/// time zero — any actual embedding yields a smaller probability.
+#[test]
+fn worst_case_probability_dominates() {
+    let tree = toy::example3();
+    let d = tree.node_by_name("d").unwrap();
+    let horizon = 24.0;
+    let worst = sdft::core::worst_case_probability(&tree, d, horizon, 1e-12).unwrap();
+    // Actual: Pr[d ever fails] in the real tree, from the product chain
+    // with failed := d failed.
+    let pc = ProductChain::build(&tree, &ProductOptions::default()).unwrap();
+    let actual = pc
+        .reach_events_failed_probability(&[d], horizon, 1e-12)
+        .unwrap();
+    assert!(
+        actual < worst,
+        "actual {actual} must be below worst case {worst}"
+    );
+}
+
+/// §V: the full analysis of the running example is sharper than the
+/// static analysis and close to the exact product chain.
+#[test]
+fn example3_analysis_end_to_end() {
+    let tree = toy::example3();
+    let result = analyze(&tree, &AnalysisOptions::new(24.0)).unwrap();
+    assert_eq!(result.stats.num_cutsets, 5);
+    let exact =
+        sdft::product::failure_probability(&tree, 24.0, &ProductOptions::default()).unwrap();
+    assert!(result.frequency < result.static_rea);
+    assert!((result.frequency - exact).abs() / exact < 0.05);
+}
+
+/// §V-B1: the cutoff in the translated tree is conservative — lowering
+/// it can only add cutsets, never change existing ones.
+#[test]
+fn cutoff_is_conservative() {
+    let tree = toy::example3();
+    let loose = analyze(&tree, &AnalysisOptions::new(24.0)).unwrap();
+    let mut opts = AnalysisOptions::new(24.0);
+    opts.mocus = MocusOptions::with_cutoff(1e-5);
+    let tight = analyze(&tree, &opts).unwrap();
+    assert!(tight.stats.num_cutsets <= loose.stats.num_cutsets);
+    let loose_sets: Vec<&Cutset> = loose.cutsets.iter().map(|r| &r.cutset).collect();
+    for report in &tight.cutsets {
+        assert!(loose_sets.contains(&&report.cutset));
+        assert!(report.static_probability > 1e-5);
+    }
+}
+
+/// The trigger acyclicity requirement of §III-B: deadlocking trigger
+/// structures are rejected at construction.
+#[test]
+fn cyclic_triggering_is_rejected() {
+    let mut b = FaultTreeBuilder::new();
+    let d1 = b
+        .triggered_event("d1", erlang::spare(1e-3, 0.05).unwrap())
+        .unwrap();
+    let d2 = b
+        .triggered_event("d2", erlang::spare(1e-3, 0.05).unwrap())
+        .unwrap();
+    let g1 = b.or("g1", [d1]).unwrap();
+    let g2 = b.or("g2", [d2]).unwrap();
+    let top = b.and("top", [g1, g2]).unwrap();
+    b.trigger(g1, d2).unwrap();
+    b.trigger(g2, d1).unwrap();
+    b.top(top);
+    assert!(matches!(
+        b.build(),
+        Err(sdft::ft::FtError::CyclicTriggering { .. })
+    ));
+}
+
+/// A triggered event is switched off until its gate fails: with an
+/// impossible trigger the event contributes nothing (`F ⊆ S_on`).
+#[test]
+fn triggered_events_cannot_fail_while_off() {
+    let mut b = FaultTreeBuilder::new();
+    let never = b.static_event("never", 0.0).unwrap();
+    let d = b
+        .triggered_event("d", erlang::spare(0.5, 0.0).unwrap())
+        .unwrap();
+    let g = b.or("g", [never]).unwrap();
+    let top = b.and("top", [g, d]).unwrap();
+    b.trigger(g, d).unwrap();
+    b.top(top);
+    let tree = b.build().unwrap();
+    let p = sdft::product::failure_probability(&tree, 1000.0, &ProductOptions::default()).unwrap();
+    assert_eq!(p, 0.0);
+}
+
+/// Node ids used across the crates stay stable and mapped by name.
+#[test]
+fn node_identity_is_stable() {
+    let tree = toy::example3();
+    for id in tree.node_ids() {
+        assert_eq!(tree.node_by_name(tree.name(id)), Some(id));
+    }
+    let _: Vec<NodeId> = tree.basic_events().collect();
+}
