@@ -94,20 +94,29 @@ fn seconds(d: std::time::Duration) -> String {
     format!("{:.2}s", d.as_secs_f64())
 }
 
+fn percent(rate: f64) -> String {
+    format!("{:.1}%", rate * 100.0)
+}
+
 fn t1() {
     println!("## T1 (§VI-A): BWR study — repairs and triggers");
     println!();
-    println!("| setting | failure freq. | analysis time | MCS | dynamic MCS | avg dyn/model |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| setting | failure freq. | analysis time | MCS | dynamic MCS | avg dyn/model \
+         | model classes | cache hit rate |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for row in exp::t1(24.0) {
         println!(
-            "| {} | {:.3e} | {} | {} | {} | {:.2} |",
+            "| {} | {:.3e} | {} | {} | {} | {:.2} | {} | {} |",
             row.setting,
             row.frequency,
             row.time.map_or_else(|| "—".to_owned(), seconds),
             row.cutsets,
             row.dynamic_cutsets,
             row.avg_model_dynamic,
+            row.distinct_model_classes,
+            percent(row.cache_hit_rate),
         );
     }
     println!();
@@ -137,11 +146,14 @@ fn t3_f2(scale: f64, print_t3: bool, print_f2: bool) {
     if print_t3 {
         println!("## T3 (§VI-B): model 1 with growing dynamic fraction");
         println!();
-        println!("| % dyn. BE | % trigg. BE | failure freq. | analysis time | MCS | dynamic MCS |");
-        println!("|---|---|---|---|---|---|");
+        println!(
+            "| % dyn. BE | % trigg. BE | failure freq. | analysis time | MCS | dynamic MCS \
+             | model classes | cache hit rate |"
+        );
+        println!("|---|---|---|---|---|---|---|---|");
         for row in &rows {
             println!(
-                "| {} | {} | {:.3e} | {} | {} | {} |",
+                "| {} | {} | {:.3e} | {} | {} | {} | {} | {} |",
                 row.percent_dynamic,
                 row.percent_triggered,
                 row.frequency,
@@ -152,6 +164,8 @@ fn t3_f2(scale: f64, print_t3: bool, print_f2: bool) {
                 },
                 row.cutsets,
                 row.dynamic_cutsets,
+                row.distinct_model_classes,
+                percent(row.cache_hit_rate),
             );
         }
         println!();

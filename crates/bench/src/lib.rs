@@ -33,6 +33,10 @@ pub struct T1Row {
     pub dynamic_cutsets: usize,
     /// Average dynamic events per dynamic cutset's Markov model.
     pub avg_model_dynamic: f64,
+    /// Distinct cutset-model equivalence classes (uniformization passes).
+    pub distinct_model_classes: usize,
+    /// Fraction of cutset quantifications answered by the model cache.
+    pub cache_hit_rate: f64,
 }
 
 /// T1 (§VI-A): the BWR study. The static baseline, repairs at increasing
@@ -57,6 +61,8 @@ pub fn t1(horizon: f64) -> Vec<T1Row> {
         cutsets: mcs.len(),
         dynamic_cutsets: 0,
         avg_model_dynamic: 0.0,
+        distinct_model_classes: 0,
+        cache_hit_rate: 0.0,
     });
 
     let mut run = |setting: &str, config: &bwr::BwrConfig| {
@@ -70,6 +76,8 @@ pub fn t1(horizon: f64) -> Vec<T1Row> {
             cutsets: result.stats.num_cutsets,
             dynamic_cutsets: result.stats.num_dynamic_cutsets,
             avg_model_dynamic: result.stats.avg_model_dynamic(),
+            distinct_model_classes: result.stats.distinct_model_classes,
+            cache_hit_rate: result.stats.cache_hit_rate(),
         });
     };
 
@@ -166,6 +174,10 @@ pub struct T3Row {
     /// Histogram: index = dynamic events per cutset model, value = count
     /// (one chart of Figure 2).
     pub histogram: Vec<usize>,
+    /// Distinct cutset-model equivalence classes (uniformization passes).
+    pub distinct_model_classes: usize,
+    /// Fraction of cutset quantifications answered by the model cache.
+    pub cache_hit_rate: f64,
 }
 
 /// T3 + F2 (§VI-B): model 1 with an increasing fraction of dynamic
@@ -194,6 +206,8 @@ pub fn t3(scale: f64, percents: &[f64], horizon: f64) -> Vec<T3Row> {
                     cutsets: mcs.len(),
                     dynamic_cutsets: 0,
                     histogram: vec![mcs.len()],
+                    distinct_model_classes: 0,
+                    cache_hit_rate: 0.0,
                 };
             }
             let annotated = annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(pct))
@@ -209,6 +223,8 @@ pub fn t3(scale: f64, percents: &[f64], horizon: f64) -> Vec<T3Row> {
                 cutsets: result.stats.num_cutsets,
                 dynamic_cutsets: result.stats.num_dynamic_cutsets,
                 histogram: result.stats.histogram_model_dynamic.clone(),
+                distinct_model_classes: result.stats.distinct_model_classes,
+                cache_hit_rate: result.stats.cache_hit_rate(),
             }
         })
         .collect()

@@ -1,3 +1,4 @@
+use crate::canonical::CanonicalModelKey;
 use crate::classify::{classify_gate, TriggerClass};
 use crate::error::CoreError;
 use crate::translate::unique_name;
@@ -75,6 +76,13 @@ pub struct CutsetModel {
     pub used_general: bool,
     /// The classification used per modeled triggering gate (original id).
     pub classes_used: Vec<(NodeId, TriggerClass)>,
+    /// The canonical structural identity of this model — name-independent
+    /// and shared by every cutset whose model is isomorphic to this one;
+    /// `None` for purely static cutsets (nothing dynamic to cache). The
+    /// quantification layer extends it with the numerical parameters to
+    /// form the full cache key
+    /// ([`CanonicalModelKey::with_quantification`]).
+    pub canonical_key: Option<CanonicalModelKey>,
 }
 
 impl CutsetModel {
@@ -162,6 +170,7 @@ pub fn build_ftc_with(
             added_static: 0,
             used_general: false,
             classes_used: Vec::new(),
+            canonical_key: None,
         });
     }
 
@@ -349,6 +358,7 @@ pub fn build_ftc_with(
     let top = builder.and(&unique_name(&builder, "ftc", "__top"), top_inputs)?;
     builder.top(top);
     let model_tree = builder.build()?;
+    let canonical_key = CanonicalModelKey::stem(tree, &dynamic_events, &model_tree, treatment);
 
     Ok(CutsetModel {
         tree: Some(model_tree),
@@ -358,6 +368,7 @@ pub fn build_ftc_with(
         added_static,
         used_general,
         classes_used,
+        canonical_key: Some(canonical_key),
     })
 }
 

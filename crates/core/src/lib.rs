@@ -52,6 +52,7 @@
 //! # }
 //! ```
 
+mod canonical;
 mod classify;
 mod error;
 mod ftc;
@@ -60,6 +61,7 @@ mod quantify;
 mod translate;
 mod worstcase;
 
+pub use canonical::{CacheStats, CanonicalModelKey, DynamicSolution, QuantCache};
 pub use classify::{classify_gate, classify_triggering_gates, TriggerClass};
 pub use error::CoreError;
 pub use ftc::{build_ftc, build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
@@ -67,6 +69,9 @@ pub use pipeline::{
     analyze, analyze_horizons, AnalysisOptions, AnalysisResult, AnalysisStats, CutsetReport,
     Timings,
 };
-pub use quantify::{quantify_cutset, quantify_model_many, CutsetQuantification, QuantifyOptions};
+pub use quantify::{
+    quantify_cutset, quantify_model_many, quantify_model_many_with, CacheLookup,
+    CutsetQuantification, QuantifyOptions,
+};
 pub use translate::{translate, Translated};
 pub use worstcase::{worst_case_probabilities, worst_case_probability};

@@ -1,3 +1,4 @@
+use crate::canonical::{CacheStats, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::FtcContext;
 use crate::quantify::QuantifyOptions;
@@ -5,6 +6,7 @@ use crate::translate::translate;
 use crate::worstcase::worst_case_probabilities;
 use sdft_ft::{Cutset, EventProbabilities, FaultTree};
 use sdft_mocus::{minimal_cutsets, MocusOptions};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Options for the full SD fault tree analysis.
@@ -25,6 +27,10 @@ pub struct AnalysisOptions {
     /// How much triggering logic the per-cutset models carry
     /// (see [`crate::TriggerTreatment`]).
     pub treatment: crate::TriggerTreatment,
+    /// Deduplicate structurally identical cutset models through a
+    /// [`QuantCache`], uniformizing each model equivalence class exactly
+    /// once (default `true`; results are bitwise-identical either way).
+    pub cache: bool,
 }
 
 impl AnalysisOptions {
@@ -38,6 +44,7 @@ impl AnalysisOptions {
             threads: 0,
             max_chain_states: 2_000_000,
             treatment: crate::TriggerTreatment::Classified,
+            cache: true,
         }
     }
 }
@@ -85,6 +92,9 @@ pub struct Timings {
     pub mcs_generation: Duration,
     /// Total dynamic quantification (all cutsets, wall clock).
     pub quantification: Duration,
+    /// Wall-clock the quantification cache saved: solve time the cache
+    /// hits would have re-spent uniformizing their class.
+    pub quantification_saved: Duration,
     /// End-to-end analysis time.
     pub total: Duration,
 }
@@ -105,6 +115,15 @@ pub struct AnalysisStats {
     pub histogram_model_dynamic: Vec<usize>,
     /// The largest per-cutset chain built.
     pub max_chain_states: usize,
+    /// Distinct cutset-model equivalence classes consulted through the
+    /// quantification cache (0 when caching is off).
+    pub distinct_model_classes: usize,
+    /// Cache consultations answered without uniformizing (deterministic
+    /// for a fixed cutset list, regardless of thread scheduling).
+    pub cache_hits: usize,
+    /// Cache consultations that uniformized their class — exactly one
+    /// per distinct class.
+    pub cache_misses: usize,
 }
 
 impl AnalysisStats {
@@ -122,6 +141,18 @@ impl AnalysisStats {
             0.0
         } else {
             sum as f64 / count as f64
+        }
+    }
+
+    /// Fraction of cache consultations answered from the cache (0 when
+    /// the cache was never consulted).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }
@@ -309,7 +340,7 @@ pub fn analyze_horizons(
         .collect::<Result<_, _>>()?;
 
     let t3 = Instant::now();
-    let per_horizon_reports =
+    let (per_horizon_reports, cache_stats) =
         quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
     let quantification_time = t3.elapsed();
 
@@ -332,6 +363,9 @@ pub fn analyze_horizons(
 
         let mut stats = AnalysisStats {
             num_cutsets: cutset_reports.len(),
+            distinct_model_classes: cache_stats.distinct_classes,
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
             ..AnalysisStats::default()
         };
         for r in &cutset_reports {
@@ -353,6 +387,7 @@ pub fn analyze_horizons(
                 translation: translation_time,
                 mcs_generation: mcs_time,
                 quantification: quantification_time,
+                quantification_saved: cache_stats.time_saved,
                 total: start.elapsed(),
             },
             stats,
@@ -369,11 +404,20 @@ fn bump(histogram: &mut Vec<usize>, index: usize) {
 }
 
 /// Quantify every cutset at every horizon, fanning the work out over a
-/// thread pool fed by a crossbeam channel (quantifications are
+/// thread pool fed by a shared atomic work queue (quantifications are
 /// independent; the paper notes this parallelism extends to
-/// importance/uncertainty re-evaluations). Each cutset's model and
-/// product chain are built once and shared across all horizons through a
-/// single uniformization pass.
+/// importance/uncertainty re-evaluations).
+///
+/// The work distribution is dedup-then-fan-out: every worker consults
+/// the shared [`QuantCache`], so structurally identical cutset models
+/// are uniformized exactly once (the first cutset of a class solves it,
+/// the rest re-label the shared dynamic factors with their own static
+/// factor). Each model's product chain is built once and shared across
+/// all horizons through a single uniformization pass.
+///
+/// On the first error the queue aborts: workers stop claiming cutsets
+/// at their next iteration and the smallest-index error is returned
+/// (deterministic regardless of scheduling).
 fn quantify_all_multi(
     tree: &FaultTree,
     ctx: &FtcContext,
@@ -381,7 +425,7 @@ fn quantify_all_multi(
     horizons: &[f64],
     options: &AnalysisOptions,
     probs_per_horizon: &[EventProbabilities],
-) -> Result<Vec<Vec<CutsetReport>>, CoreError> {
+) -> Result<(Vec<Vec<CutsetReport>>, CacheStats), CoreError> {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -393,18 +437,23 @@ fn quantify_all_multi(
         max_states: options.max_chain_states,
         treatment: options.treatment,
     };
-    let (tx, rx) = crossbeam::channel::unbounded::<&Cutset>();
-    for cutset in cutsets.iter() {
-        tx.send(cutset).expect("channel open");
-    }
-    drop(tx);
+    let cache = options.cache.then(QuantCache::new);
+    let work: Vec<&Cutset> = cutsets.iter().collect();
 
-    // One result per (cutset, horizon).
+    // One result per (cutset, horizon). Model construction is shared by
+    // every horizon and split evenly; the solve cost is attributed per
+    // horizon by the quantifier (zero on cache hits).
     let quantify_one = |cutset: &Cutset| -> Result<Vec<CutsetReport>, CoreError> {
         let begin = Instant::now();
         let model = crate::ftc::build_ftc_with(tree, ctx, cutset, options.treatment)?;
-        let quantified = crate::quantify::quantify_model_many(tree, &model, horizons, &qopts)?;
-        let per_horizon_time = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
+        let build_share = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
+        let (quantified, _) = crate::quantify::quantify_model_many_with(
+            tree,
+            &model,
+            horizons,
+            &qopts,
+            cache.as_ref(),
+        )?;
         Ok(quantified
             .into_iter()
             .zip(probs_per_horizon)
@@ -416,7 +465,7 @@ fn quantify_all_multi(
                 added_static: q.added_static,
                 chain_states: q.chain_states,
                 used_general: q.used_general,
-                quantification_time: per_horizon_time,
+                quantification_time: build_share + q.quantification_time,
                 cutset: cutset.clone(),
             })
             .collect())
@@ -427,51 +476,74 @@ fn quantify_all_multi(
         .collect();
 
     if threads <= 1 {
-        while let Ok(cutset) = rx.recv() {
+        for &cutset in &work {
             for (h, report) in quantify_one(cutset)?.into_iter().enumerate() {
                 out[h].push(report);
             }
         }
-        return Ok(out);
+        let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
+        return Ok((out, stats));
     }
 
-    std::thread::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let produced = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
-            let rx = rx.clone();
+            let next = &next;
+            let abort = &abort;
+            let work = &work;
             let quantify_one = &quantify_one;
             handles.push(scope.spawn(move || {
-                let mut local: Vec<Result<Vec<CutsetReport>, CoreError>> = Vec::new();
-                while let Ok(cutset) = rx.recv() {
-                    let result = quantify_one(cutset);
-                    let failed = result.is_err();
-                    local.push(result);
-                    if failed {
+                let mut local: Vec<(usize, Vec<CutsetReport>)> = Vec::new();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                }
-                local
-            }));
-        }
-        let mut first_error = None;
-        for handle in handles {
-            for result in handle.join().expect("worker does not panic") {
-                match result {
-                    Ok(reports) => {
-                        for (h, report) in reports.into_iter().enumerate() {
-                            out[h].push(report);
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&cutset) = work.get(index) else {
+                        break;
+                    };
+                    match quantify_one(cutset) {
+                        Ok(reports) => local.push((index, reports)),
+                        Err(error) => {
+                            // Stop the other workers at their next claim.
+                            abort.store(true, Ordering::Relaxed);
+                            return Err((index, error));
                         }
                     }
-                    Err(e) if first_error.is_none() => first_error = Some(e),
-                    Err(_) => {}
+                }
+                Ok(local)
+            }));
+        }
+        let mut produced: Vec<(usize, Vec<CutsetReport>)> = Vec::with_capacity(work.len());
+        let mut first_error: Option<(usize, CoreError)> = None;
+        for handle in handles {
+            match handle.join().expect("worker does not panic") {
+                Ok(local) => produced.extend(local),
+                Err((index, error)) => {
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_error = Some((index, error));
+                    }
                 }
             }
         }
         match first_error {
-            Some(e) => Err(e),
-            None => Ok(out),
+            Some((_, error)) => Err(error),
+            None => Ok(produced),
         }
-    })
+    })?;
+
+    // Merge in cutset order so report order is deterministic.
+    let mut produced = produced;
+    produced.sort_unstable_by_key(|&(index, _)| index);
+    for (_, reports) in produced {
+        for (h, report) in reports.into_iter().enumerate() {
+            out[h].push(report);
+        }
+    }
+    let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -643,6 +715,125 @@ mod horizon_tests {
             analyze_horizons(&t, &opts, &[24.0, -1.0]),
             Err(CoreError::InvalidHorizon { .. })
         ));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    /// Four redundant lines whose pumps are structurally identical
+    /// dynamic events: four dynamic cutsets, one model equivalence class.
+    fn replicated_lines() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let mut lines = Vec::new();
+        for i in 0..4 {
+            let valve = b
+                .static_event(&format!("valve{i}"), 1e-3 * (i as f64 + 1.0))
+                .unwrap();
+            let pump = b
+                .dynamic_event(
+                    &format!("pump{i}"),
+                    erlang::repairable(1, 1e-3, 0.05).unwrap(),
+                )
+                .unwrap();
+            lines.push(b.and(&format!("line{i}"), [valve, pump]).unwrap());
+        }
+        let top = b.or("plant", lines).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_models_are_uniformized_once() {
+        let result = analyze(&replicated_lines(), &AnalysisOptions::new(24.0)).unwrap();
+        assert_eq!(result.stats.num_dynamic_cutsets, 4);
+        assert_eq!(result.stats.distinct_model_classes, 1);
+        assert_eq!(result.stats.cache_misses, 1, "one uniformization pass");
+        assert_eq!(result.stats.cache_hits, 3);
+        assert!((result.stats.cache_hit_rate() - 0.75).abs() < 1e-12);
+        // The shared dynamic factor is re-labelled per cutset with its
+        // own static factor, so the probabilities still differ.
+        let mut probabilities: Vec<f64> = result.cutsets.iter().map(|r| r.probability).collect();
+        probabilities.dedup();
+        assert_eq!(probabilities.len(), 4);
+    }
+
+    #[test]
+    fn example3_has_three_model_classes() {
+        // {b,c}, {a,d} and {b,d} quantify three structurally different
+        // models — no dedup opportunity, and no false sharing either.
+        let result = analyze(&example3(), &AnalysisOptions::new(24.0)).unwrap();
+        assert_eq!(result.stats.num_dynamic_cutsets, 3);
+        assert_eq!(result.stats.distinct_model_classes, 3);
+        assert_eq!(result.stats.cache_misses, 3);
+        assert_eq!(result.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn disabling_the_cache_reports_no_classes() {
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.cache = false;
+        let result = analyze(&replicated_lines(), &opts).unwrap();
+        assert_eq!(result.stats.distinct_model_classes, 0);
+        assert_eq!(result.stats.cache_hits + result.stats.cache_misses, 0);
+        assert_eq!(result.stats.cache_hit_rate(), 0.0);
+        assert_eq!(result.timings.quantification_saved, Duration::ZERO);
+    }
+
+    #[test]
+    fn cached_and_uncached_probabilities_are_bitwise_identical() {
+        for tree in [replicated_lines(), example3()] {
+            let mut opts = AnalysisOptions::new(96.0);
+            let cached = analyze_horizons(&tree, &opts, &[24.0, 96.0]).unwrap();
+            opts.cache = false;
+            let uncached = analyze_horizons(&tree, &opts, &[24.0, 96.0]).unwrap();
+            for (c, u) in cached.iter().zip(&uncached) {
+                assert_eq!(c.frequency.to_bits(), u.frequency.to_bits());
+                assert_eq!(c.static_rea.to_bits(), u.static_rea.to_bits());
+                assert_eq!(c.cutsets.len(), u.cutsets.len());
+                for (rc, ru) in c.cutsets.iter().zip(&u.cutsets) {
+                    assert_eq!(rc.cutset.events(), ru.cutset.events());
+                    assert_eq!(rc.probability.to_bits(), ru.probability.to_bits());
+                    assert_eq!(rc.chain_states, ru.chain_states);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_cache_stats_agree() {
+        let t = replicated_lines();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.threads = 1;
+        let sequential = analyze(&t, &opts).unwrap();
+        opts.threads = 4;
+        let parallel = analyze(&t, &opts).unwrap();
+        // Misses are one-per-class regardless of scheduling.
+        assert_eq!(sequential.stats, parallel.stats);
+        assert_eq!(sequential.frequency.to_bits(), parallel.frequency.to_bits());
     }
 }
 

@@ -1,7 +1,10 @@
+use crate::canonical::{DynamicSolution, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::{build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
+use sdft_ctmc::PoissonWeights;
 use sdft_ft::{Cutset, FaultTree};
 use sdft_product::{ProductChain, ProductOptions};
+use std::time::{Duration, Instant};
 
 /// Options for per-cutset quantification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +54,9 @@ pub struct CutsetQuantification {
     pub chain_states: usize,
     /// Whether any triggering gate needed the general case.
     pub used_general: bool,
+    /// Wall-clock actually spent on this horizon's share of the transient
+    /// analysis — zero for static cutsets, short-circuits and cache hits.
+    pub quantification_time: Duration,
 }
 
 /// Quantify one minimal cutset: build `FT_C`, run the transient analysis
@@ -118,7 +124,45 @@ pub fn quantify_model(
         added_static: model.added_static,
         chain_states,
         used_general: model.used_general,
+        quantification_time: Duration::ZERO,
     })
+}
+
+/// Solve the dynamics of one model equivalence class: build the product
+/// chain and run the shared uniformization pass at every horizon. This is
+/// the cacheable unit — everything it computes depends only on the model
+/// tree and the numerical parameters, never on node names or on which
+/// cutset asked.
+fn solve_dynamics(
+    ftc: &FaultTree,
+    horizons: &[f64],
+    epsilon: f64,
+    max_states: usize,
+) -> Result<DynamicSolution, CoreError> {
+    let begin = Instant::now();
+    let chain = ProductChain::build(ftc, &ProductOptions { max_states })?;
+    let factors = chain.failure_probability_many(horizons, epsilon)?;
+    let elapsed = begin.elapsed();
+    Ok(DynamicSolution {
+        per_horizon_cost: attribute_cost(elapsed, chain.chain().max_exit_rate(), horizons, epsilon),
+        factors,
+        chain_states: chain.num_states(),
+    })
+}
+
+/// Split the measured wall-clock of one shared uniformization pass over
+/// the horizons it served, proportionally to each horizon's Poisson
+/// truncation depth (the number of matrix-vector products it needs).
+fn attribute_cost(total: Duration, rate: f64, horizons: &[f64], epsilon: f64) -> Vec<Duration> {
+    let steps: Vec<f64> = horizons
+        .iter()
+        .map(|&h| PoissonWeights::new(rate * h, epsilon).map_or(1.0, |w| w.right() as f64 + 1.0))
+        .collect();
+    let sum: f64 = steps.iter().sum();
+    if sum <= 0.0 {
+        return vec![Duration::ZERO; horizons.len()];
+    }
+    steps.iter().map(|&s| total.mul_f64(s / sum)).collect()
 }
 
 /// Quantify a prebuilt cutset model at several horizons, building its
@@ -136,6 +180,41 @@ pub fn quantify_model_many(
     horizons: &[f64],
     options: &QuantifyOptions,
 ) -> Result<Vec<CutsetQuantification>, CoreError> {
+    quantify_model_many_with(tree, model, horizons, options, None).map(|(q, _)| q)
+}
+
+/// How a [`quantify_model_many_with`] call was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// No cache consulted (static model, short-circuit, or caching off).
+    Uncached,
+    /// The model's equivalence class was already solved.
+    Hit,
+    /// This call solved the model's equivalence class.
+    Miss,
+}
+
+/// Like [`quantify_model_many`], consulting `cache` (when given) so that
+/// each model equivalence class is uniformized exactly once: the first
+/// cutset of a class solves it, every later cutset re-labels the shared
+/// dynamic factors with its own static factor `∏ p(a)`.
+///
+/// Cached and uncached paths produce bitwise-identical probabilities —
+/// equal [`crate::CanonicalModelKey`]s imply identical model trees, and
+/// product-chain construction plus uniformization are deterministic in
+/// them (see [`crate::canonical`] for the full argument).
+///
+/// # Errors
+///
+/// Same as [`quantify_model_many`]. Errors are cached per class too, so a
+/// failing class is attempted once and its error shared.
+pub fn quantify_model_many_with(
+    tree: &FaultTree,
+    model: &CutsetModel,
+    horizons: &[f64],
+    options: &QuantifyOptions,
+    cache: Option<&QuantCache>,
+) -> Result<(Vec<CutsetQuantification>, CacheLookup), CoreError> {
     if horizons.is_empty() {
         return Err(crate::CoreError::InvalidHorizon { horizon: f64::NAN });
     }
@@ -144,7 +223,7 @@ pub fn quantify_model_many(
         .iter()
         .map(|&e| tree.static_probability(e).expect("static event"))
         .product();
-    let make = |dynamic_factor: f64, chain_states: usize| CutsetQuantification {
+    let make = |dynamic_factor: f64, chain_states: usize, time: Duration| CutsetQuantification {
         probability: static_factor * dynamic_factor,
         static_factor,
         dynamic_factor,
@@ -153,24 +232,50 @@ pub fn quantify_model_many(
         added_static: model.added_static,
         chain_states,
         used_general: model.used_general,
+        quantification_time: time,
     };
-    match &model.tree {
-        None => Ok(vec![make(1.0, 0); horizons.len()]),
-        Some(_) if static_factor == 0.0 => Ok(vec![make(0.0, 0); horizons.len()]),
-        Some(ftc) => {
-            let chain = ProductChain::build(
-                ftc,
-                &ProductOptions {
-                    max_states: options.max_states,
-                },
-            )?;
-            let probabilities = chain.failure_probability_many(horizons, options.epsilon)?;
-            Ok(probabilities
-                .into_iter()
-                .map(|p| make(p, chain.num_states()))
-                .collect())
+    let ftc = match &model.tree {
+        None => {
+            let reports = vec![make(1.0, 0, Duration::ZERO); horizons.len()];
+            return Ok((reports, CacheLookup::Uncached));
         }
-    }
+        Some(_) if static_factor == 0.0 => {
+            // Conditioned out: a zero-probability static event means the
+            // cutset cannot occur — skip chain construction entirely.
+            let reports = vec![make(0.0, 0, Duration::ZERO); horizons.len()];
+            return Ok((reports, CacheLookup::Uncached));
+        }
+        Some(ftc) => ftc,
+    };
+    let solve = || solve_dynamics(ftc, horizons, options.epsilon, options.max_states);
+    let (solution, lookup) = match cache.zip(model.canonical_key.as_ref()) {
+        Some((cache, stem)) => {
+            let key = stem.with_quantification(horizons, options.epsilon, options.max_states);
+            let (result, hit) = cache.get_or_solve(key, solve);
+            let mut solution = result?;
+            if hit {
+                // The stored costs describe the original solve; this call
+                // only paid a lookup.
+                solution.per_horizon_cost = vec![Duration::ZERO; horizons.len()];
+            }
+            (
+                solution,
+                if hit {
+                    CacheLookup::Hit
+                } else {
+                    CacheLookup::Miss
+                },
+            )
+        }
+        None => (solve()?, CacheLookup::Uncached),
+    };
+    let reports = solution
+        .factors
+        .iter()
+        .zip(&solution.per_horizon_cost)
+        .map(|(&factor, &cost)| make(factor, solution.chain_states, cost))
+        .collect();
+    Ok((reports, lookup))
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod erlang;
 mod error;
 mod mttf;
 mod poisson;
+mod signature;
 mod stationary;
 mod transient;
 mod triggered;
@@ -45,6 +46,7 @@ mod triggered;
 pub use chain::{Ctmc, CtmcBuilder};
 pub use error::CtmcError;
 pub use poisson::PoissonWeights;
+pub use signature::ChainSignature;
 pub use stationary::{limiting_distribution, StationaryOptions};
 pub use transient::{
     reach_probability, reach_probability_many, transient_distribution, transient_distribution_many,

@@ -58,6 +58,7 @@ pub mod modules;
 mod node;
 mod probs;
 mod scenario;
+mod signature;
 pub mod transform;
 mod tree;
 
@@ -67,4 +68,5 @@ pub use modules::modules;
 pub use node::{Behavior, GateKind, NodeId};
 pub use probs::EventProbabilities;
 pub use scenario::Scenario;
+pub use signature::{EventSignature, TreeSignature};
 pub use tree::{FaultTree, FaultTreeBuilder, TreeStatistics};

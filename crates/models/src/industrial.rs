@@ -96,7 +96,7 @@ impl IndustrialConfig {
 #[must_use]
 pub fn model1() -> IndustrialConfig {
     IndustrialConfig {
-        seed: 0x4d31,
+        seed: 0x227d6,
         initiating_events: 300,
         sequences: 2_000,
         front_line_systems: 44,
@@ -120,7 +120,7 @@ pub fn model1() -> IndustrialConfig {
 #[must_use]
 pub fn model2() -> IndustrialConfig {
     IndustrialConfig {
-        seed: 0x4d32,
+        seed: 0x189a0,
         initiating_events: 330,
         sequences: 2_400,
         front_line_systems: 30,

@@ -203,6 +203,12 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         result.stats.max_chain_states,
     );
     println!(
+        "model cache: {} distinct classes, {:.1}% hit rate, {:?} saved",
+        result.stats.distinct_model_classes,
+        result.stats.cache_hit_rate() * 100.0,
+        result.timings.quantification_saved,
+    );
+    println!(
         "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}",
         result.timings.worst_case,
         result.timings.translation,

@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion` implementing the API surface this
+//! workspace uses: [`criterion_group!`]/[`criterion_main!`], benchmark
+//! groups, [`Bencher::iter`], and [`BenchmarkId`]. Timing is a simple
+//! best-of-N wall-clock measurement printed to stdout — enough to track
+//! relative performance without the upstream statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// A benchmark label, either a bare name or `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            label: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs closures and reports the fastest observed iteration.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then measure until the budget is spent.
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = t0.elapsed();
+            self.iterations += 1;
+            if self.best.is_none_or(|best| elapsed < best) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        match bencher.best {
+            Some(best) => println!(
+                "{}/{}: best {:?} over {} iterations",
+                self.name, id.label, best, bencher.iterations
+            ),
+            None => println!("{}/{}: no measurements", self.name, id.label),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| 1 + 1);
+        assert!(bencher.iterations > 0);
+        assert!(bencher.best.is_some());
+    }
+
+    #[test]
+    fn groups_run_their_functions() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| std::hint::black_box(2 * 2));
+        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            b.iter(|| std::hint::black_box(x * x));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
