@@ -1,0 +1,85 @@
+//! Bench smoke: run the small benchmark configuration and write
+//! machine-readable kernel timings to a JSON file (default
+//! `BENCH_kernel.json`), so CI can track the perf trajectory of the
+//! uniformization kernel across commits.
+//!
+//! ```text
+//! kernel_smoke [output.json]
+//! ```
+
+use sdft_core::{analyze, AnalysisOptions};
+use sdft_ctmc::{erlang, transient_distribution_many_with, SolverOptions, SolverWorkspace};
+use sdft_models::bwr;
+use std::time::Instant;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+
+    // The small configuration: the fully dynamic BWR study at 24 h —
+    // every pipeline phase plus hundreds of kernel solves in ~100 ms.
+    let tree = bwr::build(&bwr::BwrConfig::fully_dynamic(0.01, 1));
+    let begin = Instant::now();
+    let result = analyze(&tree, &AnalysisOptions::new(24.0)).expect("BWR analysis");
+    let analysis_seconds = begin.elapsed().as_secs_f64();
+
+    // A stiff repairable chain solved directly: repair at 50/h over 24 h
+    // gives Λt = 1200 on the transient (availability) solve, where
+    // steady-state detection carries the kernel.
+    let stiff = erlang::repairable(1, 1e-3, 50.0).expect("stiff chain");
+    let mut ws = SolverWorkspace::new();
+    let ssd_begin = Instant::now();
+    let (_, stiff_stats) = transient_distribution_many_with(
+        &stiff,
+        &[24.0],
+        1e-12,
+        &SolverOptions::default(),
+        &mut ws,
+    )
+    .expect("stiff solve");
+    let stiff_seconds = ssd_begin.elapsed().as_secs_f64();
+
+    let json = format!(
+        "{{\n  \
+         \"schema\": \"sdft-bench-kernel-v1\",\n  \
+         \"bwr\": {{\n    \
+         \"frequency\": {:e},\n    \
+         \"analysis_seconds\": {:.6},\n    \
+         \"quantification_seconds\": {:.6},\n    \
+         \"csr_build_seconds\": {:.6},\n    \
+         \"kernel_solves\": {},\n    \
+         \"kernel_steps\": {},\n    \
+         \"kernel_steps_saved\": {},\n    \
+         \"steady_state_solves\": {},\n    \
+         \"distinct_model_classes\": {},\n    \
+         \"cache_hit_rate\": {:.4}\n  }},\n  \
+         \"stiff_chain\": {{\n    \
+         \"solve_seconds\": {:.6},\n    \
+         \"steps_taken\": {},\n    \
+         \"steps_budget\": {},\n    \
+         \"steady_state_fired\": {}\n  }}\n}}\n",
+        result.frequency,
+        analysis_seconds,
+        result.timings.quantification.as_secs_f64(),
+        result.timings.csr_build.as_secs_f64(),
+        result.stats.kernel_solves,
+        result.stats.kernel_steps,
+        result.stats.kernel_steps_saved,
+        result.stats.steady_state_solves,
+        result.stats.distinct_model_classes,
+        result.stats.cache_hit_rate(),
+        stiff_seconds,
+        stiff_stats.steps_taken,
+        stiff_stats.steps_budget,
+        stiff_stats.steady_state_step.is_some(),
+    );
+    std::fs::write(&output, &json).expect("write kernel timings");
+    println!(
+        "kernel smoke: BWR frequency {:.4e}, {} kernel solves, {} steps ({} saved), wrote {output}",
+        result.frequency,
+        result.stats.kernel_solves,
+        result.stats.kernel_steps,
+        result.stats.kernel_steps_saved,
+    );
+}

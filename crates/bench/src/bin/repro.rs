@@ -103,12 +103,12 @@ fn t1() {
     println!();
     println!(
         "| setting | failure freq. | analysis time | MCS | dynamic MCS | avg dyn/model \
-         | model classes | cache hit rate |"
+         | model classes | cache hit rate | kernel steps | saved |"
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     for row in exp::t1(24.0) {
         println!(
-            "| {} | {:.3e} | {} | {} | {} | {:.2} | {} | {} |",
+            "| {} | {:.3e} | {} | {} | {} | {:.2} | {} | {} | {} | {} |",
             row.setting,
             row.frequency,
             row.time.map_or_else(|| "—".to_owned(), seconds),
@@ -117,6 +117,8 @@ fn t1() {
             row.avg_model_dynamic,
             row.distinct_model_classes,
             percent(row.cache_hit_rate),
+            row.kernel_steps,
+            row.kernel_steps_saved,
         );
     }
     println!();
@@ -222,15 +224,17 @@ fn t4(scale: f64) {
 fn t5(scale: f64) {
     println!("## T5 (§VI-B): horizon sweep on model 2");
     println!();
-    println!("| horizon | failure freq. | analysis time | MCS |");
-    println!("|---|---|---|---|");
+    println!("| horizon | failure freq. | analysis time | MCS | kernel steps | saved |");
+    println!("|---|---|---|---|---|---|");
     for row in exp::t5(scale, &[24.0, 48.0, 72.0, 96.0]) {
         println!(
-            "| {}h | {:.3e} | {} | {} |",
+            "| {}h | {:.3e} | {} | {} | {} | {} |",
             row.horizon,
             row.frequency,
             seconds(row.time),
-            row.cutsets
+            row.cutsets,
+            row.kernel_steps,
+            row.kernel_steps_saved,
         );
     }
     println!();
@@ -242,15 +246,17 @@ fn t5(scale: f64) {
         "### T5 in re-evaluation mode (one cutset list, shared uniformization; scale {reeval_scale})"
     );
     println!();
-    println!("| horizon | failure freq. | amortized quantification | MCS |");
-    println!("|---|---|---|---|");
+    println!("| horizon | failure freq. | amortized quantification | MCS | kernel steps | saved |");
+    println!("|---|---|---|---|---|---|");
     for row in exp::t5_reevaluate(reeval_scale, &[24.0, 48.0, 72.0, 96.0]) {
         println!(
-            "| {}h | {:.3e} | {} | {} |",
+            "| {}h | {:.3e} | {} | {} | {} | {} |",
             row.horizon,
             row.frequency,
             seconds(row.time),
-            row.cutsets
+            row.cutsets,
+            row.kernel_steps,
+            row.kernel_steps_saved,
         );
     }
     println!();

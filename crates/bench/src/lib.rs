@@ -37,6 +37,10 @@ pub struct T1Row {
     pub distinct_model_classes: usize,
     /// Fraction of cutset quantifications answered by the model cache.
     pub cache_hit_rate: f64,
+    /// DTMC steps the uniformization kernel took.
+    pub kernel_steps: u64,
+    /// DTMC steps saved by the kernel's steady-state detection.
+    pub kernel_steps_saved: u64,
 }
 
 /// T1 (§VI-A): the BWR study. The static baseline, repairs at increasing
@@ -63,6 +67,8 @@ pub fn t1(horizon: f64) -> Vec<T1Row> {
         avg_model_dynamic: 0.0,
         distinct_model_classes: 0,
         cache_hit_rate: 0.0,
+        kernel_steps: 0,
+        kernel_steps_saved: 0,
     });
 
     let mut run = |setting: &str, config: &bwr::BwrConfig| {
@@ -78,6 +84,8 @@ pub fn t1(horizon: f64) -> Vec<T1Row> {
             avg_model_dynamic: result.stats.avg_model_dynamic(),
             distinct_model_classes: result.stats.distinct_model_classes,
             cache_hit_rate: result.stats.cache_hit_rate(),
+            kernel_steps: result.stats.kernel_steps,
+            kernel_steps_saved: result.stats.kernel_steps_saved,
         });
     };
 
@@ -346,6 +354,10 @@ pub struct T5Row {
     /// Cutsets above the cutoff at this horizon (the list grows with the
     /// horizon because worst-case probabilities grow).
     pub cutsets: usize,
+    /// DTMC steps the uniformization kernel took.
+    pub kernel_steps: u64,
+    /// DTMC steps saved by the kernel's steady-state detection.
+    pub kernel_steps_saved: u64,
 }
 
 /// T5 (§VI-B): failure frequency and analysis time over growing horizons
@@ -372,6 +384,8 @@ pub fn t5(scale: f64, horizons: &[f64]) -> Vec<T5Row> {
                 frequency: result.frequency,
                 time: begin.elapsed(),
                 cutsets: result.stats.num_cutsets,
+                kernel_steps: result.stats.kernel_steps,
+                kernel_steps_saved: result.stats.kernel_steps_saved,
             }
         })
         .collect()
@@ -409,6 +423,8 @@ pub fn t5_reevaluate(scale: f64, horizons: &[f64]) -> Vec<T5Row> {
             // is genuinely shared; report the amortized share.
             time: result.timings.quantification / count,
             cutsets: result.stats.num_cutsets,
+            kernel_steps: result.stats.kernel_steps,
+            kernel_steps_saved: result.stats.kernel_steps_saved,
         })
         .collect()
 }

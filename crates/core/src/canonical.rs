@@ -56,7 +56,7 @@ impl CanonicalModelKey {
         model_tree: &FaultTree,
         treatment: TriggerTreatment,
     ) -> Self {
-        let mut bytes = vec![b'K', 1]; // format marker + version
+        let mut bytes = vec![b'K', 2]; // format marker + version
         bytes.push(match treatment {
             TriggerTreatment::Classified => 0,
             TriggerTreatment::CutsetOnly => 1,
@@ -73,9 +73,17 @@ impl CanonicalModelKey {
     }
 
     /// Extend the stem with every numerical parameter the transient
-    /// analysis reads, completing the cache key.
+    /// analysis reads — including the kernel's steady-state-detection
+    /// knob, which changes results within its documented `ε` —
+    /// completing the cache key.
     #[must_use]
-    pub fn with_quantification(&self, horizons: &[f64], epsilon: f64, max_states: usize) -> Self {
+    pub fn with_quantification(
+        &self,
+        horizons: &[f64],
+        epsilon: f64,
+        max_states: usize,
+        steady_state_detection: bool,
+    ) -> Self {
         let mut bytes = self.0.clone();
         push_usize(&mut bytes, horizons.len());
         for &h in horizons {
@@ -83,6 +91,7 @@ impl CanonicalModelKey {
         }
         bytes.extend_from_slice(&epsilon.to_bits().to_le_bytes());
         push_usize(&mut bytes, max_states);
+        bytes.push(u8::from(steady_state_detection));
         CanonicalModelKey(bytes)
     }
 
@@ -102,6 +111,34 @@ fn push_blob(bytes: &mut Vec<u8>, blob: &[u8]) {
     bytes.extend_from_slice(blob);
 }
 
+/// Deterministic counters of the uniformization kernel, aggregated over
+/// one or more solves. Only integer counters live here (never wall-clock
+/// durations) so that sequential and parallel runs over the same work
+/// list report identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Uniformization passes performed (one per solved equivalence
+    /// class).
+    pub solves: usize,
+    /// DTMC steps actually taken across those passes.
+    pub steps_taken: u64,
+    /// DTMC steps avoided by steady-state detection (full Poisson budget
+    /// minus steps taken).
+    pub steps_saved: u64,
+    /// Solves in which steady-state detection fired.
+    pub steady_state_solves: usize,
+}
+
+impl KernelStats {
+    /// Accumulate another batch of kernel counters into this one.
+    pub fn absorb(&mut self, other: KernelStats) {
+        self.solves += other.solves;
+        self.steps_taken += other.steps_taken;
+        self.steps_saved += other.steps_saved;
+        self.steady_state_solves += other.steady_state_solves;
+    }
+}
+
 /// The solution of one model equivalence class: the dynamic factor per
 /// horizon plus bookkeeping for reporting.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +151,10 @@ pub struct DynamicSolution {
     /// plus the shared uniformization pass, split by per-horizon Poisson
     /// step counts).
     pub per_horizon_cost: Vec<Duration>,
+    /// Kernel counters of the solve that produced the factors.
+    pub kernel: KernelStats,
+    /// Wall-clock the kernel spent building its CSR form.
+    pub csr_build: Duration,
 }
 
 type CachedSolution = Result<DynamicSolution, CoreError>;
@@ -317,12 +358,16 @@ mod key_tests {
     fn quantification_parameters_complete_the_key() {
         let (tree, cutset) = pump_tree("x_", 1e-3);
         let stem = key_of(&tree, &cutset, TriggerTreatment::Classified);
-        let full = stem.with_quantification(&[24.0], 1e-12, 1000);
-        assert_ne!(full, stem.with_quantification(&[48.0], 1e-12, 1000));
-        assert_ne!(full, stem.with_quantification(&[24.0, 48.0], 1e-12, 1000));
-        assert_ne!(full, stem.with_quantification(&[24.0], 1e-9, 1000));
-        assert_ne!(full, stem.with_quantification(&[24.0], 1e-12, 2000));
-        assert_eq!(full, stem.with_quantification(&[24.0], 1e-12, 1000));
+        let full = stem.with_quantification(&[24.0], 1e-12, 1000, true);
+        assert_ne!(full, stem.with_quantification(&[48.0], 1e-12, 1000, true));
+        assert_ne!(
+            full,
+            stem.with_quantification(&[24.0, 48.0], 1e-12, 1000, true)
+        );
+        assert_ne!(full, stem.with_quantification(&[24.0], 1e-9, 1000, true));
+        assert_ne!(full, stem.with_quantification(&[24.0], 1e-12, 2000, true));
+        assert_ne!(full, stem.with_quantification(&[24.0], 1e-12, 1000, false));
+        assert_eq!(full, stem.with_quantification(&[24.0], 1e-12, 1000, true));
     }
 }
 
@@ -335,6 +380,13 @@ mod tests {
             factors: vec![factor],
             chain_states: 2,
             per_horizon_cost: vec![Duration::from_micros(5)],
+            kernel: KernelStats {
+                solves: 1,
+                steps_taken: 7,
+                steps_saved: 3,
+                steady_state_solves: 1,
+            },
+            csr_build: Duration::from_nanos(200),
         }
     }
 

@@ -61,7 +61,7 @@ mod quantify;
 mod translate;
 mod worstcase;
 
-pub use canonical::{CacheStats, CanonicalModelKey, DynamicSolution, QuantCache};
+pub use canonical::{CacheStats, CanonicalModelKey, DynamicSolution, KernelStats, QuantCache};
 pub use classify::{classify_gate, classify_triggering_gates, TriggerClass};
 pub use error::CoreError;
 pub use ftc::{build_ftc, build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
@@ -71,7 +71,8 @@ pub use pipeline::{
 };
 pub use quantify::{
     quantify_cutset, quantify_model_many, quantify_model_many_with, CacheLookup,
-    CutsetQuantification, QuantifyOptions,
+    CutsetQuantification, KernelUsage, QuantifyOptions,
 };
+pub use sdft_ctmc::{SolveStats, SolverOptions, SolverWorkspace};
 pub use translate::{translate, Translated};
 pub use worstcase::{worst_case_probabilities, worst_case_probability};

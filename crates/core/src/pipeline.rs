@@ -1,9 +1,10 @@
 use crate::canonical::{CacheStats, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::FtcContext;
-use crate::quantify::QuantifyOptions;
+use crate::quantify::{KernelUsage, QuantifyOptions};
 use crate::translate::translate;
 use crate::worstcase::worst_case_probabilities;
+use sdft_ctmc::SolverWorkspace;
 use sdft_ft::{Cutset, EventProbabilities, FaultTree};
 use sdft_mocus::{minimal_cutsets, MocusOptions};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -31,6 +32,12 @@ pub struct AnalysisOptions {
     /// [`QuantCache`], uniformizing each model equivalence class exactly
     /// once (default `true`; results are bitwise-identical either way).
     pub cache: bool,
+    /// Let the uniformization kernel stop stepping once the DTMC
+    /// iterates have converged and close the Poisson series with the
+    /// remaining tail mass (default `true`; adds at most `epsilon` of
+    /// extra error per horizon when it fires — disable for bitwise
+    /// compatibility with the plain Jensen iteration).
+    pub steady_state_detection: bool,
 }
 
 impl AnalysisOptions {
@@ -45,6 +52,7 @@ impl AnalysisOptions {
             max_chain_states: 2_000_000,
             treatment: crate::TriggerTreatment::Classified,
             cache: true,
+            steady_state_detection: true,
         }
     }
 }
@@ -95,6 +103,9 @@ pub struct Timings {
     /// Wall-clock the quantification cache saved: solve time the cache
     /// hits would have re-spent uniformizing their class.
     pub quantification_saved: Duration,
+    /// Wall-clock the uniformization kernel spent building its CSR
+    /// forms (summed over all solved model classes).
+    pub csr_build: Duration,
     /// End-to-end analysis time.
     pub total: Duration,
 }
@@ -124,6 +135,16 @@ pub struct AnalysisStats {
     /// Cache consultations that uniformized their class — exactly one
     /// per distinct class.
     pub cache_misses: usize,
+    /// Uniformization passes the kernel ran (one per solved model
+    /// class; deterministic for a fixed cutset list).
+    pub kernel_solves: usize,
+    /// DTMC steps the kernel actually took across those passes.
+    pub kernel_steps: u64,
+    /// DTMC steps steady-state detection saved against the full Poisson
+    /// budgets.
+    pub kernel_steps_saved: u64,
+    /// Solves in which steady-state detection fired.
+    pub steady_state_solves: usize,
 }
 
 impl AnalysisStats {
@@ -340,7 +361,7 @@ pub fn analyze_horizons(
         .collect::<Result<_, _>>()?;
 
     let t3 = Instant::now();
-    let (per_horizon_reports, cache_stats) =
+    let (per_horizon_reports, cache_stats, kernel_usage) =
         quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
     let quantification_time = t3.elapsed();
 
@@ -366,6 +387,10 @@ pub fn analyze_horizons(
             distinct_model_classes: cache_stats.distinct_classes,
             cache_hits: cache_stats.hits,
             cache_misses: cache_stats.misses,
+            kernel_solves: kernel_usage.stats.solves,
+            kernel_steps: kernel_usage.stats.steps_taken,
+            kernel_steps_saved: kernel_usage.stats.steps_saved,
+            steady_state_solves: kernel_usage.stats.steady_state_solves,
             ..AnalysisStats::default()
         };
         for r in &cutset_reports {
@@ -388,6 +413,7 @@ pub fn analyze_horizons(
                 mcs_generation: mcs_time,
                 quantification: quantification_time,
                 quantification_saved: cache_stats.time_saved,
+                csr_build: kernel_usage.csr_build,
                 total: start.elapsed(),
             },
             stats,
@@ -425,7 +451,7 @@ fn quantify_all_multi(
     horizons: &[f64],
     options: &AnalysisOptions,
     probs_per_horizon: &[EventProbabilities],
-) -> Result<(Vec<Vec<CutsetReport>>, CacheStats), CoreError> {
+) -> Result<(Vec<Vec<CutsetReport>>, CacheStats, KernelUsage), CoreError> {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -436,25 +462,33 @@ fn quantify_all_multi(
         epsilon: options.epsilon,
         max_states: options.max_chain_states,
         treatment: options.treatment,
+        steady_state_detection: options.steady_state_detection,
     };
     let cache = options.cache.then(QuantCache::new);
     let work: Vec<&Cutset> = cutsets.iter().collect();
 
     // One result per (cutset, horizon). Model construction is shared by
     // every horizon and split evenly; the solve cost is attributed per
-    // horizon by the quantifier (zero on cache hits).
-    let quantify_one = |cutset: &Cutset| -> Result<Vec<CutsetReport>, CoreError> {
+    // horizon by the quantifier (zero on cache hits). Each worker owns
+    // one kernel workspace, so solver buffers are allocated once per
+    // thread rather than once per solve. Kernel usage is attributed to
+    // the call that solved a class (zero on hits), so summing it over
+    // workers is deterministic regardless of scheduling.
+    let quantify_one = |cutset: &Cutset,
+                        workspace: &mut SolverWorkspace|
+     -> Result<(Vec<CutsetReport>, KernelUsage), CoreError> {
         let begin = Instant::now();
         let model = crate::ftc::build_ftc_with(tree, ctx, cutset, options.treatment)?;
         let build_share = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
-        let (quantified, _) = crate::quantify::quantify_model_many_with(
+        let (quantified, _, usage) = crate::quantify::quantify_model_many_with(
             tree,
             &model,
             horizons,
             &qopts,
             cache.as_ref(),
+            workspace,
         )?;
-        Ok(quantified
+        let reports = quantified
             .into_iter()
             .zip(probs_per_horizon)
             .map(|(q, probs)| CutsetReport {
@@ -468,7 +502,8 @@ fn quantify_all_multi(
                 quantification_time: build_share + q.quantification_time,
                 cutset: cutset.clone(),
             })
-            .collect())
+            .collect();
+        Ok((reports, usage))
     };
 
     let mut out: Vec<Vec<CutsetReport>> = (0..horizons.len())
@@ -476,18 +511,23 @@ fn quantify_all_multi(
         .collect();
 
     if threads <= 1 {
+        let mut workspace = SolverWorkspace::new();
+        let mut total_usage = KernelUsage::default();
         for &cutset in &work {
-            for (h, report) in quantify_one(cutset)?.into_iter().enumerate() {
+            let (reports, usage) = quantify_one(cutset, &mut workspace)?;
+            total_usage.stats.absorb(usage.stats);
+            total_usage.csr_build += usage.csr_build;
+            for (h, report) in reports.into_iter().enumerate() {
                 out[h].push(report);
             }
         }
         let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
-        return Ok((out, stats));
+        return Ok((out, stats, total_usage));
     }
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let produced = std::thread::scope(|scope| {
+    let (produced, total_usage) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let next = &next;
@@ -495,7 +535,9 @@ fn quantify_all_multi(
             let work = &work;
             let quantify_one = &quantify_one;
             handles.push(scope.spawn(move || {
+                let mut workspace = SolverWorkspace::new();
                 let mut local: Vec<(usize, Vec<CutsetReport>)> = Vec::new();
+                let mut local_usage = KernelUsage::default();
                 loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
@@ -504,8 +546,12 @@ fn quantify_all_multi(
                     let Some(&cutset) = work.get(index) else {
                         break;
                     };
-                    match quantify_one(cutset) {
-                        Ok(reports) => local.push((index, reports)),
+                    match quantify_one(cutset, &mut workspace) {
+                        Ok((reports, usage)) => {
+                            local_usage.stats.absorb(usage.stats);
+                            local_usage.csr_build += usage.csr_build;
+                            local.push((index, reports));
+                        }
                         Err(error) => {
                             // Stop the other workers at their next claim.
                             abort.store(true, Ordering::Relaxed);
@@ -513,14 +559,19 @@ fn quantify_all_multi(
                         }
                     }
                 }
-                Ok(local)
+                Ok((local, local_usage))
             }));
         }
         let mut produced: Vec<(usize, Vec<CutsetReport>)> = Vec::with_capacity(work.len());
+        let mut total_usage = KernelUsage::default();
         let mut first_error: Option<(usize, CoreError)> = None;
         for handle in handles {
             match handle.join().expect("worker does not panic") {
-                Ok(local) => produced.extend(local),
+                Ok((local, local_usage)) => {
+                    produced.extend(local);
+                    total_usage.stats.absorb(local_usage.stats);
+                    total_usage.csr_build += local_usage.csr_build;
+                }
                 Err((index, error)) => {
                     if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
                         first_error = Some((index, error));
@@ -530,7 +581,7 @@ fn quantify_all_multi(
         }
         match first_error {
             Some((_, error)) => Err(error),
-            None => Ok(produced),
+            None => Ok((produced, total_usage)),
         }
     })?;
 
@@ -543,7 +594,7 @@ fn quantify_all_multi(
         }
     }
     let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
-    Ok((out, stats))
+    Ok((out, stats, total_usage))
 }
 
 #[cfg(test)]

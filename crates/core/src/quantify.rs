@@ -1,7 +1,7 @@
-use crate::canonical::{DynamicSolution, QuantCache};
+use crate::canonical::{DynamicSolution, KernelStats, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::{build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
-use sdft_ctmc::PoissonWeights;
+use sdft_ctmc::{SolverOptions, SolverWorkspace};
 use sdft_ft::{Cutset, FaultTree};
 use sdft_product::{ProductChain, ProductOptions};
 use std::time::{Duration, Instant};
@@ -19,6 +19,10 @@ pub struct QuantifyOptions {
     /// ([`TriggerTreatment::CutsetOnly`] is the fast
     /// under-approximation of the paper's conclusion).
     pub treatment: TriggerTreatment,
+    /// Let the uniformization kernel stop stepping once the DTMC
+    /// iterates have converged (see [`sdft_ctmc::SolverOptions`]); adds
+    /// at most `epsilon` of extra error per horizon when it fires.
+    pub steady_state_detection: bool,
 }
 
 impl QuantifyOptions {
@@ -30,6 +34,7 @@ impl QuantifyOptions {
             epsilon: 1e-12,
             max_states: 2_000_000,
             treatment: TriggerTreatment::Classified,
+            steady_state_detection: true,
         }
     }
 }
@@ -136,33 +141,52 @@ pub fn quantify_model(
 fn solve_dynamics(
     ftc: &FaultTree,
     horizons: &[f64],
-    epsilon: f64,
-    max_states: usize,
+    options: &QuantifyOptions,
+    workspace: &mut SolverWorkspace,
 ) -> Result<DynamicSolution, CoreError> {
     let begin = Instant::now();
-    let chain = ProductChain::build(ftc, &ProductOptions { max_states })?;
-    let factors = chain.failure_probability_many(horizons, epsilon)?;
+    let chain = ProductChain::build(
+        ftc,
+        &ProductOptions {
+            max_states: options.max_states,
+        },
+    )?;
+    let solver = SolverOptions {
+        steady_state_detection: options.steady_state_detection,
+    };
+    let (factors, stats) =
+        chain.failure_probability_many_with(horizons, options.epsilon, &solver, workspace)?;
     let elapsed = begin.elapsed();
     Ok(DynamicSolution {
-        per_horizon_cost: attribute_cost(elapsed, chain.chain().max_exit_rate(), horizons, epsilon),
+        per_horizon_cost: attribute_cost(elapsed, &stats.per_horizon_steps),
         factors,
         chain_states: chain.num_states(),
+        kernel: KernelStats {
+            solves: 1,
+            steps_taken: stats.steps_taken as u64,
+            steps_saved: stats.steps_saved() as u64,
+            steady_state_solves: usize::from(stats.steady_state_step.is_some()),
+        },
+        csr_build: stats.csr_build,
     })
 }
 
 /// Split the measured wall-clock of one shared uniformization pass over
 /// the horizons it served, proportionally to each horizon's Poisson
-/// truncation depth (the number of matrix-vector products it needs).
-fn attribute_cost(total: Duration, rate: f64, horizons: &[f64], epsilon: f64) -> Vec<Duration> {
-    let steps: Vec<f64> = horizons
-        .iter()
-        .map(|&h| PoissonWeights::new(rate * h, epsilon).map_or(1.0, |w| w.right() as f64 + 1.0))
-        .collect();
-    let sum: f64 = steps.iter().sum();
-    if sum <= 0.0 {
-        return vec![Duration::ZERO; horizons.len()];
+/// truncation depth (the number of weight applications it needs, as
+/// reported by the kernel). A `PoissonWeights` construction failure now
+/// surfaces as an error from the solve itself instead of being silently
+/// flattened to weight `1.0` here, which used to misattribute
+/// per-horizon timings.
+fn attribute_cost(total: Duration, per_horizon_steps: &[usize]) -> Vec<Duration> {
+    let sum: usize = per_horizon_steps.iter().sum();
+    if sum == 0 {
+        return vec![Duration::ZERO; per_horizon_steps.len()];
     }
-    steps.iter().map(|&s| total.mul_f64(s / sum)).collect()
+    per_horizon_steps
+        .iter()
+        .map(|&s| total.mul_f64(s as f64 / sum as f64))
+        .collect()
 }
 
 /// Quantify a prebuilt cutset model at several horizons, building its
@@ -180,7 +204,9 @@ pub fn quantify_model_many(
     horizons: &[f64],
     options: &QuantifyOptions,
 ) -> Result<Vec<CutsetQuantification>, CoreError> {
-    quantify_model_many_with(tree, model, horizons, options, None).map(|(q, _)| q)
+    let mut workspace = SolverWorkspace::new();
+    quantify_model_many_with(tree, model, horizons, options, None, &mut workspace)
+        .map(|(q, _, _)| q)
 }
 
 /// How a [`quantify_model_many_with`] call was answered.
@@ -192,6 +218,20 @@ pub enum CacheLookup {
     Hit,
     /// This call solved the model's equivalence class.
     Miss,
+}
+
+/// Kernel work a [`quantify_model_many_with`] call actually performed:
+/// zero for static models, short-circuits and cache hits, the solve's
+/// counters when the call ran a uniformization pass. Summing these over
+/// a work list is scheduling-independent because each equivalence class
+/// is solved exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelUsage {
+    /// Deterministic kernel counters (steps taken/saved, solves).
+    pub stats: KernelStats,
+    /// Wall-clock spent building CSR forms (not deterministic; kept out
+    /// of [`KernelStats`] so those can be compared across runs).
+    pub csr_build: Duration,
 }
 
 /// Like [`quantify_model_many`], consulting `cache` (when given) so that
@@ -214,7 +254,8 @@ pub fn quantify_model_many_with(
     horizons: &[f64],
     options: &QuantifyOptions,
     cache: Option<&QuantCache>,
-) -> Result<(Vec<CutsetQuantification>, CacheLookup), CoreError> {
+    workspace: &mut SolverWorkspace,
+) -> Result<(Vec<CutsetQuantification>, CacheLookup, KernelUsage), CoreError> {
     if horizons.is_empty() {
         return Err(crate::CoreError::InvalidHorizon { horizon: f64::NAN });
     }
@@ -237,20 +278,25 @@ pub fn quantify_model_many_with(
     let ftc = match &model.tree {
         None => {
             let reports = vec![make(1.0, 0, Duration::ZERO); horizons.len()];
-            return Ok((reports, CacheLookup::Uncached));
+            return Ok((reports, CacheLookup::Uncached, KernelUsage::default()));
         }
         Some(_) if static_factor == 0.0 => {
             // Conditioned out: a zero-probability static event means the
             // cutset cannot occur — skip chain construction entirely.
             let reports = vec![make(0.0, 0, Duration::ZERO); horizons.len()];
-            return Ok((reports, CacheLookup::Uncached));
+            return Ok((reports, CacheLookup::Uncached, KernelUsage::default()));
         }
         Some(ftc) => ftc,
     };
-    let solve = || solve_dynamics(ftc, horizons, options.epsilon, options.max_states);
+    let mut solve = || solve_dynamics(ftc, horizons, options, workspace);
     let (solution, lookup) = match cache.zip(model.canonical_key.as_ref()) {
         Some((cache, stem)) => {
-            let key = stem.with_quantification(horizons, options.epsilon, options.max_states);
+            let key = stem.with_quantification(
+                horizons,
+                options.epsilon,
+                options.max_states,
+                options.steady_state_detection,
+            );
             let (result, hit) = cache.get_or_solve(key, solve);
             let mut solution = result?;
             if hit {
@@ -269,13 +315,24 @@ pub fn quantify_model_many_with(
         }
         None => (solve()?, CacheLookup::Uncached),
     };
+    // Kernel work is attributed to the call that solved the class; hits
+    // only paid a lookup, so summed usage is one solve per class no
+    // matter how work was scheduled.
+    let usage = if lookup == CacheLookup::Hit {
+        KernelUsage::default()
+    } else {
+        KernelUsage {
+            stats: solution.kernel,
+            csr_build: solution.csr_build,
+        }
+    };
     let reports = solution
         .factors
         .iter()
         .zip(&solution.per_horizon_cost)
         .map(|(&factor, &cost)| make(factor, solution.chain_states, cost))
         .collect();
-    Ok((reports, lookup))
+    Ok((reports, lookup, usage))
 }
 
 #[cfg(test)]

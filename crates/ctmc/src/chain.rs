@@ -37,6 +37,10 @@ pub struct Ctmc {
     initial: Vec<f64>,
     /// Failure flag per state.
     failed: Vec<bool>,
+    /// Cached exit rate per state (sum of its outgoing rates).
+    exit_rates: Vec<f64>,
+    /// Cached largest exit rate (the uniformization constant `Λ`).
+    max_exit_rate: f64,
 }
 
 impl Ctmc {
@@ -63,22 +67,23 @@ impl Ctmc {
         &self.transitions[state]
     }
 
-    /// Total exit rate of `state` (sum of its outgoing rates).
+    /// Total exit rate of `state` (sum of its outgoing rates). Cached at
+    /// construction — the transient kernel reads this per state on every
+    /// uniformization pass.
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of range.
     #[must_use]
     pub fn exit_rate(&self, state: usize) -> f64 {
-        self.transitions[state].iter().map(|&(_, r)| r).sum()
+        self.exit_rates[state]
     }
 
-    /// The largest exit rate over all states (the uniformization constant).
+    /// The largest exit rate over all states (the uniformization
+    /// constant). Cached at construction.
     #[must_use]
     pub fn max_exit_rate(&self) -> f64 {
-        (0..self.len())
-            .map(|s| self.exit_rate(s))
-            .fold(0.0, f64::max)
+        self.max_exit_rate
     }
 
     /// Initial probability of `state`.
@@ -172,6 +177,7 @@ impl Ctmc {
             // Zero rates are never stored.
             transitions.retain(|&(_, rate)| rate > 0.0);
         }
+        (scaled.exit_rates, scaled.max_exit_rate) = cached_exit_rates(&scaled.transitions);
         Ok(scaled)
     }
 
@@ -185,8 +191,20 @@ impl Ctmc {
                 trans.clear();
             }
         }
+        (out.exit_rates, out.max_exit_rate) = cached_exit_rates(&out.transitions);
         out
     }
+}
+
+/// Per-state exit rates and their maximum, computed once per structural
+/// change so the solver never re-sums transition lists.
+fn cached_exit_rates(transitions: &[Vec<(usize, f64)>]) -> (Vec<f64>, f64) {
+    let exit_rates: Vec<f64> = transitions
+        .iter()
+        .map(|row| row.iter().map(|&(_, r)| r).sum())
+        .collect();
+    let max = exit_rates.iter().copied().fold(0.0, f64::max);
+    (exit_rates, max)
 }
 
 fn validate_initial(initial: &[f64], len: usize) -> Result<(), CtmcError> {
@@ -306,10 +324,13 @@ impl CtmcBuilder {
             check(state)?;
             failed[state] = true;
         }
+        let (exit_rates, max_exit_rate) = cached_exit_rates(&transitions);
         Ok(Ctmc {
             transitions,
             initial,
             failed,
+            exit_rates,
+            max_exit_rate,
         })
     }
 }
@@ -424,6 +445,20 @@ mod tests {
         let c = two_state().with_failed_absorbing();
         assert_eq!(c.transitions_from(1), &[]);
         assert_eq!(c.transitions_from(0), &[(1, 1e-3)]);
+    }
+
+    #[test]
+    fn cached_rates_follow_transforms() {
+        let c = two_state();
+        let scaled = c.with_scaled_rates(2.0).unwrap();
+        assert!((scaled.exit_rate(0) - 2e-3).abs() < 1e-15);
+        assert!((scaled.max_exit_rate() - 0.1).abs() < 1e-15);
+        let absorbed = c.with_failed_absorbing();
+        assert_eq!(absorbed.exit_rate(1), 0.0);
+        assert!((absorbed.max_exit_rate() - 1e-3).abs() < 1e-18);
+        let zeroed = c.with_scaled_rates(0.0).unwrap();
+        assert_eq!(zeroed.max_exit_rate(), 0.0);
+        assert_eq!(zeroed.exit_rate(1), 0.0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! ```
 
 mod chain;
+mod csr;
 pub mod erlang;
 mod error;
 mod mttf;
@@ -44,10 +45,16 @@ mod transient;
 mod triggered;
 
 pub use chain::{Ctmc, CtmcBuilder};
+pub use csr::{
+    reach_probability_many_with, transient_distribution_many_with, SolveStats, SolverOptions,
+    SolverWorkspace,
+};
 pub use error::CtmcError;
 pub use poisson::PoissonWeights;
 pub use signature::ChainSignature;
 pub use stationary::{limiting_distribution, StationaryOptions};
+#[doc(hidden)]
+pub use transient::reference;
 pub use transient::{
     reach_probability, reach_probability_many, transient_distribution, transient_distribution_many,
 };

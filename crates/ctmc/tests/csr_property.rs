@@ -1,0 +1,155 @@
+//! Property-based tests for the CSR uniformization kernel: on random
+//! chains, the kernel with steady-state detection disabled must be
+//! *bitwise* identical to the original dense-loop implementation (kept
+//! as `sdft_ctmc::reference`), and with detection enabled it must stay
+//! within the documented error bound of the full Poisson window.
+
+use proptest::prelude::*;
+use sdft_ctmc::{
+    reach_probability_many_with, reference, transient_distribution_many_with, Ctmc, CtmcBuilder,
+    SolverOptions, SolverWorkspace,
+};
+
+/// A compact description of a random chain: transitions reference
+/// states by modular index, so every spec builds a valid chain.
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    states: usize,
+    transitions: Vec<(usize, usize, f64)>,
+    failed: Vec<usize>,
+    initial: usize,
+}
+
+fn arb_chain_spec() -> impl Strategy<Value = ChainSpec> {
+    // State references use modular indexing, so every spec is valid.
+    (
+        2usize..6,
+        prop::collection::vec((0usize..100, 0usize..100, 0.0f64..2.0), 1..12),
+        prop::collection::vec(0usize..100, 0..3),
+        0usize..100,
+    )
+        .prop_map(|(states, transitions, failed, initial)| ChainSpec {
+            states,
+            transitions,
+            failed,
+            initial,
+        })
+}
+
+fn build_chain(spec: &ChainSpec) -> Ctmc {
+    let n = spec.states;
+    let mut b = CtmcBuilder::new(n);
+    b.initial(spec.initial % n, 1.0);
+    for &(from, to, rate) in &spec.transitions {
+        b.rate(from % n, to % n, rate);
+    }
+    for &state in &spec.failed {
+        b.failed(state % n);
+    }
+    b.build().expect("spec produces a valid chain")
+}
+
+const HORIZONS: [f64; 3] = [0.0, 1.5, 24.0];
+const EPSILON: f64 = 1e-12;
+
+fn exact() -> SolverOptions {
+    SolverOptions {
+        steady_state_detection: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With steady-state detection off, the CSR kernel performs the
+    /// same floating-point operations as the dense loop — results must
+    /// match bit for bit, for both the absorbing reach solve and the
+    /// plain transient solve, sharing one workspace.
+    #[test]
+    fn csr_kernel_is_bitwise_equal_to_the_dense_loop(spec in arb_chain_spec()) {
+        let chain = build_chain(&spec);
+        let mut ws = SolverWorkspace::new();
+
+        let (reach, _) =
+            reach_probability_many_with(&chain, &HORIZONS, EPSILON, &exact(), &mut ws).unwrap();
+        let expected = reference::reach_probability_many(&chain, &HORIZONS, EPSILON).unwrap();
+        for (i, (a, b)) in reach.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "reach horizon {}: {} vs {}", i, a, b);
+        }
+
+        let (dists, _) =
+            transient_distribution_many_with(&chain, &HORIZONS, EPSILON, &exact(), &mut ws)
+                .unwrap();
+        let expected = reference::transient_distribution_many(&chain, &HORIZONS, EPSILON).unwrap();
+        for (pi, reference_pi) in dists.iter().zip(&expected) {
+            for (s, (a, b)) in pi.iter().zip(reference_pi).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "state {}: {} vs {}", s, a, b);
+            }
+        }
+    }
+
+    /// With steady-state detection on (the default), results may close
+    /// the Poisson series early but must stay within 2ε of the full
+    /// window — we allow a comfortable 1e-9 at ε = 1e-12.
+    #[test]
+    fn steady_state_detection_stays_within_tolerance(spec in arb_chain_spec()) {
+        let chain = build_chain(&spec);
+        let mut ws = SolverWorkspace::new();
+
+        let (reach, _) = reach_probability_many_with(
+            &chain, &HORIZONS, EPSILON, &SolverOptions::default(), &mut ws,
+        ).unwrap();
+        let expected = reference::reach_probability_many(&chain, &HORIZONS, EPSILON).unwrap();
+        for (a, b) in reach.iter().zip(&expected) {
+            prop_assert!((a - b).abs() <= 1e-9, "{} vs {}", a, b);
+        }
+
+        let (dists, _) = transient_distribution_many_with(
+            &chain, &HORIZONS, EPSILON, &SolverOptions::default(), &mut ws,
+        ).unwrap();
+        let expected = reference::transient_distribution_many(&chain, &HORIZONS, EPSILON).unwrap();
+        for (pi, reference_pi) in dists.iter().zip(&expected) {
+            for (a, b) in pi.iter().zip(reference_pi) {
+                prop_assert!((a - b).abs() <= 1e-9, "{} vs {}", a, b);
+            }
+        }
+    }
+}
+
+/// Regression: on a stiff repairable chain the detector must fire, cut
+/// the step count by an order of magnitude, and still agree with the
+/// dense loop to well under the error bound.
+#[test]
+fn stiff_chain_converges_early_and_agrees_with_the_dense_loop() {
+    let chain = CtmcBuilder::new(2)
+        .initial(0, 1.0)
+        .rate(0, 1, 120.0)
+        .rate(1, 0, 80.0)
+        .failed(1)
+        .build()
+        .unwrap();
+    let horizons = [50.0];
+    let mut ws = SolverWorkspace::new();
+    let (dists, stats) = transient_distribution_many_with(
+        &chain,
+        &horizons,
+        1e-10,
+        &SolverOptions::default(),
+        &mut ws,
+    )
+    .unwrap();
+    assert!(
+        stats.steady_state_step.is_some(),
+        "detector must fire on a stiff chain"
+    );
+    assert!(
+        stats.steps_taken * 10 < stats.steps_budget,
+        "expected an order-of-magnitude saving: took {} of {}",
+        stats.steps_taken,
+        stats.steps_budget
+    );
+    let expected = reference::transient_distribution_many(&chain, &horizons, 1e-10).unwrap();
+    for (a, b) in dists[0].iter().zip(&expected[0]) {
+        assert!((a - b).abs() <= 1e-9, "{a} vs {b}");
+    }
+}

@@ -62,6 +62,13 @@ impl Scenario {
         self.failed[event.index()] = failed;
     }
 
+    /// Reset every event to functional, keeping the allocation. Lets hot
+    /// loops (such as product-chain exploration) reuse one scenario
+    /// instead of constructing one per query.
+    pub fn clear(&mut self) {
+        self.failed.fill(false);
+    }
+
     /// Whether `event` is failed in this scenario.
     ///
     /// # Panics
@@ -92,7 +99,18 @@ impl FaultTree {
     /// the failure of gates in product states, §III-C1).
     #[must_use]
     pub fn evaluate_scenario(&self, scenario: &Scenario) -> Vec<bool> {
-        let mut failed = vec![false; self.len()];
+        let mut failed = Vec::new();
+        self.evaluate_scenario_into(scenario, &mut failed);
+        failed
+    }
+
+    /// [`FaultTree::evaluate_scenario`] into a caller-owned buffer, so
+    /// repeated evaluations (millions, during product-chain exploration)
+    /// reuse one allocation. The buffer is cleared and resized to the
+    /// node count.
+    pub fn evaluate_scenario_into(&self, scenario: &Scenario, failed: &mut Vec<bool>) {
+        failed.clear();
+        failed.resize(self.len(), false);
         for id in self.node_ids() {
             failed[id.index()] = if self.is_basic(id) {
                 scenario.contains(id)
@@ -107,7 +125,6 @@ impl FaultTree {
                 }
             };
         }
-        failed
     }
 
     /// Whether `node` is failed by `scenario`.

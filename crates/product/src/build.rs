@@ -140,6 +140,32 @@ impl ProductChain {
         )?)
     }
 
+    /// [`failure_probability_many`](Self::failure_probability_many) with
+    /// explicit solver options and a reusable kernel workspace; also
+    /// returns the solve's kernel statistics. This is the hot path used
+    /// by `sdft-core`'s quantification: one workspace per worker thread
+    /// amortizes all solver allocations across equivalence classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `horizons` is empty or contains an invalid
+    /// value.
+    pub fn failure_probability_many_with(
+        &self,
+        horizons: &[f64],
+        epsilon: f64,
+        options: &sdft_ctmc::SolverOptions,
+        workspace: &mut sdft_ctmc::SolverWorkspace,
+    ) -> Result<(Vec<f64>, sdft_ctmc::SolveStats), ProductError> {
+        Ok(sdft_ctmc::reach_probability_many_with(
+            &self.chain,
+            horizons,
+            epsilon,
+            options,
+            workspace,
+        )?)
+    }
+
     /// The steady-state unavailability of the tree: the long-run
     /// probability that the top gate is failed. Only meaningful for
     /// repairable models (without repairs every failure is absorbing and
@@ -308,6 +334,22 @@ pub fn failure_probability(
     ProductChain::build(tree, options)?.failure_probability(t, sdft_ctmc::DEFAULT_EPSILON)
 }
 
+/// Reusable buffers for trigger-update evaluation: one scenario and one
+/// node-evaluation vector serve every state of an exploration.
+struct Scratch {
+    scenario: Scenario,
+    failed: Vec<bool>,
+}
+
+impl Scratch {
+    fn new(tree: &FaultTree) -> Self {
+        Scratch {
+            scenario: Scenario::new(tree),
+            failed: Vec::with_capacity(tree.len()),
+        }
+    }
+}
+
 struct Builder<'a> {
     tree: &'a FaultTree,
     components: Vec<Component>,
@@ -378,34 +420,37 @@ impl<'a> Builder<'a> {
         self.components[i].chain.is_failed(s as usize)
     }
 
-    fn scenario_of(&self, state: &[u16]) -> Scenario {
-        Scenario::from_events(
-            self.tree,
-            state
-                .iter()
-                .enumerate()
-                .filter(|&(i, &s)| self.comp_failed(i, s))
-                .map(|(i, _)| self.components[i].event),
-        )
+    /// Fill `scenario` with the events failed in `state`. Reuses the
+    /// caller's scenario: exploration evaluates millions of states and
+    /// must not allocate per query.
+    fn scenario_into(&self, state: &[u16], scenario: &mut Scenario) {
+        scenario.clear();
+        for (i, &s) in state.iter().enumerate() {
+            if self.comp_failed(i, s) {
+                scenario.set(self.components[i].event, true);
+            }
+        }
     }
 
-    /// Apply trigger updates until the state is consistent (§III-C1b).
-    fn update(&self, mut state: Vec<u16>) -> Result<Vec<u16>, ProductError> {
+    /// Apply trigger updates until the state is consistent (§III-C1b),
+    /// in place, reusing `scratch` across calls.
+    fn update(&self, state: &mut [u16], scratch: &mut Scratch) -> Result<(), ProductError> {
         // Each pass applies every pending switch; acyclicity of the
         // triggering structure bounds the number of passes by the number
         // of triggered events (a switched component can enable at most a
         // strictly "later" trigger in the acyclic order).
         let limit = self.components.len() + 2;
         for _ in 0..limit {
-            let scenario = self.scenario_of(&state);
-            let failed = self.tree.evaluate_scenario(&scenario);
+            self.scenario_into(state, &mut scratch.scenario);
+            self.tree
+                .evaluate_scenario_into(&scratch.scenario, &mut scratch.failed);
             let mut changed = false;
             for (i, comp) in self.components.iter().enumerate() {
                 let (Some(modes), Some(gate)) = (&comp.modes, comp.trigger_gate) else {
                     continue;
                 };
                 let s = state[i] as usize;
-                if failed[gate.index()] {
+                if scratch.failed[gate.index()] {
                     if modes.mode[s] == Mode::Off {
                         state[i] = u16::try_from(modes.on_map[s]).expect("state fits u16");
                         changed = true;
@@ -416,7 +461,7 @@ impl<'a> Builder<'a> {
                 }
             }
             if !changed {
-                return Ok(state);
+                return Ok(());
             }
         }
         Err(ProductError::UpdateDiverged)
@@ -447,20 +492,21 @@ impl<'a> Builder<'a> {
         }
         // Update each initial combination into its consistent state and
         // merge probabilities (the initial-distribution rule of §III-C1).
-        for (state, p) in partial {
-            let consistent = self.update(state)?;
-            *initial.entry(consistent).or_insert(0.0) += p;
+        let mut scratch = Scratch::new(self.tree);
+        for (mut state, p) in partial {
+            self.update(&mut state, &mut scratch)?;
+            *initial.entry(state).or_insert(0.0) += p;
         }
 
         // Breadth-first exploration of consistent states.
         let mut index: HashMap<Vec<u16>, usize> = HashMap::new();
         let mut states: Vec<Vec<u16>> = Vec::new();
         let mut queue: Vec<usize> = Vec::new();
-        let mut add_state = |s: Vec<u16>,
+        let mut add_state = |s: &[u16],
                              states: &mut Vec<Vec<u16>>,
                              queue: &mut Vec<usize>|
          -> Result<usize, ProductError> {
-            if let Some(&i) = index.get(&s) {
+            if let Some(&i) = index.get(s) {
                 return Ok(i);
             }
             if states.len() >= options.max_states {
@@ -469,30 +515,36 @@ impl<'a> Builder<'a> {
                 });
             }
             let i = states.len();
-            index.insert(s.clone(), i);
-            states.push(s);
+            index.insert(s.to_vec(), i);
+            states.push(s.to_vec());
             queue.push(i);
             Ok(i)
         };
 
         let mut init_list: Vec<(usize, f64)> = Vec::new();
         for (state, p) in initial {
-            let i = add_state(state, &mut states, &mut queue)?;
+            let i = add_state(&state, &mut states, &mut queue)?;
             init_list.push((i, p));
         }
 
+        // The explored frontier reuses two state buffers; `add_state`
+        // copies only when it actually inserts a new product state.
         let mut transitions: Vec<(usize, usize, usize, f64)> = Vec::new();
+        let mut current: Vec<u16> = Vec::new();
+        let mut evolved: Vec<u16> = Vec::new();
         let mut head = 0;
         while head < queue.len() {
             let from = queue[head];
             head += 1;
-            let current = states[from].clone();
+            current.clear();
+            current.extend_from_slice(&states[from]);
             for (i, comp) in self.components.iter().enumerate() {
                 for &(to_comp, rate) in comp.chain.transitions_from(current[i] as usize) {
-                    let mut evolved = current.clone();
+                    evolved.clear();
+                    evolved.extend_from_slice(&current);
                     evolved[i] = u16::try_from(to_comp).expect("state fits u16");
-                    let updated = self.update(evolved)?;
-                    let to = add_state(updated, &mut states, &mut queue)?;
+                    self.update(&mut evolved, &mut scratch)?;
+                    let to = add_state(&evolved, &mut states, &mut queue)?;
                     transitions.push((from, to, i, rate));
                 }
             }
@@ -505,9 +557,12 @@ impl<'a> Builder<'a> {
         for &(from, to, _, rate) in &transitions {
             b.rate(from, to, rate);
         }
+        let top = self.tree.top().index();
         for (i, state) in states.iter().enumerate() {
-            let scenario = self.scenario_of(state);
-            if self.tree.fails(self.tree.top(), &scenario) {
+            self.scenario_into(state, &mut scratch.scenario);
+            self.tree
+                .evaluate_scenario_into(&scratch.scenario, &mut scratch.failed);
+            if scratch.failed[top] {
                 b.failed(i);
             }
         }

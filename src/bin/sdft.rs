@@ -4,6 +4,7 @@
 //! ```text
 //! sdft check      <file>                     validate + classify triggers
 //! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--fast] [--csv OUT]
+//!                        [--no-steady-state]
 //! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N]
 //! sdft exact      <file> [--horizon H]       product-chain reference (small models)
 //! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
@@ -27,13 +28,15 @@ struct Args {
     samples: usize,
     seed: u64,
     fast: bool,
+    steady_state: bool,
     csv: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
-         [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--fast] [--csv OUT]"
+         [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--fast] \
+         [--no-steady-state] [--csv OUT]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
         samples: 100_000,
         seed: 7,
         fast: false,
+        steady_state: true,
         csv: None,
     };
     let mut it = flags.iter();
@@ -84,6 +88,10 @@ fn main() -> ExitCode {
             "--csv" => value("--csv").map(|v| args.csv = Some(v)),
             "--fast" => {
                 args.fast = true;
+                Some(())
+            }
+            "--no-steady-state" => {
+                args.steady_state = false;
                 Some(())
             }
             other => {
@@ -186,6 +194,7 @@ fn analysis_options(args: &Args) -> AnalysisOptions {
     if args.fast {
         options.treatment = TriggerTreatment::CutsetOnly;
     }
+    options.steady_state_detection = args.steady_state;
     options
 }
 
@@ -207,6 +216,15 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         result.stats.distinct_model_classes,
         result.stats.cache_hit_rate() * 100.0,
         result.timings.quantification_saved,
+    );
+    println!(
+        "kernel: {} solves, {} DTMC steps ({} saved by steady-state detection \
+         in {} solves), CSR build {:?}",
+        result.stats.kernel_solves,
+        result.stats.kernel_steps,
+        result.stats.kernel_steps_saved,
+        result.stats.steady_state_solves,
+        result.timings.csr_build,
     );
     println!(
         "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}",
