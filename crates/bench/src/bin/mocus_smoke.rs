@@ -1,0 +1,95 @@
+//! Bench smoke: time MOCUS cutset generation on the 30%-scale
+//! industrial model 1 and write machine-readable numbers to a JSON file
+//! (default `BENCH_mocus.json`), so CI can track the perf trajectory of
+//! the cutset generator across commits.
+//!
+//! Runs the generation single-threaded and on all cores; the cutset
+//! lists must be identical (generation is thread-count-deterministic),
+//! and the two timings quantify the parallel speedup on the host.
+//!
+//! ```text
+//! mocus_smoke [output.json]
+//! ```
+
+use sdft_ft::EventProbabilities;
+use sdft_mocus::{minimal_cutsets_with_stats, MocusOptions};
+use sdft_models::industrial;
+use std::time::Instant;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_mocus.json".to_owned());
+
+    let tree = industrial::generate(&industrial::model1().scaled(0.3));
+    let probs = EventProbabilities::from_static(&tree).expect("static model");
+
+    let sequential = MocusOptions {
+        threads: 1,
+        ..MocusOptions::default()
+    };
+    let begin = Instant::now();
+    let (mcs_seq, stats_seq) =
+        minimal_cutsets_with_stats(&tree, &probs, &sequential).expect("mocus");
+    let sequential_seconds = begin.elapsed().as_secs_f64();
+
+    let parallel = MocusOptions::default(); // threads = 0: all cores
+    let begin = Instant::now();
+    let (mcs_par, stats_par) = minimal_cutsets_with_stats(&tree, &probs, &parallel).expect("mocus");
+    let parallel_seconds = begin.elapsed().as_secs_f64();
+
+    assert_eq!(mcs_seq, mcs_par, "cutset list must be thread-independent");
+    assert_eq!(
+        stats_seq.deterministic(),
+        stats_par.deterministic(),
+        "schedule-independent counters must match"
+    );
+
+    let partials_per_sec = |seconds: f64| stats_seq.partials_processed as f64 / seconds.max(1e-12);
+    let json = format!(
+        "{{\n  \
+         \"schema\": \"sdft-bench-mocus-v1\",\n  \
+         \"model\": \"industrial model 1 @ 0.3\",\n  \
+         \"basic_events\": {},\n  \
+         \"gates\": {},\n  \
+         \"cutsets\": {},\n  \
+         \"partials_processed\": {},\n  \
+         \"partials_pruned\": {},\n  \
+         \"subsumption_comparisons\": {},\n  \
+         \"sequential\": {{\n    \
+         \"generation_seconds\": {:.6},\n    \
+         \"partials_per_sec\": {:.1}\n  }},\n  \
+         \"parallel\": {{\n    \
+         \"workers\": {},\n    \
+         \"seed_tasks\": {},\n    \
+         \"stolen_tasks\": {},\n    \
+         \"generation_seconds\": {:.6},\n    \
+         \"partials_per_sec\": {:.1},\n    \
+         \"speedup\": {:.3}\n  }}\n}}\n",
+        tree.num_basic_events(),
+        tree.num_gates(),
+        mcs_seq.len(),
+        stats_seq.partials_processed,
+        stats_seq.partials_pruned,
+        stats_seq.subsumption_comparisons,
+        sequential_seconds,
+        partials_per_sec(sequential_seconds),
+        stats_par.workers,
+        stats_par.seed_tasks,
+        stats_par.stolen_tasks,
+        parallel_seconds,
+        partials_per_sec(parallel_seconds),
+        sequential_seconds / parallel_seconds.max(1e-12),
+    );
+    std::fs::write(&output, &json).expect("write mocus timings");
+    println!(
+        "mocus smoke: {} cutsets, {} partials, 1 thread {:.3}s vs {} workers {:.3}s \
+         (speedup {:.2}x), wrote {output}",
+        mcs_seq.len(),
+        stats_seq.partials_processed,
+        sequential_seconds,
+        stats_par.workers,
+        parallel_seconds,
+        sequential_seconds / parallel_seconds.max(1e-12),
+    );
+}

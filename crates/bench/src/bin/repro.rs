@@ -76,15 +76,20 @@ fn x2() {
 fn x1(scale: f64) {
     println!("## X1 (extension): cutoff sensitivity (model 1, 30% dynamic)");
     println!();
-    println!("| cutoff | MCS | failure freq. | analysis time |");
-    println!("|---|---|---|---|");
+    println!(
+        "| cutoff | MCS | failure freq. | analysis time | partials | pruned | subsumption tests |"
+    );
+    println!("|---|---|---|---|---|---|---|");
     for row in exp::cutoff_sweep(scale, &[1e-12, 1e-14, 1e-15, 1e-16, 1e-18], 24.0) {
         println!(
-            "| {:.0e} | {} | {:.4e} | {} |",
+            "| {:.0e} | {} | {:.4e} | {} | {} | {} | {} |",
             row.cutoff,
             row.cutsets,
             row.frequency,
-            seconds(row.time)
+            seconds(row.time),
+            row.partials,
+            row.partials_pruned,
+            row.subsumption_comparisons,
         );
     }
     println!();
@@ -127,17 +132,21 @@ fn t1() {
 fn t2(scale: f64) {
     println!("## T2 (§VI-B): industrial model sizes and MCS generation");
     println!();
-    println!("| model | # BE | # gates | # MCS | MCS generation | static REA |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| model | # BE | # gates | # MCS | MCS generation | static REA | partials | partials/s |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for row in exp::t2(scale) {
         println!(
-            "| {} | {} | {} | {} | {} | {:.3e} |",
+            "| {} | {} | {} | {} | {} | {:.3e} | {} | {:.2e} |",
             row.name,
             row.basic_events,
             row.gates,
             row.cutsets,
             seconds(row.generation_time),
             row.rea,
+            row.partials,
+            row.partials_per_sec,
         );
     }
     println!();

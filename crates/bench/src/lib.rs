@@ -12,7 +12,7 @@
 use sdft_core::{analyze, AnalysisOptions, AnalysisResult, FtcContext, QuantifyOptions};
 use sdft_ft::{Cutset, EventProbabilities, FaultTree, FaultTreeBuilder};
 use sdft_importance::fussell_vesely_ranking;
-use sdft_mocus::{minimal_cutsets, MocusOptions};
+use sdft_mocus::{minimal_cutsets, minimal_cutsets_with_stats, MocusOptions};
 use sdft_models::annotate::{annotate, AnnotationConfig};
 use sdft_models::{bwr, industrial};
 use std::time::{Duration, Instant};
@@ -132,6 +132,12 @@ pub struct ModelSummary {
     pub generation_time: Duration,
     /// Static rare-event approximation.
     pub rea: f64,
+    /// Partial cutsets MOCUS processed.
+    pub partials: u64,
+    /// Partials processed per second of generation time.
+    pub partials_per_sec: f64,
+    /// Subset tests the minimization pass performed.
+    pub subsumption_comparisons: u64,
 }
 
 /// T2 (§VI-B): the two industrial models' sizes and MCS generation times.
@@ -150,14 +156,20 @@ pub fn t2(scale: f64) -> Vec<ModelSummary> {
         let tree = industrial::generate(&config.scaled(scale));
         let probs = EventProbabilities::from_static(&tree).expect("static model");
         let begin = Instant::now();
-        let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).expect("mocus");
+        let (mcs, stats) =
+            minimal_cutsets_with_stats(&tree, &probs, &MocusOptions::default()).expect("mocus");
+        let generation_time = begin.elapsed();
         ModelSummary {
             name: name.to_owned(),
             basic_events: tree.num_basic_events(),
             gates: tree.num_gates(),
             cutsets: mcs.len(),
-            generation_time: begin.elapsed(),
+            generation_time,
             rea: mcs.rare_event_approximation(|e| probs.get(e)),
+            partials: stats.partials_processed,
+            partials_per_sec: stats.partials_processed as f64
+                / generation_time.as_secs_f64().max(f64::MIN_POSITIVE),
+            subsumption_comparisons: stats.subsumption_comparisons,
         }
     })
     .collect()
@@ -452,6 +464,12 @@ pub struct CutoffRow {
     pub frequency: f64,
     /// Analysis time.
     pub time: Duration,
+    /// Partial cutsets MOCUS processed.
+    pub partials: u64,
+    /// Partials MOCUS pruned via cutoff / look-ahead.
+    pub partials_pruned: u64,
+    /// Subset tests the minimization pass performed.
+    pub subsumption_comparisons: u64,
 }
 
 /// Cutoff sensitivity on model 1 with 30% dynamic annotation: the
@@ -481,6 +499,9 @@ pub fn cutoff_sweep(scale: f64, cutoffs: &[f64], horizon: f64) -> Vec<CutoffRow>
                 cutsets: result.stats.num_cutsets,
                 frequency: result.frequency,
                 time: begin.elapsed(),
+                partials: result.stats.mocus_partials_processed,
+                partials_pruned: result.stats.mocus_partials_pruned,
+                subsumption_comparisons: result.stats.mocus_subsumption_comparisons,
             }
         })
         .collect()

@@ -6,7 +6,7 @@ use crate::translate::translate;
 use crate::worstcase::worst_case_probabilities;
 use sdft_ctmc::SolverWorkspace;
 use sdft_ft::{Cutset, EventProbabilities, FaultTree};
-use sdft_mocus::{minimal_cutsets, MocusOptions};
+use sdft_mocus::{minimal_cutsets_with_stats, MocusOptions};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -145,6 +145,17 @@ pub struct AnalysisStats {
     pub kernel_steps_saved: u64,
     /// Solves in which steady-state detection fired.
     pub steady_state_solves: usize,
+    /// Partial cutsets MOCUS processed (schedule-independent).
+    pub mocus_partials_processed: u64,
+    /// Partial cutsets MOCUS pruned via the cutoff, order limit or
+    /// look-ahead bound (schedule-independent).
+    pub mocus_partials_pruned: u64,
+    /// Subset tests the cutset minimization performed
+    /// (schedule-independent).
+    pub mocus_subsumption_comparisons: u64,
+    /// MOCUS tasks claimed from the shared work queue beyond each
+    /// worker's first — 0 single-threaded; varies with scheduling.
+    pub mocus_stolen_tasks: u64,
 }
 
 impl AnalysisStats {
@@ -343,7 +354,14 @@ pub fn analyze_horizons(
 
     let t2 = Instant::now();
     let static_probs = EventProbabilities::from_static(&translated.tree)?;
-    let mcs = minimal_cutsets(&translated.tree, &static_probs, &options.mocus)?;
+    // MOCUS inherits the analysis-level thread count unless the caller
+    // pinned one explicitly on the MOCUS options.
+    let mut mocus_options = options.mocus;
+    if mocus_options.threads == 0 {
+        mocus_options.threads = options.threads;
+    }
+    let (mcs, mocus_stats) =
+        minimal_cutsets_with_stats(&translated.tree, &static_probs, &mocus_options)?;
     let cutsets = translated.cutsets_to_original(&mcs);
     let mcs_time = t2.elapsed();
 
@@ -391,6 +409,10 @@ pub fn analyze_horizons(
             kernel_steps: kernel_usage.stats.steps_taken,
             kernel_steps_saved: kernel_usage.stats.steps_saved,
             steady_state_solves: kernel_usage.stats.steady_state_solves,
+            mocus_partials_processed: mocus_stats.partials_processed,
+            mocus_partials_pruned: mocus_stats.partials_pruned,
+            mocus_subsumption_comparisons: mocus_stats.subsumption_comparisons,
+            mocus_stolen_tasks: mocus_stats.stolen_tasks,
             ..AnalysisStats::default()
         };
         for r in &cutset_reports {
@@ -660,7 +682,11 @@ mod tests {
         opts.threads = 4;
         let parallel = analyze(&t, &opts).unwrap();
         assert!((sequential.frequency - parallel.frequency).abs() < 1e-18);
-        assert_eq!(sequential.stats, parallel.stats);
+        // Work-stealing counts vary with scheduling; everything else is
+        // schedule-independent.
+        let mut parallel_stats = parallel.stats.clone();
+        parallel_stats.mocus_stolen_tasks = sequential.stats.mocus_stolen_tasks;
+        assert_eq!(sequential.stats, parallel_stats);
     }
 
     #[test]
@@ -882,8 +908,11 @@ mod cache_tests {
         let sequential = analyze(&t, &opts).unwrap();
         opts.threads = 4;
         let parallel = analyze(&t, &opts).unwrap();
-        // Misses are one-per-class regardless of scheduling.
-        assert_eq!(sequential.stats, parallel.stats);
+        // Misses are one-per-class regardless of scheduling; only the
+        // MOCUS work-stealing count depends on it.
+        let mut parallel_stats = parallel.stats.clone();
+        parallel_stats.mocus_stolen_tasks = sequential.stats.mocus_stolen_tasks;
+        assert_eq!(sequential.stats, parallel_stats);
         assert_eq!(sequential.frequency.to_bits(), parallel.frequency.to_bits());
     }
 }

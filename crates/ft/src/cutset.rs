@@ -1,6 +1,8 @@
 use crate::node::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A cutset: a set of basic events whose joint failure fails the top gate
 /// (§IV-A of the paper).
@@ -163,32 +165,65 @@ impl CutsetList {
     /// counting pass for large ones, so minimizing lists with ~10^5
     /// cutsets of small order stays fast.
     #[must_use]
-    pub fn minimize(mut self) -> Self {
+    pub fn minimize(self) -> Self {
+        self.minimize_with_stats(1).0
+    }
+
+    /// Like [`minimize`](Self::minimize), sharded over `threads` worker
+    /// threads, also returning the number of subset tests performed.
+    ///
+    /// A candidate is dropped iff some *other candidate* is a proper
+    /// subset of it — equivalent to dropping against kept (minimal) sets
+    /// only, because any non-minimal subset itself contains a minimal
+    /// one. This makes every candidate's verdict independent of the
+    /// others', so candidates shard into chunks freely; both the result
+    /// and the comparison count are identical for every thread count.
+    #[must_use]
+    pub fn minimize_with_stats(mut self, threads: usize) -> (Self, u64) {
         const ENUM_LIMIT: usize = 12;
+        const CHUNK: usize = 2048;
         self.cutsets.sort_unstable_by(|a, b| {
             a.order()
                 .cmp(&b.order())
                 .then_with(|| a.events.cmp(&b.events))
         });
         self.cutsets.dedup();
+        // An empty cutset (sorted first) subsumes every other set.
+        if self.cutsets.first().is_some_and(Cutset::is_empty) {
+            self.cutsets.truncate(1);
+            return (self, 0);
+        }
+        let n = self.cutsets.len();
+        if n <= 1 {
+            return (self, 0);
+        }
 
-        let mut kept: Vec<Cutset> = Vec::new();
-        let mut by_event: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        let mut kept_sets: HashSet<Vec<NodeId>> = HashSet::new();
+        let (keep, comparisons) = {
+            let candidates = &self.cutsets;
+            let sets: HashSet<&[NodeId]> = candidates.iter().map(Cutset::events).collect();
+            // Inverted index for the counting path, built only when some
+            // candidate exceeds the enumeration limit (orders ascend).
+            let needs_index = candidates.last().is_some_and(|c| c.order() > ENUM_LIMIT);
+            let by_event: HashMap<NodeId, Vec<usize>> = if needs_index {
+                let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+                for (i, c) in candidates.iter().enumerate() {
+                    for &e in c.events() {
+                        index.entry(e).or_default().push(i);
+                    }
+                }
+                index
+            } else {
+                HashMap::new()
+            };
 
-        let mut counter: Vec<u32> = Vec::new();
-        let mut stamp: Vec<u32> = Vec::new();
-        let mut round: u32 = 0;
-
-        'candidates: for cutset in self.cutsets {
-            // An empty cutset (sorted first) subsumes every other set.
-            if kept.first().is_some_and(Cutset::is_empty) {
-                break;
-            }
-            if cutset.order() <= ENUM_LIMIT {
-                // Enumerate all proper non-empty subsets and look them up.
-                let m = cutset.order();
-                if m > 0 {
+            // Whether candidate `ci` is minimal; `comparisons` counts the
+            // subset tests. Self-contained per candidate.
+            let check = |ci: usize, comparisons: &mut u64| -> bool {
+                let cutset = &candidates[ci];
+                if cutset.order() <= ENUM_LIMIT {
+                    // Enumerate all proper non-empty subsets and look
+                    // them up in the full candidate set.
+                    let m = cutset.order();
                     let full = (1u32 << m) - 1;
                     let mut buf: Vec<NodeId> = Vec::with_capacity(m);
                     for mask in 1..full {
@@ -198,45 +233,88 @@ impl CutsetList {
                                 buf.push(e);
                             }
                         }
-                        if kept_sets.contains(&buf) {
-                            continue 'candidates;
+                        *comparisons += 1;
+                        if sets.contains(buf.as_slice()) {
+                            return false;
                         }
                     }
+                    true
+                } else {
+                    // Counting pass over the inverted index: a smaller
+                    // candidate K is a subset iff every one of its events
+                    // is shared, i.e. its hit count reaches |K|. Only
+                    // strictly smaller orders can be proper subsets, and
+                    // orders ascend with the index, so the lists cut off
+                    // early.
+                    let mut hits: HashMap<usize, u32> = HashMap::new();
+                    for &e in cutset.events() {
+                        if let Some(list) = by_event.get(&e) {
+                            for &ki in list {
+                                if ki >= ci || candidates[ki].order() >= cutset.order() {
+                                    break;
+                                }
+                                *comparisons += 1;
+                                let hit = hits.entry(ki).or_insert(0);
+                                *hit += 1;
+                                if *hit as usize == candidates[ki].order() {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                    true
+                }
+            };
+
+            let mut keep = vec![true; n];
+            let mut comparisons: u64 = 0;
+            if threads <= 1 || n < 2 * CHUNK {
+                for (ci, flag) in keep.iter_mut().enumerate() {
+                    *flag = check(ci, &mut comparisons);
                 }
             } else {
-                // Counting pass over the inverted index: a kept set K is a
-                // subset of the candidate iff every one of its events is
-                // hit, i.e. its counter reaches |K|.
-                round += 1;
-                for &e in cutset.events() {
-                    if let Some(list) = by_event.get(&e) {
-                        for &ki in list {
-                            if ki >= counter.len() {
-                                counter.resize(ki + 1, 0);
-                                stamp.resize(ki + 1, 0);
+                // Deterministic sharding: fixed chunks claimed through an
+                // atomic cursor; verdicts land at fixed offsets and the
+                // comparison counts sum to the same total regardless of
+                // which worker claims which chunk.
+                let next = AtomicUsize::new(0);
+                let chunks: Mutex<Vec<(usize, Vec<bool>, u64)>> = Mutex::new(Vec::new());
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            let mut local: Vec<(usize, Vec<bool>, u64)> = Vec::new();
+                            loop {
+                                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                let end = (start + CHUNK).min(n);
+                                let mut flags = Vec::with_capacity(end - start);
+                                let mut count = 0u64;
+                                for ci in start..end {
+                                    flags.push(check(ci, &mut count));
+                                }
+                                local.push((start, flags, count));
                             }
-                            if stamp[ki] != round {
-                                stamp[ki] = round;
-                                counter[ki] = 0;
-                            }
-                            counter[ki] += 1;
-                            if counter[ki] as usize == kept[ki].order()
-                                && kept[ki].order() < cutset.order()
-                            {
-                                continue 'candidates;
-                            }
-                        }
+                            chunks.lock().expect("chunk results").append(&mut local);
+                        });
                     }
+                });
+                for (start, flags, count) in chunks.lock().expect("chunk results").drain(..) {
+                    keep[start..start + flags.len()].copy_from_slice(&flags);
+                    comparisons += count;
                 }
             }
-            let ki = kept.len();
-            for &e in cutset.events() {
-                by_event.entry(e).or_default().push(ki);
-            }
-            kept_sets.insert(cutset.events.clone());
-            kept.push(cutset);
-        }
-        CutsetList { cutsets: kept }
+            (keep, comparisons)
+        };
+
+        let cutsets = std::mem::take(&mut self.cutsets);
+        self.cutsets = cutsets
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(c))
+            .collect();
+        (self, comparisons)
     }
 
     /// The rare-event approximation `Σ_C ∏_{a∈C} p(a)` over all cutsets in
@@ -402,6 +480,49 @@ mod tests {
         let mut list: CutsetList = [cs(&[1, 2]), cs(&[0])].into_iter().collect();
         list.sort_by_probability_desc(|_| 0.1);
         assert_eq!(list.get(0), Some(&cs(&[0])));
+    }
+
+    #[test]
+    fn minimize_with_stats_is_thread_count_independent() {
+        // Enough cutsets to cross the parallel-sharding threshold, built
+        // from a deterministic LCG so supersets, duplicates and large
+        // (counting-path) cutsets all occur.
+        let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut cutsets: Vec<Cutset> = Vec::new();
+        for _ in 0..5000 {
+            let order = 1 + rng() % 5;
+            cutsets.push(Cutset::new(
+                (0..order).map(|_| NodeId::from_index(rng() % 40)),
+            ));
+        }
+        for _ in 0..50 {
+            // Oversized cutsets exercise the inverted-index path.
+            let order = 13 + rng() % 4;
+            cutsets.push(Cutset::new(
+                (0..order).map(|_| NodeId::from_index(rng() % 40)),
+            ));
+        }
+        let (reference, ref_comparisons) =
+            CutsetList::from_vec(cutsets.clone()).minimize_with_stats(1);
+        assert!(!reference.is_empty());
+        assert!(reference.len() < cutsets.len());
+        for threads in [2, 4, 8] {
+            let (minimized, comparisons) =
+                CutsetList::from_vec(cutsets.clone()).minimize_with_stats(threads);
+            assert_eq!(reference, minimized, "threads = {threads}");
+            assert_eq!(ref_comparisons, comparisons, "threads = {threads}");
+        }
+        // And a sample of verdicts agrees with the quadratic definition.
+        for (i, c) in cutsets.iter().enumerate().step_by(9) {
+            let minimal = !cutsets.iter().any(|k| k != c && k.is_subset_of(c));
+            assert_eq!(minimal, reference.contains_set(c), "cutset {i}");
+        }
     }
 
     #[test]

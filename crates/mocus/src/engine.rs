@@ -1,7 +1,10 @@
 use crate::assumptions::Assumptions;
 use crate::error::MocusError;
 use crate::options::MocusOptions;
-use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
+use crate::stats::MocusStats;
+use sdft_ft::{modules, Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Generate the minimal cutsets of `tree` above the configured cutoff.
 ///
@@ -9,6 +12,9 @@ use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeI
 /// in `probs` (for SD fault trees: the worst-case probabilities of §V-B2);
 /// trigger edges are ignored — callers analysing SD trees first translate
 /// triggers into AND gates (§V-B1), as `sdft-core` does.
+///
+/// Expansion runs on [`MocusOptions::threads`] workers; the returned list
+/// is identical for every thread count.
 ///
 /// # Errors
 ///
@@ -19,7 +25,22 @@ pub fn minimal_cutsets(
     probs: &EventProbabilities,
     options: &MocusOptions,
 ) -> Result<CutsetList, MocusError> {
-    minimal_cutsets_with(tree, probs, options, &Assumptions::new(tree))
+    Ok(minimal_cutsets_with_stats(tree, probs, options)?.0)
+}
+
+/// Like [`minimal_cutsets`], but also returning the run's counters
+/// ([`MocusStats`]): partials processed and pruned, candidates emitted,
+/// subsumption comparisons, and the work-distribution figures.
+///
+/// # Errors
+///
+/// Same as [`minimal_cutsets`].
+pub fn minimal_cutsets_with_stats(
+    tree: &FaultTree,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+) -> Result<(CutsetList, MocusStats), MocusError> {
+    minimal_cutsets_rooted_with_stats(tree, tree.top(), probs, options, &Assumptions::new(tree))
 }
 
 /// Like [`minimal_cutsets`], but with truth-value assumptions substituted
@@ -37,7 +58,7 @@ pub fn minimal_cutsets_with(
     options: &MocusOptions,
     assumptions: &Assumptions,
 ) -> Result<CutsetList, MocusError> {
-    minimal_cutsets_rooted(tree, tree.top(), probs, options, assumptions)
+    Ok(minimal_cutsets_rooted_with_stats(tree, tree.top(), probs, options, assumptions)?.0)
 }
 
 /// Like [`minimal_cutsets_with`], but for the function of an arbitrary
@@ -54,6 +75,22 @@ pub fn minimal_cutsets_rooted(
     options: &MocusOptions,
     assumptions: &Assumptions,
 ) -> Result<CutsetList, MocusError> {
+    Ok(minimal_cutsets_rooted_with_stats(tree, root, probs, options, assumptions)?.0)
+}
+
+/// The most general entry point: arbitrary root, assumptions, and the
+/// run's [`MocusStats`] alongside the cutset list.
+///
+/// # Errors
+///
+/// Same as [`minimal_cutsets_with`].
+pub fn minimal_cutsets_rooted_with_stats(
+    tree: &FaultTree,
+    root: NodeId,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+    assumptions: &Assumptions,
+) -> Result<(CutsetList, MocusStats), MocusError> {
     if let Some(c) = options.cutoff {
         if !c.is_finite() || c < 0.0 {
             return Err(MocusError::InvalidCutoff { cutoff: c });
@@ -78,6 +115,157 @@ enum Outcome {
     Dead,
 }
 
+/// Per-worker mutable state: the local partial stack, the cutsets found,
+/// recycled `Partial` allocations, and the scratch buffers `within_bounds`
+/// needs — everything the sequential engine kept in one struct, sharded so
+/// workers never contend on it.
+struct Worker {
+    /// Local DFS stack (also the BFS frontier during seeding).
+    local: Vec<Partial>,
+    /// Cutset candidates this worker emitted.
+    found: Vec<Cutset>,
+    /// Recycled partials: branching pulls allocations from here instead
+    /// of cloning fresh vectors for every child.
+    pool: Vec<Partial>,
+    /// Scratch bitset for the disjointness test in `within_bounds`.
+    scratch: Vec<u64>,
+    /// Scratch list for sorting pending gates by upper bound.
+    gate_scratch: Vec<NodeId>,
+    /// Branches discarded by the cutoff / order / look-ahead bounds.
+    pruned: u64,
+    /// Tasks claimed from the shared queue.
+    pulls: u64,
+}
+
+/// Cap on recycled partials per worker, bounding idle memory.
+const POOL_LIMIT: usize = 256;
+
+impl Worker {
+    fn new(words: usize) -> Self {
+        Worker {
+            local: Vec::new(),
+            found: Vec::new(),
+            pool: Vec::new(),
+            scratch: vec![0u64; words],
+            gate_scratch: Vec::new(),
+            pruned: 0,
+            pulls: 0,
+        }
+    }
+
+    /// A copy of `src` backed by recycled allocations when available.
+    fn alloc_copy(&mut self, src: &Partial) -> Partial {
+        match self.pool.pop() {
+            Some(mut p) => {
+                p.events.clear();
+                p.events.extend_from_slice(&src.events);
+                p.gates.clear();
+                p.gates.extend_from_slice(&src.gates);
+                p.prob = src.prob;
+                p
+            }
+            None => src.clone(),
+        }
+    }
+
+    fn recycle(&mut self, mut partial: Partial) {
+        if self.pool.len() < POOL_LIMIT {
+            partial.events.clear();
+            partial.gates.clear();
+            self.pool.push(partial);
+        }
+    }
+
+    /// Tasks claimed beyond the worker's first are steals.
+    fn stolen(&self) -> u64 {
+        self.pulls.saturating_sub(1)
+    }
+}
+
+/// Coordination state shared by all workers: the injector queue with its
+/// termination protocol, the global safety budgets, and the first error.
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    /// Workers currently waiting for work — donors check this without
+    /// taking the queue lock.
+    hungry: AtomicUsize,
+    /// Partials processed, against `max_partials`.
+    processed: AtomicUsize,
+    /// Cutset candidates emitted, against `max_cutsets`.
+    candidates: AtomicUsize,
+    /// Set on the first error; workers abandon their stacks promptly.
+    abort: AtomicBool,
+    error: Mutex<Option<MocusError>>,
+    workers: usize,
+}
+
+struct Queue {
+    tasks: Vec<Partial>,
+    idle: usize,
+    done: bool,
+}
+
+impl Shared {
+    fn new(workers: usize) -> Self {
+        Shared {
+            queue: Mutex::new(Queue {
+                tasks: Vec::new(),
+                idle: 0,
+                done: false,
+            }),
+            ready: Condvar::new(),
+            hungry: AtomicUsize::new(0),
+            processed: AtomicUsize::new(0),
+            candidates: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            error: Mutex::new(None),
+            workers,
+        }
+    }
+
+    /// Record the first error and wake everyone up.
+    fn fail(&self, error: MocusError) {
+        {
+            let mut slot = self.error.lock().expect("error slot");
+            if slot.is_none() {
+                *slot = Some(error);
+            }
+        }
+        self.abort.store(true, Ordering::Relaxed);
+        let mut queue = self.queue.lock().expect("work queue");
+        queue.done = true;
+        self.ready.notify_all();
+        drop(queue);
+    }
+
+    /// Claim a task from the shared queue, blocking until one appears or
+    /// every worker is idle (then the expansion is complete).
+    fn steal(&self) -> Option<Partial> {
+        let mut queue = self.queue.lock().expect("work queue");
+        loop {
+            if queue.done || self.abort.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(task) = queue.tasks.pop() {
+                return Some(task);
+            }
+            queue.idle += 1;
+            if queue.idle == self.workers {
+                // Every local stack and the shared queue are empty: done.
+                queue.done = true;
+                queue.idle -= 1;
+                self.ready.notify_all();
+                return None;
+            }
+            self.hungry.fetch_add(1, Ordering::Relaxed);
+            queue = self.ready.wait(queue).expect("work queue");
+            self.hungry.fetch_sub(1, Ordering::Relaxed);
+            queue.idle -= 1;
+        }
+    }
+}
+
 struct Engine<'a> {
     tree: &'a FaultTree,
     probs: &'a EventProbabilities,
@@ -92,10 +280,8 @@ struct Engine<'a> {
     /// Per node: bitmask over dense event indices of its subtree; empty
     /// when the cutoff is disabled.
     masks: Vec<Vec<u64>>,
-    /// Scratch bitset for the disjointness test in `within_bounds`.
-    scratch: Vec<u64>,
-    /// Scratch list for sorting pending gates by upper bound.
-    gate_scratch: Vec<NodeId>,
+    /// Words per event bitmask.
+    words: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -207,20 +393,30 @@ impl<'a> Engine<'a> {
             upper_bound,
             event_index,
             masks,
-            scratch: vec![0u64; words],
-            gate_scratch: Vec::new(),
+            words,
         }
     }
 
-    fn run(&mut self, root: NodeId) -> Result<CutsetList, MocusError> {
+    fn run(&self, root: NodeId) -> Result<(CutsetList, MocusStats), MocusError> {
         let tree = self.tree;
+        let threads = match self.options.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        let base_stats = MocusStats {
+            workers: threads,
+            ..MocusStats::default()
+        };
         // A basic-event root degenerates to a single obligation.
         let initial = if tree.is_basic(root) {
             if self.assumptions.is_failed(root) {
-                return Ok(CutsetList::from_vec(vec![Cutset::new(std::iter::empty())]));
+                return Ok((
+                    CutsetList::from_vec(vec![Cutset::new(std::iter::empty())]),
+                    base_stats,
+                ));
             }
             if self.assumptions.is_ok(root) {
-                return Ok(CutsetList::new());
+                return Ok((CutsetList::new(), base_stats));
             }
             Partial {
                 events: vec![root],
@@ -234,74 +430,236 @@ impl<'a> Engine<'a> {
                 prob: 1.0,
             }
         };
-        if !self.within_bounds(&initial) {
-            return Ok(CutsetList::new());
+
+        let mut workers: Vec<Worker> = (0..threads).map(|_| Worker::new(self.words)).collect();
+        if !self.within_bounds(&mut workers[0], &initial) {
+            return Ok((
+                CutsetList::new(),
+                MocusStats {
+                    partials_pruned: 1,
+                    ..base_stats
+                },
+            ));
         }
-        let mut stack = vec![initial];
-        let mut found = CutsetList::new();
-        let mut processed: usize = 0;
-        while let Some(mut partial) = stack.pop() {
-            processed += 1;
-            if processed > self.options.max_partials {
-                return Err(MocusError::TooManyPartials {
-                    limit: self.options.max_partials,
+        let shared = Shared::new(threads);
+        let mut stats = base_stats;
+
+        workers[0].local.push(initial);
+        if threads > 1 {
+            // Module-aware seeding: expand breadth-first in the calling
+            // thread, parking partials whose next obligation heads an
+            // independent module (a self-contained subtree — a natural
+            // task unit), until there is one task per worker with slack.
+            let module_heads = {
+                let mut heads = vec![false; tree.len()];
+                for m in modules(tree) {
+                    heads[m.index()] = true;
+                }
+                // The root module is the whole problem, not a task.
+                heads[root.index()] = false;
+                heads
+            };
+            let target = 4 * threads;
+            let mut budget = 64usize.saturating_mul(threads);
+            let worker = &mut workers[0];
+            let mut parked: Vec<Partial> = Vec::new();
+            while !worker.local.is_empty()
+                && parked.len() + worker.local.len() < target
+                && budget > 0
+            {
+                let partial = worker.local.remove(0);
+                if partial
+                    .gates
+                    .last()
+                    .is_some_and(|g| module_heads[g.index()])
+                {
+                    parked.push(partial);
+                    continue;
+                }
+                budget -= 1;
+                self.expand_one(worker, &shared, partial)?;
+            }
+            let mut queue = shared.queue.lock().expect("work queue");
+            queue.tasks.extend(parked);
+            queue.tasks.append(&mut worker.local);
+            stats.seed_tasks = queue.tasks.len() as u64;
+            drop(queue);
+
+            std::thread::scope(|scope| {
+                for worker in &mut workers {
+                    let shared = &shared;
+                    scope.spawn(move || self.worker_loop(shared, worker));
+                }
+            });
+            if let Some(error) = shared.error.lock().expect("error slot").take() {
+                return Err(error);
+            }
+        } else {
+            stats.seed_tasks = 1;
+            self.worker_loop(&shared, &mut workers[0]);
+            if let Some(error) = shared.error.lock().expect("error slot").take() {
+                return Err(error);
+            }
+        }
+
+        // Deterministic merge: the candidate set is schedule-independent
+        // (pruning is per-branch and order-independent), and minimization
+        // canonically sorts, so the final list is identical for every
+        // thread count.
+        let total: usize = workers.iter().map(|w| w.found.len()).sum();
+        let mut all: Vec<Cutset> = Vec::with_capacity(total);
+        for worker in &mut workers {
+            all.append(&mut worker.found);
+        }
+        let (minimized, comparisons) = CutsetList::from_vec(all).minimize_with_stats(threads);
+
+        stats.partials_processed = shared.processed.load(Ordering::Relaxed) as u64;
+        stats.cutset_candidates = shared.candidates.load(Ordering::Relaxed) as u64;
+        stats.partials_pruned = workers.iter().map(|w| w.pruned).sum();
+        stats.stolen_tasks = workers.iter().map(Worker::stolen).sum();
+        stats.subsumption_comparisons = comparisons;
+        Ok((minimized, stats))
+    }
+
+    /// One worker: drain the local stack depth-first, donating the bottom
+    /// half whenever other workers starve, then fall back to stealing
+    /// from the shared queue. Errors are published through `shared`.
+    fn worker_loop(&self, shared: &Shared, worker: &mut Worker) {
+        loop {
+            while let Some(partial) = worker.local.pop() {
+                if shared.abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Err(error) = self.expand_one(worker, shared, partial) {
+                    shared.fail(error);
+                    return;
+                }
+                if worker.local.len() > 1 && shared.hungry.load(Ordering::Relaxed) > 0 {
+                    self.donate(shared, worker);
+                }
+            }
+            match shared.steal() {
+                Some(partial) => {
+                    worker.pulls += 1;
+                    worker.local.push(partial);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Move the bottom half of the local stack — the shallowest partials,
+    /// carrying the largest unexpanded subtrees — into the shared queue.
+    fn donate(&self, shared: &Shared, worker: &mut Worker) {
+        let give = worker.local.len() / 2;
+        if give == 0 {
+            return;
+        }
+        let mut queue = shared.queue.lock().expect("work queue");
+        queue.tasks.extend(worker.local.drain(..give));
+        shared.ready.notify_all();
+        drop(queue);
+    }
+
+    /// Expand one partial cutset: leaves become candidates, AND extends,
+    /// OR branches (reusing the parent allocation for the last child),
+    /// at-least enumerates combinations. Surviving branches are pushed
+    /// onto the worker's local stack.
+    fn expand_one(
+        &self,
+        worker: &mut Worker,
+        shared: &Shared,
+        mut partial: Partial,
+    ) -> Result<(), MocusError> {
+        let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
+        if processed > self.options.max_partials {
+            return Err(MocusError::TooManyPartials {
+                limit: self.options.max_partials,
+            });
+        }
+        let Some(gate) = partial.gates.pop() else {
+            let candidates = shared.candidates.fetch_add(1, Ordering::Relaxed) + 1;
+            if candidates > self.options.max_cutsets {
+                return Err(MocusError::TooManyCutsets {
+                    limit: self.options.max_cutsets,
                 });
             }
-            let Some(gate) = partial.gates.pop() else {
-                found.push(Cutset::new(partial.events));
-                if found.len() > self.options.max_cutsets {
-                    return Err(MocusError::TooManyCutsets {
-                        limit: self.options.max_cutsets,
-                    });
-                }
-                continue;
-            };
-            match tree.gate_kind(gate).expect("pending nodes are gates") {
-                GateKind::And => {
-                    let mut alive = true;
-                    for &child in tree.gate_inputs(gate) {
-                        if matches!(self.add_child(&mut partial, child), Outcome::Dead) {
-                            alive = false;
-                            break;
-                        }
-                    }
-                    if alive && self.within_bounds(&partial) {
-                        stack.push(partial);
+            let Partial { events, gates, .. } = partial;
+            worker.found.push(Cutset::new(events));
+            worker.recycle(Partial {
+                events: Vec::new(),
+                gates,
+                prob: 1.0,
+            });
+            return Ok(());
+        };
+        match self.tree.gate_kind(gate).expect("pending nodes are gates") {
+            GateKind::And => {
+                let mut alive = true;
+                for &child in self.tree.gate_inputs(gate) {
+                    if matches!(self.add_child(&mut partial, child), Outcome::Dead) {
+                        alive = false;
+                        break;
                     }
                 }
-                GateKind::Or => {
-                    // If any input is an event assumed failed, the gate is
-                    // already failed and the obligation simply drops.
-                    let satisfied = tree
-                        .gate_inputs(gate)
-                        .iter()
-                        .any(|&c| tree.is_basic(c) && self.assumptions.is_failed(c));
-                    if satisfied {
-                        stack.push(partial);
-                        continue;
-                    }
-                    for &child in tree.gate_inputs(gate) {
-                        if tree.is_basic(child) && self.assumptions.is_ok(child) {
-                            continue;
-                        }
-                        let mut branch = partial.clone();
-                        if matches!(self.add_child(&mut branch, child), Outcome::Alive)
-                            && self.within_bounds(&branch)
-                        {
-                            stack.push(branch);
-                        }
-                    }
-                }
-                GateKind::AtLeast(k) => {
-                    self.expand_atleast(gate, k as usize, partial, &mut stack)?;
+                if !alive {
+                    worker.recycle(partial);
+                } else if self.within_bounds(worker, &partial) {
+                    worker.local.push(partial);
+                } else {
+                    worker.pruned += 1;
+                    worker.recycle(partial);
                 }
             }
+            GateKind::Or => {
+                let inputs = self.tree.gate_inputs(gate);
+                // If any input is an event assumed failed, the gate is
+                // already failed and the obligation simply drops.
+                let satisfied = inputs
+                    .iter()
+                    .any(|&c| self.tree.is_basic(c) && self.assumptions.is_failed(c));
+                if satisfied {
+                    worker.local.push(partial);
+                    return Ok(());
+                }
+                let skip = |c: NodeId| self.tree.is_basic(c) && self.assumptions.is_ok(c);
+                let Some(last) = inputs.iter().rposition(|&c| !skip(c)) else {
+                    worker.recycle(partial);
+                    return Ok(());
+                };
+                for &child in &inputs[..last] {
+                    if skip(child) {
+                        continue;
+                    }
+                    let mut branch = worker.alloc_copy(&partial);
+                    if matches!(self.add_child(&mut branch, child), Outcome::Dead) {
+                        worker.recycle(branch);
+                    } else if self.within_bounds(worker, &branch) {
+                        worker.local.push(branch);
+                    } else {
+                        worker.pruned += 1;
+                        worker.recycle(branch);
+                    }
+                }
+                // Reuse the parent allocation for the final branch.
+                if matches!(self.add_child(&mut partial, inputs[last]), Outcome::Dead) {
+                    worker.recycle(partial);
+                } else if self.within_bounds(worker, &partial) {
+                    worker.local.push(partial);
+                } else {
+                    worker.pruned += 1;
+                    worker.recycle(partial);
+                }
+            }
+            GateKind::AtLeast(k) => {
+                self.expand_atleast(worker, gate, k as usize, partial)?;
+            }
         }
-        Ok(found.minimize())
+        Ok(())
     }
 
     /// Add one child requirement to a partial cutset.
-    fn add_child(&mut self, partial: &mut Partial, child: NodeId) -> Outcome {
+    fn add_child(&self, partial: &mut Partial, child: NodeId) -> Outcome {
         if self.tree.is_gate(child) {
             if !partial.gates.contains(&child) {
                 partial.gates.push(child);
@@ -329,7 +687,7 @@ impl<'a> Engine<'a> {
     /// chosen events *and* from the other counted subtrees contributes at
     /// most its best single completion (`upper_bound`), so the product is
     /// a sound upper bound on any refinement of the partial.
-    fn within_bounds(&mut self, partial: &Partial) -> bool {
+    fn within_bounds(&self, worker: &mut Worker, partial: &Partial) -> bool {
         if let Some(max_order) = self.options.max_order {
             if partial.events.len() > max_order {
                 return false;
@@ -346,30 +704,30 @@ impl<'a> Engine<'a> {
         }
         // Greedy disjoint look-ahead: cheapest gates first for the
         // earliest possible exit.
-        self.gate_scratch.clear();
-        self.gate_scratch.extend_from_slice(&partial.gates);
+        worker.gate_scratch.clear();
+        worker.gate_scratch.extend_from_slice(&partial.gates);
         let ub = &self.upper_bound;
-        self.gate_scratch.sort_by(|a, b| {
+        worker.gate_scratch.sort_by(|a, b| {
             ub[a.index()]
                 .partial_cmp(&ub[b.index()])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        self.scratch.fill(0);
+        worker.scratch.fill(0);
         for &event in &partial.events {
             let e = self.event_index[event.index()];
-            self.scratch[e / 64] |= 1 << (e % 64);
+            worker.scratch[e / 64] |= 1 << (e % 64);
         }
         let mut bound = partial.prob;
-        for i in 0..self.gate_scratch.len() {
-            let gate = self.gate_scratch[i];
+        for i in 0..worker.gate_scratch.len() {
+            let gate = worker.gate_scratch[i];
             let mask = &self.masks[gate.index()];
-            let disjoint = mask.iter().zip(&self.scratch).all(|(m, s)| m & s == 0);
+            let disjoint = mask.iter().zip(&worker.scratch).all(|(m, s)| m & s == 0);
             if disjoint {
                 bound *= ub[gate.index()];
                 if bound <= cutoff {
                     return false;
                 }
-                for (s, m) in self.scratch.iter_mut().zip(mask) {
+                for (s, m) in worker.scratch.iter_mut().zip(mask) {
                     *s |= m;
                 }
             }
@@ -378,11 +736,11 @@ impl<'a> Engine<'a> {
     }
 
     fn expand_atleast(
-        &mut self,
+        &self,
+        worker: &mut Worker,
         gate: NodeId,
         k: usize,
         partial: Partial,
-        stack: &mut Vec<Partial>,
     ) -> Result<(), MocusError> {
         // Assumptions reduce the voting problem: failed inputs lower the
         // threshold, functional inputs leave the candidate pool.
@@ -402,10 +760,11 @@ impl<'a> Engine<'a> {
             candidates.push(child);
         }
         if threshold == 0 {
-            stack.push(partial);
+            worker.local.push(partial);
             return Ok(());
         }
         if threshold > candidates.len() {
+            worker.recycle(partial);
             return Ok(()); // dead: not enough inputs can still fail
         }
         let combos = binomial(candidates.len() as u128, threshold as u128);
@@ -417,8 +776,8 @@ impl<'a> Engine<'a> {
         }
         // Enumerate all threshold-sized subsets of the candidates.
         let mut indices: Vec<usize> = (0..threshold).collect();
-        loop {
-            let mut branch = partial.clone();
+        'combos: loop {
+            let mut branch = worker.alloc_copy(&partial);
             let mut alive = true;
             for &i in &indices {
                 if matches!(self.add_child(&mut branch, candidates[i]), Outcome::Dead) {
@@ -426,28 +785,43 @@ impl<'a> Engine<'a> {
                     break;
                 }
             }
-            if alive && self.within_bounds(&branch) {
-                stack.push(branch);
+            if !alive {
+                worker.recycle(branch);
+            } else if self.within_bounds(worker, &branch) {
+                worker.local.push(branch);
+            } else {
+                worker.pruned += 1;
+                worker.recycle(branch);
             }
             // Advance to the next combination in lexicographic order.
             let mut pos = threshold;
-            while pos > 0 {
+            loop {
+                if pos == 0 {
+                    break 'combos;
+                }
                 pos -= 1;
                 if indices[pos] != pos + candidates.len() - threshold {
                     indices[pos] += 1;
                     for j in pos + 1..threshold {
                         indices[j] = indices[j - 1] + 1;
                     }
-                    break;
-                }
-                if pos == 0 {
-                    return Ok(());
+                    continue 'combos;
                 }
             }
         }
+        worker.recycle(partial);
+        Ok(())
     }
 }
 
+/// `C(n, k)` with overflow treated as "more combinations than any budget":
+/// the incremental product stays exactly divisible (a product of `i + 1`
+/// consecutive integers is divisible by `(i + 1)!`), so the only failure
+/// mode is the multiplication itself overflowing — in that case the true
+/// count exceeds `u128::MAX / n`, far beyond any configurable
+/// `max_combinations`, and `u128::MAX` is returned so the budget check
+/// fires instead of silently under-reporting (as `saturating_mul`
+/// followed by division used to).
 fn binomial(n: u128, k: u128) -> u128 {
     if k > n {
         return 0;
@@ -455,7 +829,10 @@ fn binomial(n: u128, k: u128) -> u128 {
     let k = k.min(n - k);
     let mut result: u128 = 1;
     for i in 0..k {
-        result = result.saturating_mul(n - i) / (i + 1);
+        match result.checked_mul(n - i) {
+            Some(product) => result = product / (i + 1),
+            None => return u128::MAX,
+        }
     }
     result
 }
@@ -845,6 +1222,20 @@ mod tests {
     }
 
     #[test]
+    fn binomial_overflow_is_conservative() {
+        // C(140, 70) ≈ 9.4·10⁴⁰ exceeds u128; the count must saturate to
+        // u128::MAX so the `max_combinations` budget fires, rather than
+        // silently under-reporting through `saturating_mul` + division.
+        assert_eq!(binomial(140, 70), u128::MAX);
+        // Intermediate overflow is also conservative: C(130, 65) fits in
+        // u128 but its incremental product does not, and over-reporting
+        // only makes the budget trip earlier.
+        assert_eq!(binomial(130, 65), u128::MAX);
+        // Large values that never overflow stay exact.
+        assert_eq!(binomial(100, 3), 161_700);
+    }
+
+    #[test]
     fn deep_and_chain_produces_single_cutset() {
         let mut b = FaultTreeBuilder::new();
         let mut inputs = Vec::new();
@@ -861,6 +1252,106 @@ mod tests {
         let mcs = minimal_cutsets(&t, &probs, &MocusOptions::exhaustive()).unwrap();
         assert_eq!(mcs.len(), 1);
         assert_eq!(mcs.get(0).unwrap().order(), 50);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+
+    /// A moderately wide tree with shared events, an at-least gate and
+    /// enough structure to exercise seeding and stealing.
+    fn wide_tree() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let mut lines = Vec::new();
+        let shared = b.static_event("shared", 0.02).unwrap();
+        for i in 0..6 {
+            let x = b.static_event(&format!("x{i}"), 0.01).unwrap();
+            let y = b.static_event(&format!("y{i}"), 0.02).unwrap();
+            let z = b.static_event(&format!("z{i}"), 0.03).unwrap();
+            let inner = b.or(&format!("or{i}"), [x, y]).unwrap();
+            lines.push(b.and(&format!("line{i}"), [inner, z]).unwrap());
+        }
+        let vote_a = b.static_event("va", 0.1).unwrap();
+        let vote_b = b.static_event("vb", 0.1).unwrap();
+        let vote_c = b.static_event("vc", 0.1).unwrap();
+        let vote = b.atleast("vote", 2, [vote_a, vote_b, vote_c]).unwrap();
+        lines.push(vote);
+        lines.push(shared);
+        let top = b.or("top", lines).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let t = wide_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        for options in [
+            MocusOptions::exhaustive(),
+            MocusOptions::with_cutoff(1e-4),
+            MocusOptions::default(),
+        ] {
+            let base = MocusOptions {
+                threads: 1,
+                ..options
+            };
+            let (reference, ref_stats) = minimal_cutsets_with_stats(&t, &probs, &base).unwrap();
+            for threads in [2, 4, 8] {
+                let opts = MocusOptions { threads, ..options };
+                let (mcs, stats) = minimal_cutsets_with_stats(&t, &probs, &opts).unwrap();
+                assert_eq!(reference, mcs, "threads = {threads}");
+                assert_eq!(
+                    ref_stats.deterministic(),
+                    stats.deterministic(),
+                    "threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_abort_under_parallelism() {
+        let t = wide_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        for threads in [2, 4, 8] {
+            let opts = MocusOptions {
+                max_partials: 3,
+                threads,
+                ..MocusOptions::exhaustive()
+            };
+            assert!(matches!(
+                minimal_cutsets(&t, &probs, &opts),
+                Err(MocusError::TooManyPartials { limit: 3 })
+            ));
+            let opts = MocusOptions {
+                max_cutsets: 2,
+                threads,
+                ..MocusOptions::exhaustive()
+            };
+            assert!(matches!(
+                minimal_cutsets(&t, &probs, &opts),
+                Err(MocusError::TooManyCutsets { limit: 2 })
+            ));
+        }
+    }
+
+    #[test]
+    fn stats_count_the_sequential_run() {
+        let t = wide_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let opts = MocusOptions {
+            threads: 1,
+            ..MocusOptions::exhaustive()
+        };
+        let (mcs, stats) = minimal_cutsets_with_stats(&t, &probs, &opts).unwrap();
+        assert!(stats.partials_processed > 0);
+        assert!(stats.cutset_candidates as usize >= mcs.len());
+        assert!(stats.subsumption_comparisons > 0);
+        assert_eq!(stats.stolen_tasks, 0);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.seed_tasks, 1);
     }
 }
 

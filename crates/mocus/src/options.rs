@@ -26,6 +26,12 @@ pub struct MocusOptions {
     /// to measure its effect (it routinely cuts the explored partial
     /// space by orders of magnitude on event-tree-shaped models).
     pub lookahead: bool,
+    /// Worker threads for cutset expansion and minimization; `0` uses all
+    /// available cores. The resulting cutset list is identical for every
+    /// thread count (expansion and pruning decisions are per-branch and
+    /// order-independent, and the merged list is canonically sorted), so
+    /// this is purely a performance knob.
+    pub threads: usize,
 }
 
 impl Default for MocusOptions {
@@ -37,6 +43,7 @@ impl Default for MocusOptions {
             max_partials: 200_000_000,
             max_combinations: 1_000_000,
             lookahead: true,
+            threads: 0,
         }
     }
 }

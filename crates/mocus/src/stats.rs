@@ -1,0 +1,41 @@
+/// Counters describing one MOCUS run.
+///
+/// `partials_processed`, `partials_pruned`, `cutset_candidates` and
+/// `subsumption_comparisons` are *schedule-independent*: every surviving
+/// partial cutset is expanded exactly once and every candidate cutset is
+/// checked against the full candidate set the same way, so the counts are
+/// identical for every thread count (when no safety budget aborts the
+/// run). `stolen_tasks`, `seed_tasks` and `workers` describe the work
+/// distribution and naturally vary with the thread count and scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MocusStats {
+    /// Partial cutsets processed (popped and expanded), leaves included.
+    pub partials_processed: u64,
+    /// Branches discarded by the cutoff, order limit or look-ahead bound.
+    pub partials_pruned: u64,
+    /// Cutset candidates emitted before minimization.
+    pub cutset_candidates: u64,
+    /// Subset tests the minimization pass performed.
+    pub subsumption_comparisons: u64,
+    /// Partials a worker claimed from the shared queue beyond its first
+    /// task (always 0 in single-threaded runs).
+    pub stolen_tasks: u64,
+    /// Tasks seeded into the shared queue before the workers started.
+    pub seed_tasks: u64,
+    /// Worker threads used for expansion and minimization.
+    pub workers: usize,
+}
+
+impl MocusStats {
+    /// The same counters with the scheduling-dependent fields
+    /// (`stolen_tasks`, `seed_tasks`, `workers`) zeroed, leaving exactly
+    /// the schedule-independent ones — convenient for comparing runs at
+    /// different thread counts.
+    #[must_use]
+    pub fn deterministic(mut self) -> Self {
+        self.stolen_tasks = 0;
+        self.seed_tasks = 0;
+        self.workers = 0;
+        self
+    }
+}

@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! sdft check      <file>                     validate + classify triggers
-//! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--fast] [--csv OUT]
-//!                        [--no-steady-state]
-//! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N]
+//! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
+//!                        [--fast] [--csv OUT] [--no-steady-state]
+//! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //! sdft exact      <file> [--horizon H]       product-chain reference (small models)
 //! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
 //! sdft importance <file> [--horizon H] [--top N]
@@ -27,6 +27,7 @@ struct Args {
     top: usize,
     samples: usize,
     seed: u64,
+    threads: usize,
     fast: bool,
     steady_state: bool,
     csv: Option<String>,
@@ -35,8 +36,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
-         [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--fast] \
-         [--no-steady-state] [--csv OUT]"
+         [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--threads N] \
+         [--fast] [--no-steady-state] [--csv OUT]"
     );
     ExitCode::from(2)
 }
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         top: 10,
         samples: 100_000,
         seed: 7,
+        threads: 0,
         fast: false,
         steady_state: true,
         csv: None,
@@ -85,6 +87,9 @@ fn main() -> ExitCode {
             "--seed" => value("--seed")
                 .and_then(|v| v.parse().ok())
                 .map(|v| args.seed = v),
+            "--threads" => value("--threads")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.threads = v),
             "--csv" => value("--csv").map(|v| args.csv = Some(v)),
             "--fast" => {
                 args.fast = true;
@@ -191,6 +196,7 @@ fn cmd_check(tree: &FaultTree) -> CliResult {
 fn analysis_options(args: &Args) -> AnalysisOptions {
     let mut options = AnalysisOptions::new(args.horizon);
     options.mocus = MocusOptions::with_cutoff(args.cutoff);
+    options.threads = args.threads;
     if args.fast {
         options.treatment = TriggerTreatment::CutsetOnly;
     }
@@ -227,6 +233,14 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         result.timings.csr_build,
     );
     println!(
+        "mocus: {} partials processed, {} pruned, {} subsumption tests, \
+         {} tasks stolen",
+        result.stats.mocus_partials_processed,
+        result.stats.mocus_partials_pruned,
+        result.stats.mocus_subsumption_comparisons,
+        result.stats.mocus_stolen_tasks,
+    );
+    println!(
         "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}",
         result.timings.worst_case,
         result.timings.translation,
@@ -255,11 +269,9 @@ fn cmd_mcs(tree: &FaultTree, args: &Args) -> CliResult {
     let probs = sdft::core::worst_case_probabilities(tree, args.horizon, 1e-12)?;
     let translated = sdft::core::translate(tree, &probs)?;
     let static_probs = EventProbabilities::from_static(&translated.tree)?;
-    let mcs = sdft::mocus::minimal_cutsets(
-        &translated.tree,
-        &static_probs,
-        &MocusOptions::with_cutoff(args.cutoff),
-    )?;
+    let mut mocus_options = MocusOptions::with_cutoff(args.cutoff);
+    mocus_options.threads = args.threads;
+    let mcs = sdft::mocus::minimal_cutsets(&translated.tree, &static_probs, &mocus_options)?;
     let mut list = translated.cutsets_to_original(&mcs);
     list.sort_by_probability_desc(|e| probs.get(e));
     println!(
