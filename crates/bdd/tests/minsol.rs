@@ -1,0 +1,204 @@
+//! Targeted coverage for the `minsol`/`without` antichain construction
+//! on the shapes most likely to expose it: at-least gates (whose
+//! threshold network creates heavy node sharing inside the diagram)
+//! and deeply shared subtrees (where `without` must subsume cutsets
+//! discovered along different paths to the same sub-function).
+
+use sdft_bdd::Bdd;
+use sdft_ft::{
+    Cutset, CutsetList, EventProbabilities, FaultTree, FaultTreeBuilder, NodeId, Scenario,
+};
+
+/// Brute-force minimal cutsets by scenario enumeration (independent of
+/// both the BDD and MOCUS).
+fn brute_force_mcs(tree: &FaultTree) -> Vec<Cutset> {
+    let events: Vec<NodeId> = tree.basic_events().collect();
+    assert!(events.len() <= 20, "brute force needs a small tree");
+    let mut failing: Vec<u32> = Vec::new();
+    for mask in 0u32..(1 << events.len()) {
+        let scenario = Scenario::from_events(
+            tree,
+            events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e),
+        );
+        if tree.fails(tree.top(), &scenario) {
+            failing.push(mask);
+        }
+    }
+    let mut out: Vec<Cutset> = failing
+        .iter()
+        .filter(|&&m| !failing.iter().any(|&o| o != m && o & m == o))
+        .map(|&m| {
+            Cutset::new(
+                events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| m >> i & 1 == 1)
+                    .map(|(_, &e)| e),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn bdd_mcs(tree: &FaultTree) -> Vec<Cutset> {
+    let mut bdd = Bdd::new(tree).unwrap();
+    let mut out: Vec<Cutset> = bdd.minimal_cutsets().unwrap().into_iter().collect();
+    out.sort();
+    out
+}
+
+fn assert_antichain(sets: &[Cutset]) {
+    for a in sets {
+        for b in sets {
+            assert!(a == b || !a.is_subset_of(b), "{a:?} subsumes {b:?}");
+        }
+    }
+}
+
+#[test]
+fn atleast_over_shared_events_matches_brute_force() {
+    // 3-of-5 voting where two of the voters are themselves gates over
+    // overlapping event sets — the threshold network shares nodes
+    // aggressively, and minsol must still produce the C(5,3)-style
+    // antichain of the *flattened* function.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..5)
+        .map(|i| {
+            b.static_event(&format!("e{i}"), 0.1 + 0.05 * i as f64)
+                .unwrap()
+        })
+        .collect();
+    let v0 = b.or("v0", [es[0], es[1]]).unwrap();
+    let v1 = b.and("v1", [es[1], es[2]]).unwrap();
+    let g = b.atleast("g", 3, [v0, v1, es[2], es[3], es[4]]).unwrap();
+    b.top(g);
+    let t = b.build().unwrap();
+    let got = bdd_mcs(&t);
+    assert_eq!(got, brute_force_mcs(&t));
+    assert_antichain(&got);
+}
+
+#[test]
+fn atleast_degenerate_k_equals_or_and_and() {
+    // k = 1 is OR; k = n is AND. minsol must produce singleton cutsets
+    // in the first case and one full cutset in the second.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..4)
+        .map(|i| b.static_event(&format!("e{i}"), 0.2).unwrap())
+        .collect();
+    let any = b.atleast("any", 1, es.clone()).unwrap();
+    let all = b.atleast("all", 4, es.clone()).unwrap();
+    let top = b.and("top", [any, all]).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    // any ∧ all ≡ all: a single minimal cutset of order 4.
+    let got = bdd_mcs(&t);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].order(), 4);
+    assert_eq!(got, brute_force_mcs(&t));
+}
+
+#[test]
+fn nested_atleast_gates_match_brute_force() {
+    // at-least over at-least gates sharing inputs.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..6)
+        .map(|i| b.static_event(&format!("e{i}"), 0.3).unwrap())
+        .collect();
+    let inner1 = b.atleast("i1", 2, [es[0], es[1], es[2]]).unwrap();
+    let inner2 = b.atleast("i2", 2, [es[2], es[3], es[4]]).unwrap();
+    let g = b.atleast("g", 2, [inner1, inner2, es[5]]).unwrap();
+    b.top(g);
+    let t = b.build().unwrap();
+    let got = bdd_mcs(&t);
+    assert_eq!(got, brute_force_mcs(&t));
+    assert_antichain(&got);
+}
+
+#[test]
+fn without_subsumes_across_shared_subtree_paths() {
+    // top = OR(x, AND(x, y), AND(y, z)): the cutset {x} must absorb
+    // {x, y}, exercising the `without` pass between the low and high
+    // branches of minsol.
+    let mut b = FaultTreeBuilder::new();
+    let x = b.static_event("x", 0.2).unwrap();
+    let y = b.static_event("y", 0.3).unwrap();
+    let z = b.static_event("z", 0.4).unwrap();
+    let xy = b.and("xy", [x, y]).unwrap();
+    let yz = b.and("yz", [y, z]).unwrap();
+    let top = b.or("top", [x, xy, yz]).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    let got = bdd_mcs(&t);
+    assert_eq!(got, brute_force_mcs(&t));
+    assert_eq!(got.len(), 2); // {x} and {y, z}
+}
+
+#[test]
+fn deeply_shared_ladder_matches_brute_force() {
+    // A ladder of depth 6 where every rung reuses the previous rung
+    // twice: the fault tree DAG is small but the unfolded formula is
+    // exponential, so correctness here really tests sharing-awareness.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..7)
+        .map(|i| b.static_event(&format!("e{i}"), 0.25).unwrap())
+        .collect();
+    let mut rung = es[0];
+    for (i, &e) in es.iter().enumerate().skip(1) {
+        let a = b.and(&format!("a{i}"), [rung, e]).unwrap();
+        rung = b.or(&format!("r{i}"), [a, rung]).unwrap();
+    }
+    b.top(rung);
+    let t = b.build().unwrap();
+    let got = bdd_mcs(&t);
+    assert_eq!(got, brute_force_mcs(&t));
+    // OR(AND(r, e), r) ≡ r at every rung, so the ladder collapses to e0.
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].order(), 1);
+}
+
+#[test]
+fn diamond_sharing_with_voting_matches_brute_force() {
+    // A diamond: two at-least gates over the same shared OR/AND layer,
+    // rejoined by an AND. Shared sub-functions appear on both sides of
+    // `without`'s recursion.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..6)
+        .map(|i| b.static_event(&format!("e{i}"), 0.15).unwrap())
+        .collect();
+    let s0 = b.or("s0", [es[0], es[1]]).unwrap();
+    let s1 = b.or("s1", [es[2], es[3]]).unwrap();
+    let s2 = b.and("s2", [es[4], es[5]]).unwrap();
+    let left = b.atleast("left", 2, [s0, s1, s2]).unwrap();
+    let right = b.atleast("right", 2, [s1, s2, es[0]]).unwrap();
+    let top = b.and("top", [left, right]).unwrap();
+    b.top(top);
+    let t = b.build().unwrap();
+    let got = bdd_mcs(&t);
+    assert_eq!(got, brute_force_mcs(&t));
+    assert_antichain(&got);
+}
+
+#[test]
+fn minimal_cutsets_rea_bounds_exact_probability() {
+    // On every tree above, the rare-event approximation over the BDD's
+    // own cutsets upper-bounds its exact probability.
+    let mut b = FaultTreeBuilder::new();
+    let es: Vec<_> = (0..5)
+        .map(|i| b.static_event(&format!("e{i}"), 0.2).unwrap())
+        .collect();
+    let g = b.atleast("g", 2, es).unwrap();
+    b.top(g);
+    let t = b.build().unwrap();
+    let probs = EventProbabilities::from_static(&t).unwrap();
+    let mut bdd = Bdd::new(&t).unwrap();
+    let exact = bdd.top_probability(&probs);
+    let mcs: CutsetList = bdd.minimal_cutsets().unwrap();
+    let rea = mcs.rare_event_approximation(|e| probs.get(e));
+    assert!(rea >= exact - 1e-12, "rea {rea} < exact {exact}");
+}

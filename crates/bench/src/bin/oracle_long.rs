@@ -1,0 +1,81 @@
+//! Long-running differential-oracle campaign over random SD fault trees.
+//!
+//! ```text
+//! oracle_long [--seed N] [--trees N] [--budget-secs N] [--samples N]
+//!             [--out DIR]
+//! ```
+//!
+//! Runs the `sdft-oracle` generate → cross-check → shrink loop with a
+//! larger tree count (and optional wall-clock budget) than the
+//! deterministic CI test affords. Every disagreement is shrunk to a
+//! minimal counterexample and written to `DIR` in the `sdft-ft` text
+//! format — commit survivors under `tests/corpus/` so they replay in CI
+//! forever. Exits non-zero iff any check disagreed.
+
+use sdft_oracle::{run_oracle, OracleConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = OracleConfig {
+        trees: 1_000,
+        ..OracleConfig::default()
+    };
+    let mut out_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse_u64(&value("--seed")),
+            "--trees" => cfg.trees = value("--trees").parse().expect("--trees needs a number"),
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs")
+                    .parse()
+                    .expect("--budget-secs needs a number");
+                cfg.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--samples" => {
+                cfg.check.sim_samples = value("--samples")
+                    .parse()
+                    .expect("--samples needs a number");
+            }
+            "--out" => out_dir = Some(value("--out")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let report = run_oracle(&cfg);
+    print!("{}", report.summary());
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        for ce in &report.counterexamples {
+            let path = format!("{dir}/oracle-{:016x}-{}.ft", ce.tree_seed, ce.check);
+            let body = format!(
+                "# oracle counterexample: tree #{} (seed {:#x}) failed {:?}\n# {}\n{}",
+                ce.index,
+                ce.tree_seed,
+                ce.check,
+                ce.details.replace('\n', "\n# "),
+                ce.minimized_text
+            );
+            std::fs::write(&path, body).expect("write counterexample");
+            println!("wrote {path}");
+        }
+    }
+
+    if !report.counterexamples.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Accept both decimal and `0x…` seeds.
+fn parse_u64(s: &str) -> u64 {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse(), |hex| u64::from_str_radix(hex, 16))
+        .expect("--seed needs an integer")
+}

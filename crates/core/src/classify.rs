@@ -22,7 +22,9 @@ use std::fmt;
 /// At-least gates (an extension over the paper) are treated
 /// conservatively: a voting gate with `1 < k < n` and a dynamic child
 /// breaks both conditions; `k = 1` behaves like OR and `k = n` like AND.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The derived ordering ranks classes by quantification cost:
+/// `StaticBranching < StaticJoinsUniform < StaticJoins < General`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TriggerClass {
     /// Every OR gate in the subtree has at most one dynamic child.
     StaticBranching,
@@ -143,6 +145,40 @@ pub fn classify_triggering_gates(tree: &FaultTree) -> HashMap<NodeId, TriggerCla
         .filter(|&g| !tree.triggers_of(g).is_empty())
         .map(|g| (g, classify_gate(tree, g)))
         .collect()
+}
+
+/// Reject trees whose triggering gates classify worse than
+/// `strictest_allowed` (in the cost ordering of [`TriggerClass`]).
+///
+/// The paper recommends using general-case triggering gates sparingly
+/// because their relevant sets — and therefore the per-cutset models —
+/// can blow up; this is the corresponding up-front gate for tools that
+/// want to refuse (rather than merely warn about) expensive structures.
+/// Gates are visited in tree order, so the reported offender is
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::TriggerStructure`] naming the first triggering
+/// gate whose class exceeds `strictest_allowed`.
+pub fn validate_trigger_structure(
+    tree: &FaultTree,
+    strictest_allowed: TriggerClass,
+) -> Result<(), crate::CoreError> {
+    for gate in tree.gates() {
+        if tree.triggers_of(gate).is_empty() {
+            continue;
+        }
+        let class = classify_gate(tree, gate);
+        if class > strictest_allowed {
+            return Err(crate::CoreError::TriggerStructure {
+                gate: tree.name(gate).to_owned(),
+                class,
+                allowed: strictest_allowed,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -274,6 +310,91 @@ mod tests {
         b.top(g);
         let t = b.build().unwrap();
         assert_eq!(classify_gate(&t, g), TriggerClass::StaticBranching);
+    }
+
+    #[test]
+    fn validate_rejects_general_gates_with_a_precise_error() {
+        // The general-case shape from `dynamic_child_under_and_is_general`,
+        // now triggering a spare: validation must name the offending gate
+        // and both classes.
+        let mut b = FaultTreeBuilder::new();
+        let d1 = b.dynamic_event("d1", plain()).unwrap();
+        let d2 = b.dynamic_event("d2", plain()).unwrap();
+        let s = b.static_event("s", 0.1).unwrap();
+        let inner = b.and("inner", [d1, s]).unwrap();
+        let g = b.or("g", [inner, d2]).unwrap();
+        let dd = b.triggered_event("next", spare()).unwrap();
+        let top = b.and("top", [g, dd]).unwrap();
+        b.trigger(g, dd).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(
+            validate_trigger_structure(&t, TriggerClass::StaticJoins),
+            Err(crate::CoreError::TriggerStructure {
+                gate: "g".to_owned(),
+                class: TriggerClass::General,
+                allowed: TriggerClass::StaticJoins,
+            })
+        );
+        // Allowing everything accepts the same tree.
+        assert_eq!(
+            validate_trigger_structure(&t, TriggerClass::General),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_ranks_classes_by_cost() {
+        assert!(TriggerClass::StaticBranching < TriggerClass::StaticJoinsUniform);
+        assert!(TriggerClass::StaticJoinsUniform < TriggerClass::StaticJoins);
+        assert!(TriggerClass::StaticJoins < TriggerClass::General);
+
+        // A static-joins gate passes at its own level but fails under a
+        // static-branching-only policy.
+        let mut b = FaultTreeBuilder::new();
+        let p = b.dynamic_event("pump", plain()).unwrap();
+        let g = b.dynamic_event("gen", plain()).unwrap();
+        let train = b.or("train", [p, g]).unwrap();
+        let dd = b.triggered_event("next", spare()).unwrap();
+        let top = b.and("top", [train, dd]).unwrap();
+        b.trigger(train, dd).unwrap();
+        b.top(top);
+        let t = b.build().unwrap();
+        assert_eq!(
+            validate_trigger_structure(&t, TriggerClass::StaticJoins),
+            Ok(())
+        );
+        let err = validate_trigger_structure(&t, TriggerClass::StaticBranching).unwrap_err();
+        assert_eq!(
+            err,
+            crate::CoreError::TriggerStructure {
+                gate: "train".to_owned(),
+                class: TriggerClass::StaticJoins,
+                allowed: TriggerClass::StaticBranching,
+            }
+        );
+        // The Display form names the gate and both classes.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("train") && msg.contains("static joins"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_untriggered_trees() {
+        // No triggering gates at all: nothing to reject, even under the
+        // strictest policy, whatever the (untriggered) structure is.
+        let mut b = FaultTreeBuilder::new();
+        let d1 = b.dynamic_event("d1", plain()).unwrap();
+        let d2 = b.dynamic_event("d2", plain()).unwrap();
+        let g = b.and("g", [d1, d2]).unwrap();
+        b.top(g);
+        let t = b.build().unwrap();
+        assert_eq!(
+            validate_trigger_structure(&t, TriggerClass::StaticBranching),
+            Ok(())
+        );
     }
 
     #[test]

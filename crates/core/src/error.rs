@@ -1,8 +1,20 @@
+use crate::classify::TriggerClass;
 use std::fmt;
 
 /// Errors produced by the SD fault tree analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
+    /// A triggering gate's subtree falls into a §V-A class more
+    /// expensive than the caller allows (see
+    /// [`crate::validate_trigger_structure`]).
+    TriggerStructure {
+        /// Name of the offending triggering gate.
+        gate: String,
+        /// The class its subtree falls into.
+        class: TriggerClass,
+        /// The most expensive class the caller accepted.
+        allowed: TriggerClass,
+    },
     /// An error from the fault tree layer.
     Ft(sdft_ft::FtError),
     /// An error from the Markov chain layer.
@@ -28,6 +40,15 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CoreError::TriggerStructure {
+                gate,
+                class,
+                allowed,
+            } => write!(
+                f,
+                "triggering gate {gate:?} has {class} structure, \
+                 worse than the allowed {allowed}"
+            ),
             CoreError::Ft(e) => write!(f, "fault tree error: {e}"),
             CoreError::Ctmc(e) => write!(f, "markov chain error: {e}"),
             CoreError::Mocus(e) => write!(f, "cutset generation error: {e}"),

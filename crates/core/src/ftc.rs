@@ -14,6 +14,11 @@ pub struct FtcContext {
     classes: HashMap<NodeId, TriggerClass>,
     /// Triggering gate → (dynamic events, static events) of its subtree.
     subtree_events: HashMap<NodeId, (Vec<NodeId>, Vec<NodeId>)>,
+    /// Static events appearing in the subtrees of two or more triggering
+    /// gates. These may couple several trigger logics, so they must stay
+    /// distinct frozen bits in the model; statics private to one gate can
+    /// be merged into a single equivalent bit (see [`build_ftc_with`]).
+    shared_statics: HashSet<NodeId>,
     /// Unit probabilities (statics keep their own values) — MOCUS runs on
     /// trigger subtrees without a cutoff, so values are irrelevant.
     probs: EventProbabilities,
@@ -40,10 +45,22 @@ impl FtcContext {
                 .partition(|&e| tree.behavior(e).is_some_and(Behavior::is_dynamic));
             subtree_events.insert(gate, (dynamic, stat));
         }
+        let mut static_uses: HashMap<NodeId, usize> = HashMap::new();
+        for (_, stat) in subtree_events.values() {
+            for &e in stat {
+                *static_uses.entry(e).or_default() += 1;
+            }
+        }
+        let shared_statics = static_uses
+            .into_iter()
+            .filter(|&(_, uses)| uses > 1)
+            .map(|(e, _)| e)
+            .collect();
         let probs = EventProbabilities::with_dynamic(tree, |_| Ok(1.0))?;
         Ok(FtcContext {
             classes,
             subtree_events,
+            shared_statics,
             probs,
         })
     }
@@ -291,13 +308,22 @@ pub fn build_ftc_with(
             }
         };
 
-        // Assumptions: statics of C are failed; anything else outside
-        // Rel_a is functional.
+        // Assumptions: statics of C are failed; dynamic events outside
+        // Rel_a are functional. Static events outside C stay *free* so
+        // the rooted MOCUS pass emits them into the minimal failing
+        // subsets as frozen bits — dropping them instead (as an earlier
+        // revision did) loses trigger paths that fire at time zero
+        // through a static branch. Those paths belong to non-minimal
+        // cutsets that subsumption removed, so the per-cutset model is
+        // the only place left that can account for them.
         let mut assumptions = Assumptions::new(tree);
-        for &e in dyn_events.iter().chain(sta_events.iter()) {
+        for &e in sta_events.iter() {
             if statics_in_c.contains(&e) {
                 assumptions.assume_failed(e).map_err(CoreError::Mocus)?;
-            } else if !relevant.contains(&e) {
+            }
+        }
+        for &e in dyn_events.iter() {
+            if !relevant.contains(&e) {
                 assumptions.assume_ok(e).map_err(CoreError::Mocus)?;
             }
         }
@@ -321,7 +347,62 @@ pub fn build_ftc_with(
                 builder.static_event(&unique_name(&builder, tree.name(gate), "__never"), 0.0)?;
             or_inputs.push(never);
         }
+
+        // Every free static in the model doubles the per-cutset product
+        // chain, so collapse what can be collapsed exactly: an all-static
+        // failing subset whose members are private to this triggering
+        // gate (not shared with any other trigger subtree, not repeated
+        // in another subset here) interacts with the rest of the model
+        // only through this one OR, so all such subsets merge into a
+        // single frozen bit carrying their combined probability.
+        let mut occurrences: HashMap<NodeId, usize> = HashMap::new();
+        for a_set in &a_sets {
+            for &m in a_set.events() {
+                *occurrences.entry(m).or_default() += 1;
+            }
+        }
+        let mergeable: Vec<bool> = a_sets
+            .iter()
+            .map(|a_set| {
+                !a_set.is_empty()
+                    && a_set.events().iter().all(|&m| {
+                        tree.behavior(m)
+                            .is_some_and(|b| matches!(b, Behavior::Static { .. }))
+                            && !ctx.shared_statics.contains(&m)
+                            && occurrences[&m] == 1
+                            && !event_map.contains_key(&m)
+                    })
+            })
+            .collect();
+        let merged_probs: Vec<f64> = a_sets
+            .iter()
+            .zip(&mergeable)
+            .filter(|&(_, &m)| m)
+            .map(|(a, _)| {
+                a.events()
+                    .iter()
+                    .map(|&m| tree.static_probability(m).expect("static event"))
+                    .product()
+            })
+            .collect();
+        if !merged_probs.is_empty() {
+            // One subset keeps its exact product; several combine as the
+            // complement-product of an OR over independent branches.
+            let q = if merged_probs.len() == 1 {
+                merged_probs[0]
+            } else {
+                1.0 - merged_probs.iter().map(|p| 1.0 - p).product::<f64>()
+            };
+            let id =
+                builder.static_event(&unique_name(&builder, tree.name(gate), "__statics"), q)?;
+            or_inputs.push(id);
+            added_static += 1;
+        }
+
         for (i, a_set) in a_sets.iter().enumerate() {
+            if mergeable[i] {
+                continue;
+            }
             if a_set.is_empty() {
                 let always = builder
                     .static_event(&unique_name(&builder, tree.name(gate), "__fired"), 1.0)?;
@@ -458,20 +539,28 @@ mod tests {
     #[test]
     fn triggered_cutset_keeps_relevant_dynamic_events() {
         // {b, d}: d triggered by pump1 = OR(a, b); b ∈ C is the relevant
-        // dynamic event, a is assumed functional. Trigger logic = OR(b).
+        // dynamic event. The static a ∉ C stays in the trigger logic as
+        // a frozen bit — a failing at time zero arms d even if b never
+        // fails — and, being private to pump1, it is merged into the
+        // single `__statics` leaf. Trigger logic = OR(statics, b).
         let t = example3();
         let ctx = FtcContext::new(&t).unwrap();
         let model = build_ftc(&t, &ctx, &cutset_of(&t, &["b", "d"])).unwrap();
         let ftc = model.tree.expect("dynamic model");
         assert_eq!(model.static_events.len(), 0);
         assert_eq!(model.added_dynamic, 0);
-        assert_eq!(model.added_static, 0);
-        // b, d + top AND + trigger OR.
-        assert_eq!(ftc.num_basic_events(), 2);
+        assert_eq!(model.added_static, 1);
+        // b, d + the merged frozen static bit.
+        assert_eq!(ftc.num_basic_events(), 3);
         let d = ftc.node_by_name("d").unwrap();
         let trig = ftc.trigger_source(d).expect("d is triggered");
         let b = ftc.node_by_name("b").unwrap();
-        assert_eq!(ftc.gate_inputs(trig), &[b]);
+        let inputs = ftc.gate_inputs(trig);
+        assert_eq!(inputs.len(), 2);
+        assert!(inputs.contains(&b));
+        let frozen = inputs.iter().copied().find(|&i| i != b).unwrap();
+        // The frozen bit carries a's probability.
+        assert_eq!(ftc.static_probability(frozen), Some(3e-3));
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod translate;
 mod worstcase;
 
 pub use canonical::{CacheStats, CanonicalModelKey, DynamicSolution, KernelStats, QuantCache};
-pub use classify::{classify_gate, classify_triggering_gates, TriggerClass};
+pub use classify::{
+    classify_gate, classify_triggering_gates, validate_trigger_structure, TriggerClass,
+};
 pub use error::CoreError;
 pub use ftc::{build_ftc, build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
 pub use pipeline::{

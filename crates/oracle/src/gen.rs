@@ -1,0 +1,370 @@
+//! Seeded random SD fault tree generator.
+//!
+//! Unlike the static-only proptest trees in `tests/property.rs`, the
+//! specs produced here exercise the full dynamic feature space of the
+//! paper: Erlang degradation with repair, cold spares and triggered
+//! Erlang chains, trigger edges whose subtrees satisfy — or, with
+//! [`GeneratorConfig::violating`], deliberately break — the static
+//! branching / static joins conditions of §V-A, at-least gates, and
+//! shared subtrees.
+//!
+//! Triggering is acyclic *by construction*: a triggered event's source
+//! gate is always chosen among gates that already exist, and the event
+//! itself is only ever placed under gates created afterwards (its
+//! wrapper or the top combiner), so no source gate can contain its own
+//! triggered event.
+
+use crate::spec::{EventSpec, GateSpec, TreeSpec};
+use rand::{rngs::StdRng, Rng};
+use sdft_ft::GateKind;
+
+/// Size and shape knobs for [`generate`]. All `(lo, hi)` pairs are
+/// inclusive ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of static basic events.
+    pub static_events: (usize, usize),
+    /// Number of always-on dynamic events.
+    pub dynamic_events: (usize, usize),
+    /// Number of triggered events (spares / triggered Erlang).
+    pub triggered_events: (usize, usize),
+    /// Number of intermediate gates (before trigger wrappers and top).
+    pub gates: (usize, usize),
+    /// Maximum inputs per gate (`≥ 2`).
+    pub max_gate_inputs: usize,
+    /// Probability an intermediate gate is AND (vs OR), given it is not
+    /// an at-least gate.
+    pub and_weight: f64,
+    /// Probability a gate with ≥ 3 inputs becomes a voting gate with
+    /// `1 < k < n`.
+    pub atleast_weight: f64,
+    /// Probability a gate input is drawn from *all* existing nodes
+    /// (creating shared subtrees) instead of the unconsumed pool.
+    pub share_weight: f64,
+    /// Static failure probability range.
+    pub prob_range: (f64, f64),
+    /// Failure rate range.
+    pub lambda_range: (f64, f64),
+    /// Probability a dynamic event is repairable (`μ > 0`).
+    pub repair_weight: f64,
+    /// Repair rate range (used when repairable).
+    pub mu_range: (f64, f64),
+    /// Maximum Erlang phases.
+    pub max_phases: usize,
+    /// Probability a triggered event is combined with a second node
+    /// under a fresh wrapper gate (enabling chained triggering) rather
+    /// than feeding the top combiner directly.
+    pub wrap_weight: f64,
+    /// Probability the wrapper gate is AND (placing a dynamic event
+    /// under an AND — with triggers in scope this drives the subtree
+    /// towards the general class of §V-A).
+    pub wrap_and_weight: f64,
+}
+
+impl GeneratorConfig {
+    /// Small trees whose product chain stays exactly checkable
+    /// (worst case well under `50_000` states).
+    #[must_use]
+    pub fn small() -> Self {
+        GeneratorConfig {
+            static_events: (1, 3),
+            dynamic_events: (1, 2),
+            triggered_events: (0, 2),
+            gates: (1, 3),
+            max_gate_inputs: 3,
+            and_weight: 0.35,
+            atleast_weight: 0.25,
+            share_weight: 0.3,
+            prob_range: (0.01, 0.4),
+            lambda_range: (0.005, 0.08),
+            repair_weight: 0.5,
+            mu_range: (0.05, 0.5),
+            max_phases: 2,
+            wrap_weight: 0.6,
+            wrap_and_weight: 0.3,
+        }
+    }
+
+    /// Larger trees; the product chain often exceeds the exact budget,
+    /// so the statistical (simulation) referee takes over.
+    #[must_use]
+    pub fn medium() -> Self {
+        GeneratorConfig {
+            static_events: (2, 6),
+            dynamic_events: (2, 5),
+            triggered_events: (1, 3),
+            gates: (2, 6),
+            max_gate_inputs: 4,
+            and_weight: 0.35,
+            atleast_weight: 0.25,
+            share_weight: 0.35,
+            prob_range: (0.01, 0.4),
+            lambda_range: (0.005, 0.08),
+            repair_weight: 0.6,
+            mu_range: (0.05, 0.5),
+            max_phases: 3,
+            wrap_weight: 0.6,
+            wrap_and_weight: 0.3,
+        }
+    }
+
+    /// Purely static trees (BDD / exact enumeration territory).
+    #[must_use]
+    pub fn static_only() -> Self {
+        GeneratorConfig {
+            static_events: (2, 7),
+            dynamic_events: (0, 0),
+            triggered_events: (0, 0),
+            gates: (1, 5),
+            max_gate_inputs: 4,
+            and_weight: 0.4,
+            atleast_weight: 0.3,
+            share_weight: 0.4,
+            prob_range: (0.01, 0.5),
+            lambda_range: (0.005, 0.08),
+            repair_weight: 0.0,
+            mu_range: (0.05, 0.5),
+            max_phases: 1,
+            wrap_weight: 0.0,
+            wrap_and_weight: 0.0,
+        }
+    }
+
+    /// Shapes likely to *violate* the favourable trigger classes of
+    /// §V-A (dynamic children under ANDs, ORs with several dynamic
+    /// children, mid-`k` voting gates over dynamics) — used to test the
+    /// classifier's rejection path.
+    #[must_use]
+    pub fn violating() -> Self {
+        GeneratorConfig {
+            static_events: (1, 2),
+            dynamic_events: (2, 4),
+            triggered_events: (1, 3),
+            gates: (2, 4),
+            max_gate_inputs: 3,
+            and_weight: 0.7,
+            atleast_weight: 0.4,
+            share_weight: 0.3,
+            prob_range: (0.01, 0.4),
+            lambda_range: (0.005, 0.08),
+            repair_weight: 0.5,
+            mu_range: (0.05, 0.5),
+            max_phases: 2,
+            wrap_weight: 0.8,
+            wrap_and_weight: 0.7,
+        }
+    }
+}
+
+fn range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+fn rate(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Generate a random, always-buildable [`TreeSpec`].
+pub fn generate(cfg: &GeneratorConfig, rng: &mut StdRng) -> TreeSpec {
+    let ns = range(rng, cfg.static_events).max(1);
+    let nd = range(rng, cfg.dynamic_events);
+    let nt = if cfg.gates.0 == 0 {
+        0
+    } else {
+        range(rng, cfg.triggered_events)
+    };
+    let ng = range(rng, cfg.gates).max(1);
+
+    let mut events = Vec::with_capacity(ns + nd + nt);
+    for _ in 0..ns {
+        events.push(EventSpec::Static {
+            probability: rate(rng, cfg.prob_range),
+        });
+    }
+    for _ in 0..nd {
+        let mu = if rng.gen_bool(cfg.repair_weight) {
+            rate(rng, cfg.mu_range)
+        } else {
+            0.0
+        };
+        events.push(EventSpec::Dynamic {
+            phases: range(rng, (1, cfg.max_phases)),
+            lambda: rate(rng, cfg.lambda_range),
+            mu,
+        });
+    }
+    for _ in 0..nt {
+        let lambda = rate(rng, cfg.lambda_range);
+        let mu = if rng.gen_bool(cfg.repair_weight) {
+            rate(rng, cfg.mu_range)
+        } else {
+            0.0
+        };
+        if rng.gen_bool(0.5) {
+            events.push(EventSpec::Spare { lambda, mu });
+        } else {
+            events.push(EventSpec::TriggeredErlang {
+                phases: range(rng, (1, cfg.max_phases)),
+                lambda,
+                mu,
+            });
+        }
+    }
+    let ne = events.len();
+
+    let mut spec = TreeSpec {
+        events,
+        gates: Vec::new(),
+        triggers: Vec::new(),
+        top: 0,
+    };
+
+    // The pool of "unconsumed roots": nodes not yet below any gate.
+    // Triggered events enter it only once their trigger is wired up.
+    let mut roots: Vec<usize> = (0..ns + nd).collect();
+    // All nodes an input may share into (everything except triggered
+    // events still waiting for their trigger edge).
+    let mut sharable: Vec<usize> = (0..ns + nd).collect();
+
+    for _ in 0..ng {
+        let want = rng.gen_range(2..=cfg.max_gate_inputs.max(2));
+        let mut inputs = Vec::with_capacity(want);
+        for _ in 0..want {
+            let from_shared = roots.is_empty() || rng.gen_bool(cfg.share_weight);
+            let pool = if from_shared { &sharable } else { &roots };
+            let pick = pool[rng.gen_range(0..pool.len())];
+            if !inputs.contains(&pick) {
+                inputs.push(pick);
+            }
+            if !from_shared {
+                roots.retain(|&r| r != pick);
+            }
+        }
+        if inputs.is_empty() {
+            inputs.push(sharable[rng.gen_range(0..sharable.len())]);
+        }
+        let n = inputs.len();
+        let kind = if n >= 3 && rng.gen_bool(cfg.atleast_weight) {
+            GateKind::AtLeast(rng.gen_range(2..=(n as u32 - 1)))
+        } else if rng.gen_bool(cfg.and_weight) {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        let gate_ref = spec.gate_ref(spec.gates.len());
+        spec.gates.push(GateSpec { kind, inputs });
+        roots.push(gate_ref);
+        sharable.push(gate_ref);
+    }
+
+    // Wire up triggered events: source among existing gates, placement
+    // only in *new* wrapper gates (or the top combiner).
+    for e in ns + nd..ne {
+        let source = rng.gen_range(0..spec.gates.len());
+        spec.triggers.push((source, e));
+        if rng.gen_bool(cfg.wrap_weight) && !sharable.is_empty() {
+            let partner = sharable[rng.gen_range(0..sharable.len())];
+            let kind = if rng.gen_bool(cfg.wrap_and_weight) {
+                GateKind::And
+            } else {
+                GateKind::Or
+            };
+            let gate_ref = spec.gate_ref(spec.gates.len());
+            spec.gates.push(GateSpec {
+                kind,
+                inputs: vec![e, partner],
+            });
+            roots.retain(|&r| r != partner);
+            roots.push(gate_ref);
+            sharable.push(gate_ref);
+        } else {
+            roots.push(e);
+        }
+        sharable.push(e);
+    }
+
+    // Top combiner over every remaining root.
+    if roots.len() == 1 && roots[0] >= ne {
+        spec.top = roots[0];
+    } else {
+        let kind = if rng.gen_bool(cfg.and_weight / 2.0) {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        let gate_ref = spec.gate_ref(spec.gates.len());
+        spec.gates.push(GateSpec {
+            kind,
+            inputs: roots,
+        });
+        spec.top = gate_ref;
+    }
+
+    debug_assert!(spec.build().is_ok(), "generated spec must build");
+    spec
+}
+
+/// Convenience: [`generate`] from a fresh [`StdRng`] seeded with `seed`.
+pub fn generate_seeded(cfg: &GeneratorConfig, seed: u64) -> TreeSpec {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_build_for_many_seeds() {
+        for preset in [
+            GeneratorConfig::small(),
+            GeneratorConfig::medium(),
+            GeneratorConfig::static_only(),
+            GeneratorConfig::violating(),
+        ] {
+            for seed in 0..200 {
+                let spec = generate_seeded(&preset, seed);
+                let tree = spec
+                    .build()
+                    .unwrap_or_else(|e| panic!("seed {seed} does not build: {e}\nspec: {spec:?}"));
+                assert!(tree.num_gates() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::medium();
+        assert_eq!(generate_seeded(&cfg, 42), generate_seeded(&cfg, 42));
+    }
+
+    #[test]
+    fn dynamic_features_are_exercised() {
+        let cfg = GeneratorConfig::medium();
+        let (mut triggered, mut atleast, mut shared) = (0, 0, 0);
+        for seed in 0..100 {
+            let spec = generate_seeded(&cfg, seed);
+            triggered += spec.triggers.len();
+            atleast += spec
+                .gates
+                .iter()
+                .filter(|g| matches!(g.kind, GateKind::AtLeast(_)))
+                .count();
+            let mut refs = std::collections::HashMap::new();
+            for g in &spec.gates {
+                for &r in &g.inputs {
+                    *refs.entry(r).or_insert(0) += 1;
+                }
+            }
+            shared += usize::from(refs.values().any(|&c| c > 1));
+        }
+        assert!(triggered > 50, "triggered events: {triggered}");
+        assert!(atleast > 20, "at-least gates: {atleast}");
+        assert!(shared > 30, "trees with shared subtrees: {shared}");
+    }
+}

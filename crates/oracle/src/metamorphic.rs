@@ -1,0 +1,259 @@
+//! Metamorphic invariants: rewrites with a *predicted* effect on the
+//! quantified frequency.
+//!
+//! Semantics-preserving rewrites (gate flattening, absorption-law event
+//! duplication — both restricted to gates outside trigger subtrees, see
+//! [`crate::rewrite`]) must reproduce the frequency to within pure
+//! floating-point summation noise. The trigger-to-AND translation must
+//! reproduce `static_rea` through a second, independent analysis of
+//! `FT̄`. Monotone perturbations (raise a λ, lower a μ, raise a static
+//! probability, AND/OR a fresh event onto the top gate) must move the
+//! frequency in the predicted direction.
+
+use crate::check::{analysis_options, close_rel, leq_slack, CheckConfig, Outcome};
+use crate::rewrite::{absorb_once, flatten_once};
+use crate::spec::{EventSpec, GateSpec, TreeSpec};
+use sdft_core::{analyze, translate, worst_case_probabilities, AnalysisResult};
+use sdft_ft::{FaultTree, GateKind};
+
+pub(crate) fn metamorphic_checks(
+    tree: &FaultTree,
+    spec: Option<&TreeSpec>,
+    base: &AnalysisResult,
+    cfg: &CheckConfig,
+    out: &mut Outcome,
+) {
+    let opts = analysis_options(cfg);
+
+    // --- Gate flattening: bitwise-level invariance. -----------------
+    match flatten_once(tree) {
+        Ok(Some(flat)) => match analyze(&flat, &opts) {
+            Ok(r) => out.check(
+                close_rel(r.frequency, base.frequency, cfg.tol_exact)
+                    && close_rel(r.static_rea, base.static_rea, cfg.tol_exact),
+                "metamorphic_flatten",
+                || {
+                    format!(
+                        "flattening a same-kind gate pair changed the frequency: \
+                         {} → {} (static REA {} → {})",
+                        base.frequency, r.frequency, base.static_rea, r.static_rea
+                    )
+                },
+            ),
+            Err(e) => out.fail(
+                "metamorphic_flatten",
+                format!("analysis of flattened tree failed: {e}"),
+            ),
+        },
+        Ok(None) => out.skip(),
+        Err(e) => out.fail("metamorphic_flatten", format!("rewrite failed: {e}")),
+    }
+
+    // --- Absorption-law duplication under OR. -----------------------
+    match absorb_once(tree) {
+        Ok(Some(dup)) => match analyze(&dup, &opts) {
+            Ok(r) => out.check(
+                close_rel(r.frequency, base.frequency, cfg.tol_exact)
+                    && close_rel(r.static_rea, base.static_rea, cfg.tol_exact),
+                "metamorphic_absorb",
+                || {
+                    format!(
+                        "absorption-law duplication changed the frequency: {} → {} \
+                         (static REA {} → {})",
+                        base.frequency, r.frequency, base.static_rea, r.static_rea
+                    )
+                },
+            ),
+            Err(e) => out.fail(
+                "metamorphic_absorb",
+                format!("analysis of duplicated tree failed: {e}"),
+            ),
+        },
+        Ok(None) => out.skip(),
+        Err(e) => out.fail("metamorphic_absorb", format!("rewrite failed: {e}")),
+    }
+
+    // --- Trigger-to-AND translation reproduces static_rea. ----------
+    if tree.dynamic_basic_events().next().is_some() {
+        let translated = worst_case_probabilities(tree, cfg.horizon, cfg.epsilon)
+            .and_then(|wc| translate(tree, &wc));
+        match translated {
+            Ok(t) => match analyze(&t.tree, &opts) {
+                Ok(r) => out.check(
+                    close_rel(r.frequency, base.static_rea, cfg.tol_cross),
+                    "metamorphic_translate",
+                    || {
+                        format!(
+                            "analyzing the translated static tree FT̄ gives {}, but the \
+                             pipeline's static REA is {}",
+                            r.frequency, base.static_rea
+                        )
+                    },
+                ),
+                Err(e) => out.fail(
+                    "metamorphic_translate",
+                    format!("analysis of FT̄ failed: {e}"),
+                ),
+            },
+            Err(e) => out.fail("metamorphic_translate", format!("translation failed: {e}")),
+        }
+    } else {
+        out.skip();
+    }
+
+    // --- Spec-level monotone perturbations. -------------------------
+    let Some(spec) = spec else {
+        return;
+    };
+    monotone_checks(spec, base, cfg, out);
+}
+
+/// Analyze a perturbed spec; `None` (with a recorded failure) when the
+/// perturbed spec no longer builds or analyzes — both indicate harness
+/// or engine bugs worth shrinking.
+fn analyze_spec(
+    spec: &TreeSpec,
+    cfg: &CheckConfig,
+    name: &str,
+    out: &mut Outcome,
+) -> Option<AnalysisResult> {
+    let tree = match spec.build() {
+        Ok(t) => t,
+        Err(e) => {
+            out.fail(name, format!("perturbed spec does not build: {e}"));
+            return None;
+        }
+    };
+    match analyze(&tree, &analysis_options(cfg)) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            out.fail(name, format!("analysis of perturbed tree failed: {e}"));
+            None
+        }
+    }
+}
+
+fn monotone_checks(spec: &TreeSpec, base: &AnalysisResult, cfg: &CheckConfig, out: &mut Outcome) {
+    // Raising a failure rate must not lower the frequency.
+    if let Some(i) = spec.events.iter().position(EventSpec::is_dynamic) {
+        let mut up = spec.clone();
+        match &mut up.events[i] {
+            EventSpec::Dynamic { lambda, .. }
+            | EventSpec::Spare { lambda, .. }
+            | EventSpec::TriggeredErlang { lambda, .. } => *lambda *= 2.0,
+            EventSpec::Static { .. } => unreachable!("position() picked a dynamic event"),
+        }
+        if let Some(r) = analyze_spec(&up, cfg, "monotone_lambda", out) {
+            out.check(
+                leq_slack(base.frequency, r.frequency, cfg.tol_cross),
+                "monotone_lambda",
+                || {
+                    format!(
+                        "doubling λ of e{i} lowered the frequency: {} → {}",
+                        base.frequency, r.frequency
+                    )
+                },
+            );
+        }
+    } else {
+        out.skip();
+    }
+
+    // Lowering a repair rate must not lower the frequency.
+    let repairable = spec.events.iter().position(|e| {
+        matches!(
+            e,
+            EventSpec::Dynamic { mu, .. }
+            | EventSpec::Spare { mu, .. }
+            | EventSpec::TriggeredErlang { mu, .. }
+            if *mu > 0.0
+        )
+    });
+    if let Some(i) = repairable {
+        let mut down = spec.clone();
+        match &mut down.events[i] {
+            EventSpec::Dynamic { mu, .. }
+            | EventSpec::Spare { mu, .. }
+            | EventSpec::TriggeredErlang { mu, .. } => *mu *= 0.5,
+            EventSpec::Static { .. } => unreachable!("position() picked a repairable event"),
+        }
+        if let Some(r) = analyze_spec(&down, cfg, "monotone_mu", out) {
+            out.check(
+                leq_slack(base.frequency, r.frequency, cfg.tol_cross),
+                "monotone_mu",
+                || {
+                    format!(
+                        "halving μ of e{i} lowered the frequency: {} → {}",
+                        base.frequency, r.frequency
+                    )
+                },
+            );
+        }
+    } else {
+        out.skip();
+    }
+
+    // Raising a static probability must not lower the frequency.
+    let static_ev = spec
+        .events
+        .iter()
+        .position(|e| matches!(e, EventSpec::Static { .. }));
+    if let Some(i) = static_ev {
+        let mut up = spec.clone();
+        if let EventSpec::Static { probability } = &mut up.events[i] {
+            *probability += 0.5 * (1.0 - *probability);
+        }
+        if let Some(r) = analyze_spec(&up, cfg, "monotone_prob", out) {
+            out.check(
+                leq_slack(base.frequency, r.frequency, cfg.tol_cross),
+                "monotone_prob",
+                || {
+                    format!(
+                        "raising the probability of e{i} lowered the frequency: {} → {}",
+                        base.frequency, r.frequency
+                    )
+                },
+            );
+        }
+    } else {
+        out.skip();
+    }
+
+    // ANDing a fresh static event onto the top gate must not raise the
+    // frequency; ORing one must not lower it.
+    for (kind, name) in [
+        (GateKind::And, "monotone_and_child"),
+        (GateKind::Or, "monotone_or_child"),
+    ] {
+        let mut wrapped = spec.clone();
+        wrapped.events.push(EventSpec::Static { probability: 0.5 });
+        // Appending an event shifts every gate reference up by one.
+        let shift = |r: usize| if r >= spec.events.len() { r + 1 } else { r };
+        for gate in &mut wrapped.gates {
+            for r in &mut gate.inputs {
+                *r = shift(*r);
+            }
+        }
+        wrapped.top = shift(wrapped.top);
+        let new_event = spec.events.len();
+        let top_ref = wrapped.gate_ref(wrapped.gates.len());
+        wrapped.gates.push(GateSpec {
+            kind,
+            inputs: vec![wrapped.top, new_event],
+        });
+        wrapped.top = top_ref;
+        if let Some(r) = analyze_spec(&wrapped, cfg, name, out) {
+            let ok = match kind {
+                GateKind::And => leq_slack(r.frequency, base.frequency, cfg.tol_cross),
+                _ => leq_slack(base.frequency, r.frequency, cfg.tol_cross),
+            };
+            out.check(ok, name, || {
+                format!(
+                    "wrapping the top gate in {kind:?} with a p = 0.5 event moved the \
+                     frequency the wrong way: {} → {}",
+                    base.frequency, r.frequency
+                )
+            });
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Semantics-preserving tree rewrites for the metamorphic suite.
+//!
+//! Each rewrite returns a *new* [`FaultTree`] whose top-gate function —
+//! and, crucially, whose per-cutset quantification — is unchanged, so
+//! the pipeline must report the same frequency on both trees (up to
+//! floating-point summation noise).
+//!
+//! The subtlety: trigger classification (§V-A) is *syntax*-sensitive.
+//! Flattening `OR(d1, OR(d2, s))` into `OR(d1, d2, s)` inside a
+//! triggering gate's subtree can flip the class from static branching
+//! to static joins and legitimately change the quantified frequency.
+//! The rewrites here therefore only touch gates that lie *outside*
+//! every triggering gate's subtree, which leaves all classifications —
+//! and hence the per-cutset models — untouched.
+
+use sdft_ft::{FaultTree, FaultTreeBuilder, FtError, GateKind, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Copy `tree` node-for-node, letting `map_inputs` replace each gate's
+/// input list (in *original* node ids) and `extra` inject freshly built
+/// nodes right before a given gate is copied.
+fn copy_tree_with<F>(tree: &FaultTree, mut map_inputs: F) -> Result<FaultTree, FtError>
+where
+    F: FnMut(&mut FaultTreeBuilder, &HashMap<NodeId, NodeId>, NodeId) -> Option<Vec<NodeId>>,
+{
+    let mut b = FaultTreeBuilder::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in tree.node_ids() {
+        let name = tree.name(id).to_owned();
+        let new = if tree.is_gate(id) {
+            let kind = tree.gate_kind(id).expect("gate");
+            let inputs = match map_inputs(&mut b, &map, id) {
+                Some(new_inputs) => new_inputs,
+                None => tree.gate_inputs(id).iter().map(|o| map[o]).collect(),
+            };
+            b.gate(&name, kind, inputs)?
+        } else {
+            match tree.behavior(id).expect("basic event") {
+                sdft_ft::Behavior::Static { probability } => b.static_event(&name, *probability)?,
+                sdft_ft::Behavior::Dynamic(chain) => b.dynamic_event(&name, chain.clone())?,
+                sdft_ft::Behavior::Triggered(chain) => b.triggered_event(&name, chain.clone())?,
+            }
+        };
+        map.insert(id, new);
+    }
+    for event in tree.basic_events() {
+        if let Some(source) = tree.trigger_source(event) {
+            b.trigger(map[&source], map[&event])?;
+        }
+    }
+    b.top(map[&tree.top()]);
+    b.build()
+}
+
+/// The set of gates lying inside some triggering gate's subtree
+/// (including the triggering gates themselves). Rewrites must not
+/// restructure these.
+fn trigger_protected_gates(tree: &FaultTree) -> HashSet<NodeId> {
+    let mut protected = HashSet::new();
+    for gate in tree.gates() {
+        if !tree.triggers_of(gate).is_empty() {
+            protected.extend(tree.subtree_gates(gate));
+        }
+    }
+    protected
+}
+
+/// Flatten one nested same-kind AND/OR pair: `OR(…, OR(a, b), …)`
+/// becomes `OR(…, a, b, …)` (associativity). Only parents outside all
+/// trigger subtrees are considered; the inlined child gate is left in
+/// place (it may be shared or act as a trigger source).
+///
+/// Returns `None` when the tree has no such pair.
+///
+/// # Errors
+///
+/// Propagates builder errors (which indicate a harness bug — the
+/// rewrite preserves every validity condition).
+pub fn flatten_once(tree: &FaultTree) -> Result<Option<FaultTree>, FtError> {
+    let protected = trigger_protected_gates(tree);
+    let mut target: Option<NodeId> = None;
+    for gate in tree.gates() {
+        if protected.contains(&gate) {
+            continue;
+        }
+        let kind = tree.gate_kind(gate).expect("gate");
+        if !matches!(kind, GateKind::And | GateKind::Or) {
+            continue;
+        }
+        if tree
+            .gate_inputs(gate)
+            .iter()
+            .any(|&c| tree.gate_kind(c) == Some(kind))
+        {
+            target = Some(gate);
+            break;
+        }
+    }
+    let Some(target) = target else {
+        return Ok(None);
+    };
+    let kind = tree.gate_kind(target);
+    let tree2 = copy_tree_with(tree, |_, map, gate| {
+        if gate != target {
+            return None;
+        }
+        let mut inputs = Vec::new();
+        for &c in tree.gate_inputs(gate) {
+            if tree.gate_kind(c) == kind {
+                inputs.extend(tree.gate_inputs(c).iter().map(|o| map[o]));
+            } else {
+                inputs.push(map[&c]);
+            }
+        }
+        Some(inputs)
+    })?;
+    Ok(Some(tree2))
+}
+
+/// Apply the absorption law once: pick an OR gate `P` outside all
+/// trigger subtrees with input `x`, and extend it with a fresh gate
+/// `AND(x, y)` for some other node `y`. Since `x ∨ (x ∧ y) = x`, the
+/// top-gate function — and the minimal cutsets — are unchanged.
+///
+/// Returns `None` when no suitable OR gate exists.
+///
+/// # Errors
+///
+/// Propagates builder errors (harness bug).
+pub fn absorb_once(tree: &FaultTree) -> Result<Option<FaultTree>, FtError> {
+    let protected = trigger_protected_gates(tree);
+    let mut choice: Option<(NodeId, NodeId, NodeId)> = None;
+    for gate in tree.gates() {
+        if protected.contains(&gate) || tree.gate_kind(gate) != Some(GateKind::Or) {
+            continue;
+        }
+        let x = tree.gate_inputs(gate)[0];
+        // The duplicated partner must already exist when `gate` is
+        // copied, i.e. precede it in creation order.
+        let y = tree
+            .basic_events()
+            .find(|&e| e != x && e.index() < gate.index());
+        if let Some(y) = y {
+            choice = Some((gate, x, y));
+            break;
+        }
+    }
+    let Some((target, x, y)) = choice else {
+        return Ok(None);
+    };
+    let tree2 = copy_tree_with(tree, |b, map, gate| {
+        if gate != target {
+            return None;
+        }
+        let dup = b
+            .and("oracle_absorb", [map[&x], map[&y]])
+            .expect("fresh absorption gate");
+        let mut inputs: Vec<NodeId> = tree.gate_inputs(gate).iter().map(|o| map[o]).collect();
+        inputs.push(dup);
+        Some(inputs)
+    })?;
+    Ok(Some(tree2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ft::format;
+
+    const EXAMPLE: &str = "top t\n\
+        basic a 0.1\n\
+        basic b 0.2\n\
+        basic c 0.3\n\
+        gate inner or a b\n\
+        gate t or inner c\n";
+
+    #[test]
+    fn flatten_inlines_nested_or() {
+        let tree = format::parse_str(EXAMPLE).unwrap();
+        let flat = flatten_once(&tree).unwrap().expect("flattenable");
+        let top = flat.top();
+        assert_eq!(flat.gate_inputs(top).len(), 3);
+        assert!(
+            (flat.exact_static_probability().unwrap() - tree.exact_static_probability().unwrap())
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn absorb_keeps_function() {
+        let tree = format::parse_str(EXAMPLE).unwrap();
+        let dup = absorb_once(&tree).unwrap().expect("absorbable");
+        assert_eq!(dup.num_gates(), tree.num_gates() + 1);
+        assert!(
+            (dup.exact_static_probability().unwrap() - tree.exact_static_probability().unwrap())
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn rewrites_leave_trigger_subtrees_alone() {
+        let tree = format::parse_str(
+            "top t\n\
+             basic a 0.1\n\
+             dynamic x erlang k=1 lambda=0.01 mu=0\n\
+             dynamic d spare lambda=0.01 mu=0.1\n\
+             gate inner or a x\n\
+             gate src or inner x\n\
+             gate t and src d\n\
+             trigger src d\n",
+        )
+        .unwrap();
+        // The only nested same-kind pair (src → inner) is inside the
+        // triggering gate's subtree, so nothing may be flattened.
+        assert!(flatten_once(&tree).unwrap().is_none());
+    }
+}

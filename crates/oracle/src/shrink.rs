@@ -1,0 +1,247 @@
+//! Greedy counterexample minimization.
+//!
+//! When a check disagrees, the driver shrinks the offending
+//! [`TreeSpec`] while preserving *that* check's failure: drop trigger
+//! edges, simplify event behaviours, drop gate inputs, hoist
+//! grandchildren, round rates, and finally garbage-collect unreachable
+//! nodes. Each candidate is re-checked from scratch; candidates that no
+//! longer build (e.g. a hoist that would create cyclic triggering) are
+//! discarded automatically.
+
+use crate::check::{check_spec, CheckConfig};
+use crate::spec::{EventSpec, TreeSpec};
+use sdft_ft::GateKind;
+
+/// Round to one significant digit (shrinks `0.037281…` to `0.04`).
+fn round_1sig(x: f64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let mag = 10f64.powf(x.abs().log10().floor());
+    (x / mag).round() * mag
+}
+
+fn fails_same(spec: &TreeSpec, cfg: &CheckConfig, check: &str) -> bool {
+    check_spec(spec, cfg)
+        .disagreements
+        .iter()
+        .any(|d| d.check == check)
+}
+
+/// All single-step shrink candidates of `spec`, smallest-effect last so
+/// structural deletions are preferred.
+fn candidates(spec: &TreeSpec) -> Vec<TreeSpec> {
+    let mut out = Vec::new();
+
+    // Drop a trigger edge, demoting the event to its untriggered twin.
+    for (t, &(_, e)) in spec.triggers.iter().enumerate() {
+        let mut c = spec.clone();
+        c.triggers.remove(t);
+        c.events[e] = c.events[e].untriggered();
+        out.push(c);
+    }
+
+    // Demote a dynamic event to a static one.
+    for (i, event) in spec.events.iter().enumerate() {
+        if matches!(event, EventSpec::Dynamic { .. }) {
+            let mut c = spec.clone();
+            c.events[i] = EventSpec::Static { probability: 0.1 };
+            out.push(c);
+        }
+    }
+
+    // Drop one gate input (clamping at-least thresholds).
+    for (g, gate) in spec.gates.iter().enumerate() {
+        if gate.inputs.len() <= 1 {
+            continue;
+        }
+        for i in 0..gate.inputs.len() {
+            let mut c = spec.clone();
+            c.gates[g].inputs.remove(i);
+            if let GateKind::AtLeast(k) = c.gates[g].kind {
+                let n = c.gates[g].inputs.len() as u32;
+                if k > n {
+                    c.gates[g].kind = GateKind::AtLeast(n);
+                }
+            }
+            out.push(c);
+        }
+    }
+
+    // Hoist: replace a gate input that is itself a gate by one of that
+    // gate's own inputs.
+    for (g, gate) in spec.gates.iter().enumerate() {
+        for (i, &r) in gate.inputs.iter().enumerate() {
+            if r < spec.events.len() {
+                continue;
+            }
+            for &grand in &spec.gates[r - spec.events.len()].inputs {
+                let mut c = spec.clone();
+                c.gates[g].inputs[i] = grand;
+                out.push(c);
+            }
+        }
+    }
+
+    // Focus on a subtree: make an input of the top gate the new top.
+    if spec.top >= spec.events.len() {
+        for &r in &spec.gates[spec.top - spec.events.len()].inputs {
+            if r >= spec.events.len() {
+                let mut c = spec.clone();
+                c.top = r;
+                out.push(c);
+            }
+        }
+    }
+
+    // Simplify event parameters.
+    for (i, event) in spec.events.iter().enumerate() {
+        let simpler: Vec<EventSpec> = match *event {
+            EventSpec::Static { probability } => {
+                let r = round_1sig(probability);
+                if r == probability {
+                    vec![]
+                } else {
+                    vec![EventSpec::Static { probability: r }]
+                }
+            }
+            EventSpec::Dynamic { phases, lambda, mu } => {
+                let mut v = Vec::new();
+                if phases > 1 {
+                    v.push(EventSpec::Dynamic {
+                        phases: 1,
+                        lambda,
+                        mu,
+                    });
+                }
+                if mu != 0.0 {
+                    v.push(EventSpec::Dynamic {
+                        phases,
+                        lambda,
+                        mu: 0.0,
+                    });
+                }
+                if round_1sig(lambda) != lambda {
+                    v.push(EventSpec::Dynamic {
+                        phases,
+                        lambda: round_1sig(lambda),
+                        mu,
+                    });
+                }
+                v
+            }
+            EventSpec::Spare { lambda, mu } => {
+                let mut v = Vec::new();
+                if mu != 0.0 {
+                    v.push(EventSpec::Spare { lambda, mu: 0.0 });
+                }
+                if round_1sig(lambda) != lambda {
+                    v.push(EventSpec::Spare {
+                        lambda: round_1sig(lambda),
+                        mu,
+                    });
+                }
+                v
+            }
+            EventSpec::TriggeredErlang { phases, lambda, mu } => {
+                let mut v = vec![EventSpec::Spare { lambda, mu }];
+                if phases > 1 {
+                    v.push(EventSpec::TriggeredErlang {
+                        phases: 1,
+                        lambda,
+                        mu,
+                    });
+                }
+                if round_1sig(lambda) != lambda {
+                    v.push(EventSpec::TriggeredErlang {
+                        phases,
+                        lambda: round_1sig(lambda),
+                        mu,
+                    });
+                }
+                v
+            }
+        };
+        for s in simpler {
+            let mut c = spec.clone();
+            c.events[i] = s;
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// Shrink `spec` while check `check` keeps failing, spending at most
+/// `max_attempts` re-checks. Returns the smallest failing spec found
+/// (possibly the input itself).
+#[must_use]
+pub fn shrink(spec: &TreeSpec, cfg: &CheckConfig, check: &str, max_attempts: usize) -> TreeSpec {
+    let mut current = spec.clone();
+    let mut attempts = 0;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            if cand.build().is_err() {
+                continue;
+            }
+            attempts += 1;
+            if fails_same(&cand, cfg, check) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    if let Some(compact) = current.compacted() {
+        if compact.build().is_ok() && fails_same(&compact, cfg, check) {
+            current = compact;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_seeded, GeneratorConfig};
+
+    #[test]
+    fn round_1sig_rounds() {
+        assert!((round_1sig(0.037_281) - 0.04).abs() < 1e-12);
+        assert!((round_1sig(123.4) - 100.0).abs() < 1e-9);
+        assert_eq!(round_1sig(0.0), 0.0);
+    }
+
+    #[test]
+    fn shrink_preserves_an_artificial_failure() {
+        // "frequency_finite" cannot actually fail, so fabricate a check
+        // that always fails by shrinking against a check name that the
+        // harness reports for *this* spec: use a tautological predicate
+        // through fails_same on a real failing name is impossible here,
+        // so instead verify that shrinking against a never-failing name
+        // returns the input unchanged.
+        let spec = generate_seeded(&GeneratorConfig::small(), 7);
+        let cfg = CheckConfig {
+            sim_samples: 0,
+            metamorphic: false,
+            check_cache_consistency: false,
+            ..CheckConfig::default()
+        };
+        let shrunk = shrink(&spec, &cfg, "never_fails", 10);
+        assert_eq!(shrunk, spec);
+    }
+
+    #[test]
+    fn candidates_shrink_structure() {
+        let spec = generate_seeded(&GeneratorConfig::medium(), 3);
+        let cands = candidates(&spec);
+        assert!(!cands.is_empty());
+        // Every candidate either loses structure or simplifies a value.
+        for c in &cands {
+            assert!(c.num_nodes() <= spec.num_nodes(), "candidate grew: {c:?}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A mutable, index-based description of an SD fault tree.
+//!
+//! [`FaultTree`] is immutable by design; the oracle needs to *mutate*
+//! trees — the generator grows them, monotone perturbations tweak one
+//! rate, the shrinker deletes structure. [`TreeSpec`] is the mutable
+//! form: events and gates in flat vectors, gate inputs as indices into
+//! the combined node list (events first, then gates in creation order).
+//! [`TreeSpec::build`] materializes it through [`FaultTreeBuilder`], so
+//! every validity rule of the builder (acyclic triggering, triggered
+//! events having exactly one trigger, …) applies to specs for free: an
+//! invalid mutation simply fails to build and is discarded.
+
+use sdft_ctmc::erlang;
+use sdft_ft::{format, FaultTree, FaultTreeBuilder, FtError, GateKind, NodeId};
+
+/// Failure behaviour of one basic event in a [`TreeSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventSpec {
+    /// Static event with a fixed failure probability.
+    Static {
+        /// Probability of failure, in `[0, 1]`.
+        probability: f64,
+    },
+    /// Always-on Erlang degradation with optional repair
+    /// ([`erlang::repairable`]).
+    Dynamic {
+        /// Degradation phases (`k ≥ 1`).
+        phases: usize,
+        /// Per-phase failure rate.
+        lambda: f64,
+        /// Repair rate (`0` disables repair).
+        mu: f64,
+    },
+    /// Cold spare: off until triggered, then exponential failure with
+    /// repair ([`erlang::spare`]). Requires a trigger edge.
+    Spare {
+        /// Failure rate while on.
+        lambda: f64,
+        /// Repair rate.
+        mu: f64,
+    },
+    /// Triggered Erlang degradation ([`erlang::triggered`]). Requires a
+    /// trigger edge.
+    TriggeredErlang {
+        /// Degradation phases (`k ≥ 1`).
+        phases: usize,
+        /// Per-phase failure rate while on.
+        lambda: f64,
+        /// Repair rate.
+        mu: f64,
+    },
+}
+
+impl EventSpec {
+    /// Whether this event kind requires a trigger edge.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        matches!(
+            self,
+            EventSpec::Spare { .. } | EventSpec::TriggeredErlang { .. }
+        )
+    }
+
+    /// Whether this event is dynamic (plain or triggered).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, EventSpec::Static { .. })
+    }
+
+    /// The closest untriggered equivalent, used when a shrink step drops
+    /// this event's trigger edge.
+    #[must_use]
+    pub fn untriggered(&self) -> EventSpec {
+        match *self {
+            EventSpec::Spare { lambda, mu } => EventSpec::Dynamic {
+                phases: 1,
+                lambda,
+                mu,
+            },
+            EventSpec::TriggeredErlang { phases, lambda, mu } => {
+                EventSpec::Dynamic { phases, lambda, mu }
+            }
+            other => other,
+        }
+    }
+}
+
+/// One gate of a [`TreeSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateSpec {
+    /// Logical type of the gate.
+    pub kind: GateKind,
+    /// Inputs as node references: event `i` is node `i`, gate `g` is
+    /// node `events.len() + g`. A gate may only reference events and
+    /// *earlier* gates.
+    pub inputs: Vec<usize>,
+}
+
+/// A mutable description of an SD fault tree (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSpec {
+    /// Basic events; event `i` is named `e{i}`.
+    pub events: Vec<EventSpec>,
+    /// Gates in creation order; gate `g` is named `g{g}` and is node
+    /// `events.len() + g`.
+    pub gates: Vec<GateSpec>,
+    /// Trigger edges `(gate index, event index)`; every triggered-kind
+    /// event must appear exactly once.
+    pub triggers: Vec<(usize, usize)>,
+    /// Node reference of the top gate.
+    pub top: usize,
+}
+
+impl TreeSpec {
+    /// Total number of nodes (events + gates).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.events.len() + self.gates.len()
+    }
+
+    /// The node reference of gate `g`.
+    #[must_use]
+    pub fn gate_ref(&self, g: usize) -> usize {
+        self.events.len() + g
+    }
+
+    /// Materialize the spec into a validated [`FaultTree`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`FtError`] the builder raises — specs produced by
+    /// the generator always build; mutated specs may legitimately fail
+    /// (e.g. a hoist created cyclic triggering) and callers discard
+    /// such candidates.
+    pub fn build(&self) -> Result<FaultTree, FtError> {
+        let mut b = FaultTreeBuilder::new();
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.num_nodes());
+        for (i, event) in self.events.iter().enumerate() {
+            let name = format!("e{i}");
+            let id = match *event {
+                EventSpec::Static { probability } => b.static_event(&name, probability)?,
+                EventSpec::Dynamic { phases, lambda, mu } => {
+                    b.dynamic_event(&name, erlang::repairable(phases, lambda, mu)?)?
+                }
+                EventSpec::Spare { lambda, mu } => {
+                    b.triggered_event(&name, erlang::spare(lambda, mu)?)?
+                }
+                EventSpec::TriggeredErlang { phases, lambda, mu } => {
+                    b.triggered_event(&name, erlang::triggered(phases, lambda, mu)?)?
+                }
+            };
+            ids.push(id);
+        }
+        for (g, gate) in self.gates.iter().enumerate() {
+            let this = self.gate_ref(g);
+            let inputs: Result<Vec<NodeId>, FtError> = gate
+                .inputs
+                .iter()
+                .map(|&r| {
+                    if r < this && r < ids.len() {
+                        Ok(ids[r])
+                    } else {
+                        Err(FtError::UnknownName {
+                            name: format!("node #{r} referenced by gate g{g}"),
+                        })
+                    }
+                })
+                .collect();
+            ids.push(b.gate(&format!("g{g}"), gate.kind, inputs?)?);
+        }
+        for &(g, e) in &self.triggers {
+            b.trigger(ids[self.gate_ref(g)], ids[e])?;
+        }
+        let top = *ids.get(self.top).ok_or(FtError::MissingTop)?;
+        b.top(top);
+        b.build()
+    }
+
+    /// Serialize the spec in the `sdft-ft` text format (the replayable
+    /// counterexample format committed under `tests/corpus/`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec does not build.
+    pub fn to_ft_text(&self) -> Result<String, FtError> {
+        Ok(format::to_string(&self.build()?))
+    }
+
+    /// Drop nodes unreachable from the top gate and from the trigger
+    /// sources of reachable triggered events, remapping all references.
+    ///
+    /// Returns `None` when nothing was removed.
+    #[must_use]
+    pub fn compacted(&self) -> Option<TreeSpec> {
+        let ne = self.events.len();
+        let mut live = vec![false; self.num_nodes()];
+        let mut stack = vec![self.top];
+        while let Some(n) = stack.pop() {
+            if live[n] {
+                continue;
+            }
+            live[n] = true;
+            if n >= ne {
+                stack.extend(self.gates[n - ne].inputs.iter().copied());
+            } else if self.events[n].is_triggered() {
+                // Keep the trigger source alive: the event's behaviour
+                // depends on its whole subtree.
+                for &(g, e) in &self.triggers {
+                    if e == n {
+                        stack.push(self.gate_ref(g));
+                    }
+                }
+            }
+        }
+        if live.iter().all(|&l| l) {
+            return None;
+        }
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        let mut events = Vec::new();
+        for (i, event) in self.events.iter().enumerate() {
+            if live[i] {
+                remap[i] = events.len();
+                events.push(*event);
+            }
+        }
+        let live_events = events.len();
+        let mut gates = Vec::new();
+        for (g, gate) in self.gates.iter().enumerate() {
+            if live[ne + g] {
+                remap[ne + g] = live_events + gates.len();
+                gates.push(GateSpec {
+                    kind: gate.kind,
+                    inputs: gate.inputs.iter().map(|&r| remap[r]).collect(),
+                });
+            }
+        }
+        let triggers = self
+            .triggers
+            .iter()
+            .filter(|&&(g, e)| live[ne + g] && live[e])
+            .map(|&(g, e)| (remap[ne + g] - live_events, remap[e]))
+            .collect();
+        Some(TreeSpec {
+            events,
+            gates,
+            triggers,
+            top: remap[self.top],
+        })
+    }
+}

@@ -1,0 +1,89 @@
+//! Generator-driven coverage for the §V-A structure validator: trees
+//! from the `violating` preset that contain a general-case triggering
+//! gate must be rejected by `validate_trigger_structure` with the
+//! precise [`CoreError::TriggerStructure`] variant, and accepted trees
+//! must genuinely contain no gate above the allowed class.
+
+use sdft_core::{
+    classify_gate, classify_triggering_gates, validate_trigger_structure, CoreError, TriggerClass,
+};
+use sdft_oracle::{generate_seeded, GeneratorConfig};
+
+#[test]
+fn violating_trees_are_rejected_with_the_precise_variant() {
+    let cfg = GeneratorConfig::violating();
+    let mut rejected = 0;
+    let mut accepted = 0;
+    for seed in 0..120u64 {
+        let spec = generate_seeded(&cfg, 0xC1A5_5000 ^ seed.wrapping_mul(0x9E37_79B9));
+        let tree = spec.build().expect("generated specs build");
+        let classes = classify_triggering_gates(&tree);
+        let worst = classes.values().copied().max();
+        match validate_trigger_structure(&tree, TriggerClass::StaticJoins) {
+            Ok(()) => {
+                accepted += 1;
+                assert!(
+                    worst.is_none_or(|w| w <= TriggerClass::StaticJoins),
+                    "validator accepted a tree with a {worst:?} gate"
+                );
+            }
+            Err(CoreError::TriggerStructure {
+                gate,
+                class,
+                allowed,
+            }) => {
+                rejected += 1;
+                assert_eq!(allowed, TriggerClass::StaticJoins);
+                assert_eq!(
+                    class,
+                    TriggerClass::General,
+                    "only General exceeds StaticJoins"
+                );
+                assert_eq!(worst, Some(TriggerClass::General));
+                // The named gate really is a triggering gate of that class.
+                let id = tree.node_by_name(&gate).expect("offender exists");
+                assert!(!tree.triggers_of(id).is_empty(), "{gate} triggers nothing");
+                assert_eq!(classify_gate(&tree, id), TriggerClass::General);
+            }
+            Err(other) => panic!("unexpected error variant: {other}"),
+        }
+    }
+    // The preset must actually exercise the rejection path (and the
+    // generator still produces some acceptable trees for contrast).
+    assert!(
+        rejected >= 20,
+        "only {rejected}/120 violating trees rejected"
+    );
+    assert!(accepted >= 5, "only {accepted}/120 trees accepted");
+}
+
+#[test]
+fn strictest_policy_rejects_anything_beyond_static_branching() {
+    let cfg = GeneratorConfig::violating();
+    for seed in 0..40u64 {
+        let spec = generate_seeded(&cfg, 0xFACE ^ seed.wrapping_mul(0x5851_F42D));
+        let tree = spec.build().expect("generated specs build");
+        let worst = classify_triggering_gates(&tree).values().copied().max();
+        let verdict = validate_trigger_structure(&tree, TriggerClass::StaticBranching);
+        match worst {
+            None | Some(TriggerClass::StaticBranching) => assert_eq!(verdict, Ok(())),
+            Some(class) => {
+                let err = verdict.expect_err("gate above StaticBranching must be rejected");
+                let CoreError::TriggerStructure {
+                    class: reported,
+                    allowed,
+                    ..
+                } = err
+                else {
+                    panic!("unexpected error variant");
+                };
+                assert_eq!(allowed, TriggerClass::StaticBranching);
+                assert!(reported > TriggerClass::StaticBranching);
+                // The first offender in tree order need not be the worst
+                // gate, but it is always above the policy; the worst gate
+                // bounds it from above.
+                assert!(reported <= class.max(reported));
+            }
+        }
+    }
+}

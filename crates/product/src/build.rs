@@ -1,7 +1,7 @@
 use crate::error::ProductError;
 use sdft_ctmc::{Ctmc, CtmcBuilder, Mode};
 use sdft_ft::{Behavior, FaultTree, NodeId, Scenario};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Options for product chain construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -469,7 +469,13 @@ impl<'a> Builder<'a> {
 
     fn run(self, options: &ProductOptions) -> Result<ProductChain, ProductError> {
         // Enumerate the support of the initial product distribution.
-        let mut initial: HashMap<Vec<u16>, f64> = HashMap::new();
+        // Ordered map: its iteration order below seeds the state
+        // indexing, so it must not depend on per-instance hash seeds —
+        // state order decides float summation order throughout the
+        // transient analysis, and bitwise reproducibility across runs
+        // (and across the quantification cache's on/off paths) hangs on
+        // it.
+        let mut initial: BTreeMap<Vec<u16>, f64> = BTreeMap::new();
         let mut partial: Vec<(Vec<u16>, f64)> = vec![(Vec::new(), 1.0)];
         for comp in &self.components {
             let mut next = Vec::new();
@@ -608,6 +614,35 @@ mod tests {
         b.trigger(p1, d).unwrap();
         b.top(top);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn repeated_builds_are_bitwise_deterministic() {
+        // Several static events give the initial product distribution a
+        // multi-state support; its enumeration order seeds the state
+        // indexing and thus every float summation downstream. A hash-map
+        // ordering here once made two builds of the *same* tree disagree
+        // in the last ulp across processes.
+        let mut b = FaultTreeBuilder::new();
+        let s1 = b.static_event("s1", 0.3).unwrap();
+        let s2 = b.static_event("s2", 0.2).unwrap();
+        let s3 = b.static_event("s3", 0.4).unwrap();
+        let x = b
+            .dynamic_event("x", erlang::repairable(1, 0.02, 0.1).unwrap())
+            .unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(0.05, 0.0).unwrap())
+            .unwrap();
+        let trig = b.or("trig", [s1, s2, x]).unwrap();
+        let g = b.and("g", [s3, x, d]).unwrap();
+        b.trigger(trig, d).unwrap();
+        b.top(g);
+        let tree = b.build().unwrap();
+        let p0 = failure_probability(&tree, 12.0, &ProductOptions::default()).unwrap();
+        for _ in 0..8 {
+            let p = failure_probability(&tree, 12.0, &ProductOptions::default()).unwrap();
+            assert_eq!(p.to_bits(), p0.to_bits(), "{p} vs {p0}");
+        }
     }
 
     #[test]

@@ -119,6 +119,9 @@ pub enum SimError {
         /// The offending horizon.
         horizon: f64,
     },
+    /// `samples == 0`: a campaign with no runs has no estimate, and
+    /// silently returning `0/0` would masquerade as "never fails".
+    NoSamples,
     /// Trigger updates failed to converge (internal invariant violation).
     UpdateDiverged,
 }
@@ -128,6 +131,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidHorizon { horizon } => {
                 write!(f, "invalid simulation horizon {horizon}")
+            }
+            SimError::NoSamples => {
+                write!(f, "simulation requires at least one sample")
             }
             SimError::UpdateDiverged => {
                 write!(f, "trigger updates did not reach a consistent state")
@@ -155,7 +161,8 @@ struct Component {
 ///
 /// # Errors
 ///
-/// Returns an error if the horizon is negative or not finite.
+/// Returns an error if the horizon is negative or not finite, or if
+/// `samples == 0`.
 pub fn simulate_parallel(
     tree: &FaultTree,
     options: &SimOptions,
@@ -166,6 +173,10 @@ pub fn simulate_parallel(
     } else {
         threads
     };
+    // Never spawn more workers than there are samples: a worker with an
+    // empty share would otherwise hit `NoSamples` and fail the whole
+    // campaign (this also validates `samples == 0` up front).
+    let threads = threads.min(options.samples);
     if threads <= 1 {
         return simulate(tree, options);
     }
@@ -204,12 +215,16 @@ pub fn simulate_parallel(
 ///
 /// # Errors
 ///
-/// Returns an error if the horizon is negative or not finite.
+/// Returns an error if the horizon is negative or not finite, or if
+/// `samples == 0`.
 pub fn simulate(tree: &FaultTree, options: &SimOptions) -> Result<SimResult, SimError> {
     if !options.horizon.is_finite() || options.horizon < 0.0 {
         return Err(SimError::InvalidHorizon {
             horizon: options.horizon,
         });
+    }
+    if options.samples == 0 {
+        return Err(SimError::NoSamples);
     }
     let components: Vec<Component> = tree
         .basic_events()
@@ -512,6 +527,34 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_samples() {
+        let t = example3();
+        let opts = SimOptions {
+            samples: 0,
+            horizon: 24.0,
+            seed: 1,
+        };
+        assert_eq!(simulate(&t, &opts), Err(SimError::NoSamples));
+        assert_eq!(simulate_parallel(&t, &opts, 4), Err(SimError::NoSamples));
+        assert_eq!(simulate_parallel(&t, &opts, 0), Err(SimError::NoSamples));
+    }
+
+    #[test]
+    fn infinite_horizon_is_rejected() {
+        let t = example3();
+        let result = simulate(
+            &t,
+            &SimOptions {
+                horizon: f64::INFINITY,
+                ..SimOptions::default()
+            },
+        );
+        assert!(
+            matches!(result, Err(SimError::InvalidHorizon { horizon }) if horizon.is_infinite())
+        );
+    }
+
+    #[test]
     fn wilson_interval_sane() {
         let r = SimResult {
             failures: 0,
@@ -580,6 +623,18 @@ mod parallel_tests {
             simulate_parallel(&t, &opts, 1).unwrap(),
             simulate(&t, &opts).unwrap()
         );
+    }
+
+    #[test]
+    fn more_threads_than_samples_still_runs_every_sample() {
+        let t = model();
+        let opts = SimOptions {
+            samples: 3,
+            horizon: 24.0,
+            seed: 7,
+        };
+        let r = simulate_parallel(&t, &opts, 16).unwrap();
+        assert_eq!(r.samples, 3);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`product`] — the exact product-chain semantics of SD trees,
 //! * [`sim`] — Monte-Carlo simulation of the SD semantics,
 //! * [`core`] — the paper's scalable analysis pipeline,
+//! * [`oracle`] — a differential testing harness cross-checking the
+//!   engines above on randomly generated SD trees,
 //! * [`importance`] — Fussell–Vesely / Birnbaum / RAW / RRW measures,
 //! * [`models`] — the paper's example models and an industrial-scale
 //!   generator.
@@ -52,5 +54,6 @@ pub use sdft_ft as ft;
 pub use sdft_importance as importance;
 pub use sdft_mocus as mocus;
 pub use sdft_models as models;
+pub use sdft_oracle as oracle;
 pub use sdft_product as product;
 pub use sdft_sim as sim;

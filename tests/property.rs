@@ -53,6 +53,84 @@ fn build_tree(spec: &TreeSpec) -> FaultTree {
     b.build().expect("spec produces a valid tree")
 }
 
+/// Shared body of `transforms_preserve_the_function`, callable both
+/// from the property test and from the explicit regression replays
+/// below (plain asserts so it works outside a `proptest!` block).
+fn check_transforms_preserve_the_function(spec: &TreeSpec, mask: u16) {
+    use sdft::ft::transform::{expand_atleast, restrict, simplify, Restriction};
+    use std::collections::HashMap;
+
+    let tree = build_tree(spec);
+    let events: Vec<NodeId> = tree.basic_events().collect();
+    let simplified = simplify(&tree).unwrap();
+    let expanded = expand_atleast(&tree, 100_000).unwrap();
+    assert!(simplified.num_gates() <= tree.num_gates());
+
+    // A fixed assignment for the restriction: the low bits of `mask`
+    // decide which events are pinned, the high bits their values.
+    let mut assignment: HashMap<NodeId, bool> = HashMap::new();
+    for (i, &e) in events.iter().enumerate() {
+        if mask >> i & 1 == 1 {
+            assignment.insert(e, mask >> (i + 8) & 1 == 1);
+        }
+    }
+    let restricted = restrict(&tree, &assignment).unwrap();
+
+    for scenario_mask in 0u32..(1 << events.len()) {
+        let failed_names: Vec<&str> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| scenario_mask >> i & 1 == 1)
+            .map(|(_, &e)| tree.name(e))
+            .collect();
+        let eval = |t: &sdft::ft::FaultTree| {
+            let s = Scenario::from_events(t, failed_names.iter().filter_map(|n| t.node_by_name(n)));
+            t.fails(t.top(), &s)
+        };
+        let original = eval(&tree);
+        assert_eq!(eval(&simplified), original, "simplify changed the function");
+        assert_eq!(eval(&expanded), original, "expansion changed the function");
+
+        // Restriction: only compare on scenarios consistent with the
+        // assignment.
+        let consistent = assignment.iter().all(|(&e, &v)| {
+            let idx = events.iter().position(|&x| x == e).unwrap();
+            (scenario_mask >> idx & 1 == 1) == v
+        });
+        if consistent {
+            match &restricted {
+                Restriction::Constant(c) => assert_eq!(*c, original),
+                Restriction::Tree { tree: r, .. } => {
+                    assert_eq!(eval(r), original, "restriction changed the function");
+                }
+            }
+        }
+    }
+}
+
+/// The two counterexamples recorded in
+/// `tests/property.proptest-regressions`, reconstructed explicitly so
+/// they keep running even if the seed-replay format changes. Both
+/// once exposed bugs in `simplify` (single-input gate collapse and
+/// at-least rewriting under deduplicated inputs).
+#[test]
+fn recorded_transform_regressions_replay() {
+    check_transforms_preserve_the_function(
+        &TreeSpec {
+            probs: vec![0.0; 5],
+            gates: vec![(0, vec![27])],
+        },
+        19432,
+    );
+    check_transforms_preserve_the_function(
+        &TreeSpec {
+            probs: vec![0.0, 0.0],
+            gates: vec![(0, vec![0]), (2, vec![8, 5, 33])],
+        },
+        0,
+    );
+}
+
 /// Brute-force minimal cutsets by scenario enumeration.
 fn brute_force_mcs(tree: &FaultTree) -> Vec<Cutset> {
     let events: Vec<NodeId> = tree.basic_events().collect();
@@ -231,58 +309,7 @@ proptest! {
     /// restriction under the substituted assignment.
     #[test]
     fn transforms_preserve_the_function(spec in arb_tree_spec(), mask in any::<u16>()) {
-        use sdft::ft::transform::{expand_atleast, restrict, simplify, Restriction};
-        use std::collections::HashMap;
-
-        let tree = build_tree(&spec);
-        let events: Vec<NodeId> = tree.basic_events().collect();
-        let simplified = simplify(&tree).unwrap();
-        let expanded = expand_atleast(&tree, 100_000).unwrap();
-        prop_assert!(simplified.num_gates() <= tree.num_gates());
-
-        // A fixed assignment for the restriction: the low bits of `mask`
-        // decide which events are pinned, the high bits their values.
-        let mut assignment: HashMap<NodeId, bool> = HashMap::new();
-        for (i, &e) in events.iter().enumerate() {
-            if mask >> i & 1 == 1 {
-                assignment.insert(e, mask >> (i + 8) & 1 == 1);
-            }
-        }
-        let restricted = restrict(&tree, &assignment).unwrap();
-
-        for scenario_mask in 0u32..(1 << events.len()) {
-            let failed_names: Vec<&str> = events
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| scenario_mask >> i & 1 == 1)
-                .map(|(_, &e)| tree.name(e))
-                .collect();
-            let eval = |t: &sdft::ft::FaultTree| {
-                let s = Scenario::from_events(
-                    t,
-                    failed_names.iter().filter_map(|n| t.node_by_name(n)),
-                );
-                t.fails(t.top(), &s)
-            };
-            let original = eval(&tree);
-            prop_assert_eq!(eval(&simplified), original, "simplify changed the function");
-            prop_assert_eq!(eval(&expanded), original, "expansion changed the function");
-
-            // Restriction: only compare on scenarios consistent with the
-            // assignment.
-            let consistent = assignment.iter().all(|(&e, &v)| {
-                let idx = events.iter().position(|&x| x == e).unwrap();
-                (scenario_mask >> idx & 1 == 1) == v
-            });
-            if consistent {
-                match &restricted {
-                    Restriction::Constant(c) => prop_assert_eq!(*c, original),
-                    Restriction::Tree { tree: r, .. } => {
-                        prop_assert_eq!(eval(r), original, "restriction changed the function");
-                    }
-                }
-            }
-        }
+        check_transforms_preserve_the_function(&spec, mask);
     }
 
     /// The text format round-trips random SD fault trees.

@@ -3,9 +3,12 @@
 //! trait with `prop_map`, range / tuple / collection / sample / string
 //! strategies, [`arbitrary::any`], and the `prop_assert*` macros.
 //!
-//! Cases are generated from a deterministic seeded stream (no failure
-//! persistence or shrinking); assertions are plain panics, which the
-//! harness reports like any failing test.
+//! Cases are generated from a deterministic seeded stream; assertions
+//! are plain panics, which the harness reports like any failing test.
+//! Seeds recorded in a sibling `.proptest-regressions` file (upstream's
+//! `cc <hex>` persistence format) are replayed *before* the random
+//! cases, so committed failure seeds keep running in CI. There is no
+//! shrinking and no automatic persistence of new failures.
 
 pub mod test_runner {
     /// Per-test configuration; only `cases` is interpreted.
@@ -60,6 +63,25 @@ pub mod test_runner {
             TestRng { s }
         }
 
+        /// A generator resuming from an explicit xoshiro256++ state, as
+        /// recorded in a `.proptest-regressions` file. The all-zero
+        /// state (a fixed point of the generator) is nudged to a fixed
+        /// nonzero one.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                let mut state = 0x5EED;
+                let s = [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ];
+                return TestRng { s };
+            }
+            TestRng { s }
+        }
+
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
@@ -82,6 +104,47 @@ pub mod test_runner {
         pub fn below(&mut self, bound: u64) -> u64 {
             self.next_u64() % bound
         }
+    }
+
+    /// Seeds recorded for the test source file `source_file` (as given
+    /// by `file!()`): reads the sibling `<stem>.proptest-regressions`
+    /// file in upstream's persistence format and returns every `cc`
+    /// entry's RNG state. Missing or unreadable files yield no seeds —
+    /// replay is strictly additive.
+    #[must_use]
+    pub fn load_regressions(source_file: &str) -> Vec<[u64; 4]> {
+        let path = match source_file.strip_suffix(".rs") {
+            Some(stem) => format!("{stem}.proptest-regressions"),
+            None => return Vec::new(),
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => parse_regression_seeds(&text),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Parse upstream's `.proptest-regressions` body: lines of
+    /// `cc <64 hex digits> # comment`; everything else is ignored.
+    #[must_use]
+    pub fn parse_regression_seeds(text: &str) -> Vec<[u64; 4]> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let mut tokens = line.split_whitespace();
+            if tokens.next() != Some("cc") {
+                continue;
+            }
+            let Some(hex) = tokens.next() else { continue };
+            if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                continue;
+            }
+            let mut seed = [0u64; 4];
+            for (i, word) in seed.iter_mut().enumerate() {
+                *word = u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16)
+                    .expect("validated hex digits");
+            }
+            out.push(seed);
+        }
+        out
     }
 }
 
@@ -402,6 +465,16 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                // Replay recorded failure seeds before the random cases,
+                // so committed `.proptest-regressions` entries keep
+                // running in CI.
+                for seed in $crate::test_runner::load_regressions(file!()) {
+                    let mut rng = $crate::test_runner::TestRng::from_state(seed);
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+
+                    );
+                    $body
+                }
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
                 for _ in 0..config.cases {
                     let ($($pat,)+) = (
@@ -480,6 +553,30 @@ mod tests {
             prop_assert!((1..=10).contains(&n), "bad length {}", n);
             prop_assert!(!line.contains('\n'));
         }
+    }
+
+    #[test]
+    fn regression_seeds_parse_from_persistence_format() {
+        let text = "\
+# Seeds for failure cases proptest has generated.
+# shorter comment lines
+cc b1fc6667ab180ba82b40c5f1270a00c32f9343f5ae3e96f6f6ff517f0168e9a8 # shrinks to x = 1
+cc deadbeef # too short, ignored
+not a cc line
+cc b993b038210ced1ff0730722d08c7eca7951b07788e28756f912dbd25ae43807
+";
+        let seeds = crate::test_runner::parse_regression_seeds(text);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0][0], 0xb1fc_6667_ab18_0ba8);
+        assert_eq!(seeds[0][3], 0xf6ff_517f_0168_e9a8);
+        assert_eq!(seeds[1][0], 0xb993_b038_210c_ed1f);
+        // Replayed streams are deterministic functions of the seed.
+        let mut a = crate::test_runner::TestRng::from_state(seeds[0]);
+        let mut b = crate::test_runner::TestRng::from_state(seeds[0]);
+        assert_eq!(a.next_u64(), b.next_u64());
+        // The all-zero state is nudged off the generator's fixed point.
+        let mut z = crate::test_runner::TestRng::from_state([0; 4]);
+        assert_ne!(z.next_u64(), 0);
     }
 
     #[test]
