@@ -1,0 +1,166 @@
+//! Bench smoke: compare the batch analysis path against the streaming
+//! engine on the 30%-dynamic industrial model 1 (the X1 preset) at the
+//! default `1e-15` cutoff and the deep `1e-18` cutoff, and write
+//! machine-readable numbers to a JSON file (default `BENCH_engine.json`)
+//! so CI can track wall-clock and peak cutset residency across commits.
+//!
+//! Each preset runs three ways — batch single-threaded, streaming
+//! single-threaded, streaming on all cores — and the streamed results
+//! must be bitwise identical to the batch results (same frequency bits,
+//! same cutset list, same schedule-independent counters).
+//!
+//! ```text
+//! engine_smoke [output.json] [--scale X]
+//! ```
+
+use sdft_core::{analyze, AnalysisOptions, AnalysisResult};
+use sdft_ft::{EventProbabilities, FaultTree};
+use sdft_importance::fussell_vesely_ranking;
+use sdft_mocus::{minimal_cutsets, MocusOptions};
+use sdft_models::annotate::{annotate, AnnotationConfig};
+use sdft_models::industrial;
+use std::time::Instant;
+
+struct Run {
+    seconds: f64,
+    result: AnalysisResult,
+}
+
+fn run(tree: &FaultTree, cutoff: f64, streaming: bool, threads: usize) -> Run {
+    let mut options = AnalysisOptions::new(24.0);
+    options.mocus = MocusOptions::with_cutoff(cutoff);
+    options.mocus.threads = threads;
+    options.threads = threads;
+    options.streaming = streaming;
+    let begin = Instant::now();
+    let result = analyze(tree, &options).expect("analysis");
+    Run {
+        seconds: begin.elapsed().as_secs_f64(),
+        result,
+    }
+}
+
+fn assert_bitwise(batch: &AnalysisResult, stream: &AnalysisResult, label: &str) {
+    assert_eq!(
+        batch.frequency.to_bits(),
+        stream.frequency.to_bits(),
+        "{label}: frequency must be bitwise identical"
+    );
+    assert_eq!(
+        batch.static_rea.to_bits(),
+        stream.static_rea.to_bits(),
+        "{label}: static REA must be bitwise identical"
+    );
+    assert_eq!(
+        batch.cutsets.len(),
+        stream.cutsets.len(),
+        "{label}: cutset count must match"
+    );
+    for (b, s) in batch.cutsets.iter().zip(&stream.cutsets) {
+        assert_eq!(b.cutset, s.cutset, "{label}: cutset order must match");
+        assert_eq!(
+            b.probability.to_bits(),
+            s.probability.to_bits(),
+            "{label}: per-cutset probability must be bitwise identical"
+        );
+    }
+    assert_eq!(
+        batch.stats.clone().deterministic(),
+        stream.stats.clone().deterministic(),
+        "{label}: schedule-independent counters must match"
+    );
+}
+
+fn preset_json(name: &str, cutoff: f64, batch: &Run, stream1: &Run, streamn: &Run) -> String {
+    let peaks = |r: &Run| {
+        format!(
+            "\"peak_pending_cutsets\": {}, \"peak_inflight_models\": {}, \
+             \"peak_candidate_bytes\": {}",
+            r.result.stats.peak_pending_cutsets,
+            r.result.stats.peak_inflight_models,
+            r.result.stats.mocus_peak_candidate_bytes,
+        )
+    };
+    format!(
+        "  {{\n    \
+         \"preset\": \"{name}\",\n    \
+         \"cutoff\": {cutoff:e},\n    \
+         \"cutsets\": {},\n    \
+         \"frequency\": {:e},\n    \
+         \"batch\": {{ \"seconds\": {:.6}, {} }},\n    \
+         \"stream_1_thread\": {{ \"seconds\": {:.6}, {}, \"overlap_seconds\": {:.6} }},\n    \
+         \"stream_all_cores\": {{ \"seconds\": {:.6}, {}, \"overlap_seconds\": {:.6}, \
+         \"speedup_vs_batch\": {:.3} }}\n  }}",
+        batch.result.stats.num_cutsets,
+        batch.result.frequency,
+        batch.seconds,
+        peaks(batch),
+        stream1.seconds,
+        peaks(stream1),
+        stream1.result.timings.stream_overlap.as_secs_f64(),
+        streamn.seconds,
+        peaks(streamn),
+        streamn.result.timings.stream_overlap.as_secs_f64(),
+        batch.seconds / streamn.seconds.max(1e-12),
+    )
+}
+
+fn main() {
+    let mut output = "BENCH_engine.json".to_owned();
+    let mut scale = 0.15;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--scale" {
+            let v = iter.next().expect("--scale needs a value");
+            scale = v.parse().expect("--scale needs a number");
+        } else {
+            output = arg.clone();
+        }
+    }
+
+    // The X1 fixture: industrial model 1, 30% of basic events annotated
+    // dynamic by Fussell-Vesely rank (same construction as the cutoff
+    // sweep in the repro harness).
+    let tree = industrial::generate(&industrial::model1().scaled(scale));
+    let probs = EventProbabilities::from_static(&tree).expect("static model");
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).expect("mocus");
+    let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    let annotated =
+        annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(30.0)).expect("annotation");
+
+    let mut blocks = Vec::new();
+    let mut summaries = Vec::new();
+    for (name, cutoff) in [("x1_default_1e-15", 1e-15), ("x1_deep_1e-18", 1e-18)] {
+        let batch = run(&annotated.tree, cutoff, false, 1);
+        let stream1 = run(&annotated.tree, cutoff, true, 1);
+        let streamn = run(&annotated.tree, cutoff, true, 0);
+        assert_bitwise(&batch.result, &stream1.result, name);
+        assert_bitwise(&batch.result, &streamn.result, name);
+        summaries.push(format!(
+            "{name}: {} cutsets, batch {:.3}s (peak {} pending), stream {:.3}s / {:.3}s \
+             (peak {} pending, overlap {:.3}s)",
+            batch.result.stats.num_cutsets,
+            batch.seconds,
+            batch.result.stats.peak_pending_cutsets,
+            stream1.seconds,
+            streamn.seconds,
+            streamn.result.stats.peak_pending_cutsets,
+            streamn.result.timings.stream_overlap.as_secs_f64(),
+        ));
+        blocks.push(preset_json(name, cutoff, &batch, &stream1, &streamn));
+    }
+
+    let json = format!(
+        "{{\n  \
+         \"schema\": \"sdft-bench-engine-v1\",\n  \
+         \"model\": \"industrial model 1 @ {scale}, 30% dynamic\",\n  \
+         \"presets\": [\n{}\n]\n}}\n",
+        blocks.join(",\n"),
+    );
+    std::fs::write(&output, &json).expect("write engine timings");
+    for line in &summaries {
+        println!("engine smoke: {line}");
+    }
+    println!("engine smoke: wrote {output}");
+}

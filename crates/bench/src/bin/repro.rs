@@ -77,12 +77,13 @@ fn x1(scale: f64) {
     println!("## X1 (extension): cutoff sensitivity (model 1, 30% dynamic)");
     println!();
     println!(
-        "| cutoff | MCS | failure freq. | analysis time | partials | pruned | subsumption tests |"
+        "| cutoff | MCS | failure freq. | analysis time | partials | pruned | \
+         subsumption tests | peak pending MCS | peak candidate MB |"
     );
-    println!("|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|");
     for row in exp::cutoff_sweep(scale, &[1e-12, 1e-14, 1e-15, 1e-16, 1e-18], 24.0) {
         println!(
-            "| {:.0e} | {} | {:.4e} | {} | {} | {} | {} |",
+            "| {:.0e} | {} | {:.4e} | {} | {} | {} | {} | {} | {:.1} |",
             row.cutoff,
             row.cutsets,
             row.frequency,
@@ -90,6 +91,8 @@ fn x1(scale: f64) {
             row.partials,
             row.partials_pruned,
             row.subsumption_comparisons,
+            row.peak_pending_cutsets,
+            row.peak_candidate_bytes as f64 / 1.0e6,
         );
     }
     println!();

@@ -470,6 +470,10 @@ pub struct CutoffRow {
     pub partials_pruned: u64,
     /// Subset tests the minimization pass performed.
     pub subsumption_comparisons: u64,
+    /// Peak cutsets resident between generation and quantification.
+    pub peak_pending_cutsets: usize,
+    /// Approximate peak bytes held by resident candidate cutsets.
+    pub peak_candidate_bytes: u64,
 }
 
 /// Cutoff sensitivity on model 1 with 30% dynamic annotation: the
@@ -502,6 +506,8 @@ pub fn cutoff_sweep(scale: f64, cutoffs: &[f64], horizon: f64) -> Vec<CutoffRow>
                 partials: result.stats.mocus_partials_processed,
                 partials_pruned: result.stats.mocus_partials_pruned,
                 subsumption_comparisons: result.stats.mocus_subsumption_comparisons,
+                peak_pending_cutsets: result.stats.peak_pending_cutsets,
+                peak_candidate_bytes: result.stats.mocus_peak_candidate_bytes,
             }
         })
         .collect()

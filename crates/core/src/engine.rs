@@ -1,0 +1,581 @@
+//! The staged streaming analysis engine (DESIGN.md §7).
+//!
+//! Batch analysis materializes every MOCUS candidate, minimizes the full
+//! list, then quantifies it — peak memory is O(all candidates). The
+//! engine instead fuses the three phases into a bounded pipeline:
+//!
+//! ```text
+//! MOCUS workers ──GenMsg──▶ filter thread ──Cutset──▶ quant workers
+//!  (generator)   (bounded)  (incremental    (bounded)  (FT_C models,
+//!                 channel    subsumption     channel    shared cache,
+//!                 of≤128-    per epoch)                 pooled kernel
+//!                 batches)                              workspaces)
+//! ```
+//!
+//! Backpressure: both channels are bounded, so a slow consumer stalls
+//! the producer instead of letting candidates pile up. The watermark
+//! rule making early release sound is the generator's epoch contract
+//! ([`sdft_mocus::CandidateSink`]): an epoch's candidates can only
+//! subsume each other, and `epoch_complete` arrives after the epoch's
+//! last delivery — the filter minimizes each epoch independently and
+//! releases its surviving cutsets the moment it completes.
+//!
+//! Results are bitwise-identical to the batch path for every thread
+//! count: the candidate multiset is schedule-independent, minimal sets
+//! of a multiset are unique, per-cutset quantification is a pure
+//! function of the cutset (the [`QuantCache`] stores one canonical
+//! solution per model class regardless of which member solved it), and
+//! the final assembly re-sorts reports into the batch's canonical
+//! (order, events) cutset order before the per-horizon summation.
+
+use crate::canonical::{CacheStats, QuantCache};
+use crate::error::CoreError;
+use crate::ftc::FtcContext;
+use crate::pipeline::{quantify_cutset_at_horizons, AnalysisOptions, CutsetReport};
+use crate::quantify::{KernelUsage, QuantifyOptions};
+use crate::translate::Translated;
+use sdft_ctmc::WorkspacePool;
+use sdft_ft::{Cutset, EventProbabilities, FaultTree, IncrementalMinimizer};
+use sdft_mocus::{stream_minimal_cutsets, CandidateSink, MocusError, MocusOptions, MocusStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Generator→filter channel capacity, in delivery batches (a batch
+/// holds at most the generator's flush threshold of 128 candidates).
+const GEN_CHANNEL_BATCHES: usize = 64;
+
+/// Cutsets per filter→quantification delivery batch (one channel send
+/// and one wakeup per batch instead of per cutset).
+const QUANT_BATCH: usize = 64;
+
+/// Filter→quantification channel capacity, in batches. Together with
+/// [`QUANT_BATCH`] this bounds minimal cutsets awaiting quantification
+/// to 1024.
+const QUANT_CHANNEL_BATCHES: usize = 16;
+
+/// What the engine hands back to the pipeline: per-horizon reports in
+/// the batch path's canonical cutset order, plus per-stage statistics.
+pub(crate) struct EngineOutput {
+    /// One report vector per horizon, in canonical (order, events)
+    /// cutset order — exactly the batch path's pre-sort order.
+    pub(crate) per_horizon: Vec<Vec<CutsetReport>>,
+    pub(crate) mocus_stats: MocusStats,
+    /// Subset tests the incremental minimizers performed (the online
+    /// arrival order makes this scheduling-dependent, unlike batch).
+    pub(crate) subsumption_comparisons: u64,
+    /// Peak cutsets resident in the filter stage across all epochs.
+    pub(crate) peak_pending_cutsets: usize,
+    /// Peak models enqueued-or-quantifying downstream of the filter.
+    pub(crate) peak_inflight_models: usize,
+    pub(crate) cache_stats: CacheStats,
+    pub(crate) kernel_usage: KernelUsage,
+    /// Wall-clock span of the generation stage.
+    pub(crate) generation_span: Duration,
+    /// Wall-clock span of the quantification stage (first cutset
+    /// released to the last worker joining).
+    pub(crate) quantification_span: Duration,
+    /// Stage-seconds the generation and quantification spans overlapped
+    /// (zero in a perfectly serial run; the pipeline's win).
+    pub(crate) overlap: Duration,
+}
+
+/// A bounded MPMC channel on `Mutex` + `Condvar` (std only). `send`
+/// blocks while full (backpressure), `recv` blocks while empty;
+/// `close` ends the stream after draining, `abort` ends it immediately
+/// and discards queued items (error propagation).
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    aborted: bool,
+}
+
+impl<T> Channel<T> {
+    fn new(capacity: usize) -> Self {
+        Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+                aborted: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Returns `false` when the channel was aborted (the item is
+    /// dropped); the caller should unwind.
+    fn send(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("channel poisoned");
+        loop {
+            if state.aborted {
+                return false;
+            }
+            if state.queue.len() < self.capacity {
+                break;
+            }
+            state = self.not_full.wait(state).expect("channel poisoned");
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// `None` once the channel is closed and drained, or aborted.
+    fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("channel poisoned");
+        loop {
+            if state.aborted {
+                return None;
+            }
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("channel poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut state = self.state.lock().expect("channel poisoned");
+        state.aborted = true;
+        state.queue.clear();
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Generator-side messages: candidate batches and epoch watermarks.
+enum GenMsg {
+    Batch(u32, Vec<Cutset>),
+    EpochComplete(u32),
+}
+
+/// Adapts the generator's [`CandidateSink`] to the bounded channel; a
+/// failed send (pipeline aborted) stops generation promptly.
+struct ChannelSink<'a> {
+    channel: &'a Channel<GenMsg>,
+    candidates: &'a AtomicU64,
+}
+
+impl CandidateSink for ChannelSink<'_> {
+    fn deliver(&self, epoch: u32, batch: &mut Vec<Cutset>) -> bool {
+        self.candidates
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.channel
+            .send(GenMsg::Batch(epoch, std::mem::take(batch)))
+    }
+
+    fn epoch_complete(&self, epoch: u32) -> bool {
+        self.channel.send(GenMsg::EpochComplete(epoch))
+    }
+}
+
+struct FilterOutput {
+    comparisons: u64,
+    peak_pending: usize,
+    first_release: Option<Instant>,
+}
+
+/// Live progress counters, shared by all stages. Updated with relaxed
+/// increments whether or not a monitor is attached (batch-granular on
+/// the generator side, per-model elsewhere — unmeasurable overhead).
+#[derive(Default)]
+struct Progress {
+    candidates: AtomicU64,
+    finalized: AtomicU64,
+    quantified: AtomicU64,
+}
+
+/// First-error slot: quantification failures race, the smallest
+/// (order, events) cutset key wins so the reported error is
+/// deterministic regardless of scheduling.
+type ErrorSlot = Mutex<Option<(Cutset, CoreError)>>;
+
+fn record_error(slot: &ErrorSlot, cutset: Cutset, error: CoreError) {
+    let mut guard = slot.lock().expect("error slot poisoned");
+    let replace = match &*guard {
+        None => true,
+        Some((held, _)) => (cutset.order(), cutset.events()) < (held.order(), held.events()),
+    };
+    if replace {
+        *guard = Some((cutset, error));
+    }
+}
+
+/// The filter stage: one thread feeding per-epoch incremental
+/// minimizers and releasing each epoch's surviving cutsets (mapped back
+/// to original ids) downstream the moment its watermark arrives.
+#[allow(clippy::too_many_arguments)]
+fn filter_stage(
+    gen_rx: &Channel<GenMsg>,
+    quant_tx: &Channel<Vec<Cutset>>,
+    translated: &Translated,
+    progress: &Progress,
+    inflight: &AtomicUsize,
+    peak_inflight: &AtomicUsize,
+) -> FilterOutput {
+    let mut minimizers: HashMap<u32, IncrementalMinimizer> = HashMap::new();
+    let mut live = 0usize;
+    let mut out = FilterOutput {
+        comparisons: 0,
+        peak_pending: 0,
+        first_release: None,
+    };
+    let release = |minimizer: IncrementalMinimizer, out: &mut FilterOutput| -> bool {
+        out.comparisons += minimizer.comparisons();
+        let sorted = minimizer.into_sorted();
+        progress
+            .finalized
+            .fetch_add(sorted.len() as u64, Ordering::Relaxed);
+        if out.first_release.is_none() && !sorted.is_empty() {
+            out.first_release = Some(Instant::now());
+        }
+        let send_batch = |batch: Vec<Cutset>| -> bool {
+            let n = batch.len();
+            let now = inflight.fetch_add(n, Ordering::Relaxed) + n;
+            peak_inflight.fetch_max(now, Ordering::Relaxed);
+            if !quant_tx.send(batch) {
+                inflight.fetch_sub(n, Ordering::Relaxed);
+                return false;
+            }
+            true
+        };
+        let mut batch: Vec<Cutset> = Vec::with_capacity(QUANT_BATCH);
+        for cutset in sorted {
+            batch.push(translated.cutset_to_original(&cutset));
+            if batch.len() == QUANT_BATCH
+                && !send_batch(std::mem::replace(
+                    &mut batch,
+                    Vec::with_capacity(QUANT_BATCH),
+                ))
+            {
+                return false;
+            }
+        }
+        if !batch.is_empty() && !send_batch(batch) {
+            return false;
+        }
+        true
+    };
+    while let Some(msg) = gen_rx.recv() {
+        match msg {
+            GenMsg::Batch(epoch, cutsets) => {
+                let minimizer = minimizers.entry(epoch).or_default();
+                for cutset in cutsets {
+                    let before = minimizer.len();
+                    minimizer.offer(cutset);
+                    live = live - before + minimizer.len();
+                    out.peak_pending = out.peak_pending.max(live);
+                }
+            }
+            GenMsg::EpochComplete(epoch) => {
+                // Epochs that never delivered a candidate have no
+                // minimizer and nothing to release.
+                let Some(minimizer) = minimizers.remove(&epoch) else {
+                    continue;
+                };
+                live -= minimizer.len();
+                if !release(minimizer, &mut out) {
+                    return out;
+                }
+            }
+        }
+    }
+    // A successful generation completes every epoch before the channel
+    // closes; leftovers only exist on the abort path, where results are
+    // discarded — finalize them anyway (sorted by epoch) so the
+    // counters stay meaningful.
+    let mut rest: Vec<(u32, IncrementalMinimizer)> = minimizers.into_iter().collect();
+    rest.sort_unstable_by_key(|&(epoch, _)| epoch);
+    for (_, minimizer) in rest {
+        if !release(minimizer, &mut out) {
+            return out;
+        }
+    }
+    quant_tx.close();
+    out
+}
+
+/// One quantification worker: drain cutsets, build and solve their
+/// models against all horizons, abort the whole pipeline on error.
+#[allow(clippy::too_many_arguments)]
+fn quant_stage(
+    quant_rx: &Channel<Vec<Cutset>>,
+    gen_tx: &Channel<GenMsg>,
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    horizons: &[f64],
+    qopts: &QuantifyOptions,
+    cache: Option<&QuantCache>,
+    probs_per_horizon: &[EventProbabilities],
+    pool: &WorkspacePool,
+    progress: &Progress,
+    inflight: &AtomicUsize,
+    errors: &ErrorSlot,
+) -> (Vec<Vec<CutsetReport>>, KernelUsage) {
+    let mut workspace = pool.acquire();
+    let mut local: Vec<Vec<CutsetReport>> = Vec::new();
+    let mut usage = KernelUsage::default();
+    'drain: while let Some(batch) = quant_rx.recv() {
+        for cutset in batch {
+            let quantified = quantify_cutset_at_horizons(
+                tree,
+                ctx,
+                &cutset,
+                horizons,
+                qopts,
+                cache,
+                probs_per_horizon,
+                &mut workspace,
+            );
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            match quantified {
+                Ok((reports, u)) => {
+                    usage.stats.absorb(u.stats);
+                    usage.csr_build += u.csr_build;
+                    local.push(reports);
+                    progress.quantified.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => {
+                    record_error(errors, cutset, error);
+                    // Stall everything upstream: the generator's next
+                    // send fails, the filter's next recv/send fails.
+                    quant_rx.abort();
+                    gen_tx.abort();
+                    break 'drain;
+                }
+            }
+        }
+    }
+    pool.release(workspace);
+    (local, usage)
+}
+
+/// Run the full streaming analysis: generation on the calling thread,
+/// one filter thread, `threads` quantification workers, and (when
+/// enabled) a progress monitor — all joined before returning.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_streaming(
+    tree: &FaultTree,
+    translated: &Translated,
+    static_probs: &EventProbabilities,
+    mocus_options: &MocusOptions,
+    horizons: &[f64],
+    options: &AnalysisOptions,
+    probs_per_horizon: &[EventProbabilities],
+    ctx: &FtcContext,
+) -> Result<EngineOutput, CoreError> {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        options.threads
+    };
+    let qopts = QuantifyOptions {
+        horizon: horizons[0],
+        epsilon: options.epsilon,
+        max_states: options.max_chain_states,
+        treatment: options.treatment,
+        steady_state_detection: options.steady_state_detection,
+    };
+    let cache = options.cache.then(QuantCache::new);
+    let pool = WorkspacePool::new();
+    let gen_channel: Channel<GenMsg> = Channel::new(GEN_CHANNEL_BATCHES);
+    let quant_channel: Channel<Vec<Cutset>> = Channel::new(QUANT_CHANNEL_BATCHES);
+    let progress = Progress::default();
+    let inflight = AtomicUsize::new(0);
+    let peak_inflight = AtomicUsize::new(0);
+    let errors: ErrorSlot = Mutex::new(None);
+    let monitor_done = (Mutex::new(false), Condvar::new());
+
+    let pipeline_start = Instant::now();
+    let (gen_result, generation_span, filter_out, worker_outputs, quant_end) =
+        std::thread::scope(|scope| {
+            let filter_handle = scope.spawn(|| {
+                filter_stage(
+                    &gen_channel,
+                    &quant_channel,
+                    translated,
+                    &progress,
+                    &inflight,
+                    &peak_inflight,
+                )
+            });
+            let quant_handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        quant_stage(
+                            &quant_channel,
+                            &gen_channel,
+                            tree,
+                            ctx,
+                            horizons,
+                            &qopts,
+                            cache.as_ref(),
+                            probs_per_horizon,
+                            &pool,
+                            &progress,
+                            &inflight,
+                            &errors,
+                        )
+                    })
+                })
+                .collect();
+            if let Some(interval) = options.progress {
+                let monitor_done = &monitor_done;
+                let progress = &progress;
+                let cache = cache.as_ref();
+                scope.spawn(move || {
+                    let (lock, condvar) = monitor_done;
+                    let mut done = lock.lock().expect("monitor flag poisoned");
+                    loop {
+                        let (guard, _) = condvar
+                            .wait_timeout(done, interval)
+                            .expect("monitor flag poisoned");
+                        done = guard;
+                        if *done {
+                            break;
+                        }
+                        let stats = cache.map(QuantCache::stats).unwrap_or_default();
+                        let consultations = stats.hits + stats.misses;
+                        let rate = if consultations == 0 {
+                            0.0
+                        } else {
+                            100.0 * stats.hits as f64 / consultations as f64
+                        };
+                        eprintln!(
+                            "progress: {} candidates, {} cutsets finalized, \
+                             {} models quantified, cache hit rate {rate:.1}%",
+                            progress.candidates.load(Ordering::Relaxed),
+                            progress.finalized.load(Ordering::Relaxed),
+                            progress.quantified.load(Ordering::Relaxed),
+                        );
+                    }
+                });
+            }
+
+            // Generation runs on the calling thread (its own worker pool
+            // lives inside `stream_minimal_cutsets`).
+            let sink = ChannelSink {
+                channel: &gen_channel,
+                candidates: &progress.candidates,
+            };
+            let gen_start = Instant::now();
+            let gen_result =
+                stream_minimal_cutsets(&translated.tree, static_probs, mocus_options, &sink);
+            let generation_span = gen_start.elapsed();
+            if gen_result.is_ok() {
+                gen_channel.close();
+            } else {
+                // Real generation failure: tear the pipeline down. (On
+                // Aborted the teardown already happened downstream.)
+                gen_channel.abort();
+                quant_channel.abort();
+            }
+
+            let filter_out = filter_handle.join().expect("filter thread does not panic");
+            let worker_outputs: Vec<(Vec<Vec<CutsetReport>>, KernelUsage)> = quant_handles
+                .into_iter()
+                .map(|h| h.join().expect("quant worker does not panic"))
+                .collect();
+            let quant_end = Instant::now();
+
+            *monitor_done.0.lock().expect("monitor flag poisoned") = true;
+            monitor_done.1.notify_all();
+
+            (
+                gen_result,
+                generation_span,
+                filter_out,
+                worker_outputs,
+                quant_end,
+            )
+        });
+    let pipeline_span = pipeline_start.elapsed();
+
+    // Error priority: a real generation error (budget, invalid cutoff)
+    // outranks downstream failures; `Aborted` means the cause lives in
+    // the error slot (deterministically the smallest failing cutset).
+    let quant_error = errors
+        .into_inner()
+        .expect("error slot poisoned")
+        .map(|(_, error)| error);
+    let mocus_stats = match gen_result {
+        Ok(stats) => {
+            if let Some(error) = quant_error {
+                return Err(error);
+            }
+            stats
+        }
+        Err(MocusError::Aborted) => {
+            return Err(quant_error.unwrap_or_else(|| MocusError::Aborted.into()));
+        }
+        Err(error) => return Err(error.into()),
+    };
+
+    // Deterministic final assembly: reports arrive in scheduling order,
+    // the canonical (order, events) sort restores the batch order (the
+    // translation keeps basic-event ids monotone, so original-id order
+    // equals translated-id order).
+    let mut kernel_usage = KernelUsage::default();
+    for (_, usage) in &worker_outputs {
+        kernel_usage.stats.absorb(usage.stats);
+        kernel_usage.csr_build += usage.csr_build;
+    }
+    let mut items: Vec<Vec<CutsetReport>> = worker_outputs
+        .into_iter()
+        .flat_map(|(local, _)| local)
+        .collect();
+    items.sort_unstable_by(|a, b| {
+        let (ca, cb) = (&a[0].cutset, &b[0].cutset);
+        ca.order()
+            .cmp(&cb.order())
+            .then_with(|| ca.events().cmp(cb.events()))
+    });
+    let mut per_horizon: Vec<Vec<CutsetReport>> = (0..horizons.len())
+        .map(|_| Vec::with_capacity(items.len()))
+        .collect();
+    for reports in items {
+        debug_assert_eq!(reports.len(), horizons.len());
+        for (h, report) in reports.into_iter().enumerate() {
+            per_horizon[h].push(report);
+        }
+    }
+
+    let quantification_span = filter_out
+        .first_release
+        .map_or(Duration::ZERO, |first| quant_end.duration_since(first));
+    Ok(EngineOutput {
+        per_horizon,
+        mocus_stats,
+        subsumption_comparisons: filter_out.comparisons,
+        peak_pending_cutsets: filter_out.peak_pending,
+        peak_inflight_models: peak_inflight.into_inner(),
+        cache_stats: cache.as_ref().map(QuantCache::stats).unwrap_or_default(),
+        kernel_usage,
+        generation_span,
+        quantification_span,
+        overlap: (generation_span + quantification_span).saturating_sub(pipeline_span),
+    })
+}

@@ -54,6 +54,7 @@
 
 mod canonical;
 mod classify;
+mod engine;
 mod error;
 mod ftc;
 mod pipeline;
@@ -75,6 +76,6 @@ pub use quantify::{
     quantify_cutset, quantify_model_many, quantify_model_many_with, CacheLookup,
     CutsetQuantification, KernelUsage, QuantifyOptions,
 };
-pub use sdft_ctmc::{SolveStats, SolverOptions, SolverWorkspace};
+pub use sdft_ctmc::{SolveStats, SolverOptions, SolverWorkspace, WorkspacePool};
 pub use translate::{translate, Translated};
 pub use worstcase::{worst_case_probabilities, worst_case_probability};

@@ -38,6 +38,17 @@ pub struct AnalysisOptions {
     /// extra error per horizon when it fires — disable for bitwise
     /// compatibility with the plain Jensen iteration).
     pub steady_state_detection: bool,
+    /// Run the staged streaming engine — MOCUS generation, incremental
+    /// subsumption and quantification fused over bounded channels — so
+    /// peak cutset residency stays bounded instead of O(all candidates)
+    /// (default `true`; results are bitwise-identical to the batch path
+    /// for every thread count).
+    pub streaming: bool,
+    /// Emit a progress line to stderr at this interval while the
+    /// streaming engine runs (candidates generated, cutsets finalized,
+    /// models quantified, cache hit rate). `None` (the default) costs
+    /// nothing; ignored by the batch path.
+    pub progress: Option<Duration>,
 }
 
 impl AnalysisOptions {
@@ -53,6 +64,8 @@ impl AnalysisOptions {
             treatment: crate::TriggerTreatment::Classified,
             cache: true,
             steady_state_detection: true,
+            streaming: true,
+            progress: None,
         }
     }
 }
@@ -106,6 +119,10 @@ pub struct Timings {
     /// Wall-clock the uniformization kernel spent building its CSR
     /// forms (summed over all solved model classes).
     pub csr_build: Duration,
+    /// Stage-seconds the streaming engine's generation and
+    /// quantification spans ran concurrently (zero for the batch path,
+    /// which runs the phases strictly in sequence).
+    pub stream_overlap: Duration,
     /// End-to-end analysis time.
     pub total: Duration,
 }
@@ -156,6 +173,23 @@ pub struct AnalysisStats {
     /// MOCUS tasks claimed from the shared work queue beyond each
     /// worker's first — 0 single-threaded; varies with scheduling.
     pub mocus_stolen_tasks: u64,
+    /// Peak cutsets resident between generation and quantification: all
+    /// candidates for the batch path, the filter stage's live minimal
+    /// sets for the streaming engine (scheduling-dependent there).
+    pub peak_pending_cutsets: usize,
+    /// Peak cutset models enqueued-or-quantifying at once: the whole
+    /// list for the batch path, bounded by the engine's channel
+    /// capacity plus the worker count when streaming.
+    pub peak_inflight_models: usize,
+    /// Peak live partial cutsets inside MOCUS (scheduling-dependent).
+    pub mocus_peak_live_partials: u64,
+    /// Approximate peak bytes held by live MOCUS partials.
+    pub mocus_peak_partial_bytes: u64,
+    /// Peak candidate cutsets resident in the generator — all of them
+    /// for the batch path, only undelivered buffers when streaming.
+    pub mocus_peak_live_candidates: u64,
+    /// Approximate peak bytes held by resident candidates.
+    pub mocus_peak_candidate_bytes: u64,
 }
 
 impl AnalysisStats {
@@ -186,6 +220,25 @@ impl AnalysisStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// The same statistics with every scheduling-dependent field zeroed
+    /// — work-stealing counts, memory high-water marks, and the
+    /// subsumption comparisons (whose count depends on candidate
+    /// arrival order under the streaming engine). What remains is
+    /// identical across thread counts *and* across the streaming/batch
+    /// engines for the same analysis.
+    #[must_use]
+    pub fn deterministic(mut self) -> Self {
+        self.mocus_stolen_tasks = 0;
+        self.mocus_subsumption_comparisons = 0;
+        self.peak_pending_cutsets = 0;
+        self.peak_inflight_models = 0;
+        self.mocus_peak_live_partials = 0;
+        self.mocus_peak_partial_bytes = 0;
+        self.mocus_peak_live_candidates = 0;
+        self.mocus_peak_candidate_bytes = 0;
+        self
     }
 }
 
@@ -352,7 +405,6 @@ pub fn analyze_horizons(
     let translated = translate(tree, &probs)?;
     let translation_time = t1.elapsed();
 
-    let t2 = Instant::now();
     let static_probs = EventProbabilities::from_static(&translated.tree)?;
     // MOCUS inherits the analysis-level thread count unless the caller
     // pinned one explicitly on the MOCUS options.
@@ -360,10 +412,6 @@ pub fn analyze_horizons(
     if mocus_options.threads == 0 {
         mocus_options.threads = options.threads;
     }
-    let (mcs, mocus_stats) =
-        minimal_cutsets_with_stats(&translated.tree, &static_probs, &mocus_options)?;
-    let cutsets = translated.cutsets_to_original(&mcs);
-    let mcs_time = t2.elapsed();
 
     let ctx = FtcContext::new(tree)?;
     // Per-horizon worst-case probabilities (the REA comparator).
@@ -378,10 +426,71 @@ pub fn analyze_horizons(
         })
         .collect::<Result<_, _>>()?;
 
-    let t3 = Instant::now();
-    let (per_horizon_reports, cache_stats, kernel_usage) =
-        quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
-    let quantification_time = t3.elapsed();
+    // The generation→minimization→quantification middle, either fused
+    // (streaming engine) or phase by phase (batch). Both produce the
+    // per-horizon reports in canonical cutset order plus identical
+    // deterministic statistics.
+    let phase = if options.streaming {
+        let engine = crate::engine::run_streaming(
+            tree,
+            &translated,
+            &static_probs,
+            &mocus_options,
+            horizons,
+            options,
+            &probs_per_horizon,
+            &ctx,
+        )?;
+        PhaseOutput {
+            per_horizon_reports: engine.per_horizon,
+            cache_stats: engine.cache_stats,
+            kernel_usage: engine.kernel_usage,
+            mocus_stats: engine.mocus_stats,
+            subsumption_comparisons: engine.subsumption_comparisons,
+            peak_pending_cutsets: engine.peak_pending_cutsets,
+            peak_inflight_models: engine.peak_inflight_models,
+            mcs_time: engine.generation_span,
+            quantification_time: engine.quantification_span,
+            stream_overlap: engine.overlap,
+        }
+    } else {
+        let t2 = Instant::now();
+        let (mcs, mocus_stats) =
+            minimal_cutsets_with_stats(&translated.tree, &static_probs, &mocus_options)?;
+        let cutsets = translated.cutsets_to_original(&mcs);
+        let mcs_time = t2.elapsed();
+
+        let t3 = Instant::now();
+        let (per_horizon_reports, cache_stats, kernel_usage) =
+            quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
+        PhaseOutput {
+            subsumption_comparisons: mocus_stats.subsumption_comparisons,
+            // Batch materializes every candidate before minimizing and
+            // holds the whole minimal list through quantification.
+            peak_pending_cutsets: usize::try_from(mocus_stats.cutset_candidates)
+                .unwrap_or(usize::MAX),
+            peak_inflight_models: cutsets.len(),
+            per_horizon_reports,
+            cache_stats,
+            kernel_usage,
+            mocus_stats,
+            mcs_time,
+            quantification_time: t3.elapsed(),
+            stream_overlap: Duration::ZERO,
+        }
+    };
+    let PhaseOutput {
+        per_horizon_reports,
+        cache_stats,
+        kernel_usage,
+        mocus_stats,
+        subsumption_comparisons,
+        peak_pending_cutsets,
+        peak_inflight_models,
+        mcs_time,
+        quantification_time,
+        stream_overlap,
+    } = phase;
 
     let mut results = Vec::with_capacity(horizons.len());
     for (&horizon, reports) in horizons.iter().zip(per_horizon_reports) {
@@ -411,8 +520,14 @@ pub fn analyze_horizons(
             steady_state_solves: kernel_usage.stats.steady_state_solves,
             mocus_partials_processed: mocus_stats.partials_processed,
             mocus_partials_pruned: mocus_stats.partials_pruned,
-            mocus_subsumption_comparisons: mocus_stats.subsumption_comparisons,
+            mocus_subsumption_comparisons: subsumption_comparisons,
             mocus_stolen_tasks: mocus_stats.stolen_tasks,
+            peak_pending_cutsets,
+            peak_inflight_models,
+            mocus_peak_live_partials: mocus_stats.peak_live_partials,
+            mocus_peak_partial_bytes: mocus_stats.peak_partial_bytes,
+            mocus_peak_live_candidates: mocus_stats.peak_live_candidates,
+            mocus_peak_candidate_bytes: mocus_stats.peak_candidate_bytes,
             ..AnalysisStats::default()
         };
         for r in &cutset_reports {
@@ -436,6 +551,7 @@ pub fn analyze_horizons(
                 quantification: quantification_time,
                 quantification_saved: cache_stats.time_saved,
                 csr_build: kernel_usage.csr_build,
+                stream_overlap,
                 total: start.elapsed(),
             },
             stats,
@@ -449,6 +565,61 @@ fn bump(histogram: &mut Vec<usize>, index: usize) {
         histogram.resize(index + 1, 0);
     }
     histogram[index] += 1;
+}
+
+/// What the generation/minimization/quantification middle hands to the
+/// per-horizon assembly, identical in shape for both engines.
+struct PhaseOutput {
+    /// One report vector per horizon, in canonical cutset order.
+    per_horizon_reports: Vec<Vec<CutsetReport>>,
+    cache_stats: CacheStats,
+    kernel_usage: KernelUsage,
+    mocus_stats: sdft_mocus::MocusStats,
+    subsumption_comparisons: u64,
+    peak_pending_cutsets: usize,
+    peak_inflight_models: usize,
+    mcs_time: Duration,
+    quantification_time: Duration,
+    stream_overlap: Duration,
+}
+
+/// Quantify one cutset against every horizon: build its `FT_C` model
+/// once, solve it (through the cache when given), and expand into one
+/// [`CutsetReport`] per horizon. Pure in the cutset — shared by the
+/// batch fan-out and the streaming engine's quantification workers, and
+/// the reason both produce bitwise-identical reports.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn quantify_cutset_at_horizons(
+    tree: &FaultTree,
+    ctx: &FtcContext,
+    cutset: &Cutset,
+    horizons: &[f64],
+    qopts: &QuantifyOptions,
+    cache: Option<&QuantCache>,
+    probs_per_horizon: &[EventProbabilities],
+    workspace: &mut SolverWorkspace,
+) -> Result<(Vec<CutsetReport>, KernelUsage), CoreError> {
+    let begin = Instant::now();
+    let model = crate::ftc::build_ftc_with(tree, ctx, cutset, qopts.treatment)?;
+    let build_share = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
+    let (quantified, _, usage) =
+        crate::quantify::quantify_model_many_with(tree, &model, horizons, qopts, cache, workspace)?;
+    let reports = quantified
+        .into_iter()
+        .zip(probs_per_horizon)
+        .map(|(q, probs)| CutsetReport {
+            probability: q.probability,
+            static_probability: cutset.probability_with(|e| probs.get(e)),
+            cutset_dynamic: q.cutset_dynamic,
+            added_dynamic: q.added_dynamic,
+            added_static: q.added_static,
+            chain_states: q.chain_states,
+            used_general: q.used_general,
+            quantification_time: build_share + q.quantification_time,
+            cutset: cutset.clone(),
+        })
+        .collect();
+    Ok((reports, usage))
 }
 
 /// Quantify every cutset at every horizon, fanning the work out over a
@@ -499,33 +670,16 @@ fn quantify_all_multi(
     let quantify_one = |cutset: &Cutset,
                         workspace: &mut SolverWorkspace|
      -> Result<(Vec<CutsetReport>, KernelUsage), CoreError> {
-        let begin = Instant::now();
-        let model = crate::ftc::build_ftc_with(tree, ctx, cutset, options.treatment)?;
-        let build_share = begin.elapsed() / u32::try_from(horizons.len()).unwrap_or(1);
-        let (quantified, _, usage) = crate::quantify::quantify_model_many_with(
+        quantify_cutset_at_horizons(
             tree,
-            &model,
+            ctx,
+            cutset,
             horizons,
             &qopts,
             cache.as_ref(),
+            probs_per_horizon,
             workspace,
-        )?;
-        let reports = quantified
-            .into_iter()
-            .zip(probs_per_horizon)
-            .map(|(q, probs)| CutsetReport {
-                probability: q.probability,
-                static_probability: cutset.probability_with(|e| probs.get(e)),
-                cutset_dynamic: q.cutset_dynamic,
-                added_dynamic: q.added_dynamic,
-                added_static: q.added_static,
-                chain_states: q.chain_states,
-                used_general: q.used_general,
-                quantification_time: build_share + q.quantification_time,
-                cutset: cutset.clone(),
-            })
-            .collect();
-        Ok((reports, usage))
+        )
     };
 
     let mut out: Vec<Vec<CutsetReport>> = (0..horizons.len())
@@ -682,11 +836,12 @@ mod tests {
         opts.threads = 4;
         let parallel = analyze(&t, &opts).unwrap();
         assert!((sequential.frequency - parallel.frequency).abs() < 1e-18);
-        // Work-stealing counts vary with scheduling; everything else is
-        // schedule-independent.
-        let mut parallel_stats = parallel.stats.clone();
-        parallel_stats.mocus_stolen_tasks = sequential.stats.mocus_stolen_tasks;
-        assert_eq!(sequential.stats, parallel_stats);
+        // Work-stealing counts and memory peaks vary with scheduling;
+        // everything else is schedule-independent.
+        assert_eq!(
+            sequential.stats.clone().deterministic(),
+            parallel.stats.clone().deterministic()
+        );
     }
 
     #[test]
@@ -909,11 +1064,171 @@ mod cache_tests {
         opts.threads = 4;
         let parallel = analyze(&t, &opts).unwrap();
         // Misses are one-per-class regardless of scheduling; only the
-        // MOCUS work-stealing count depends on it.
-        let mut parallel_stats = parallel.stats.clone();
-        parallel_stats.mocus_stolen_tasks = sequential.stats.mocus_stolen_tasks;
-        assert_eq!(sequential.stats, parallel_stats);
+        // work distribution and memory peaks depend on it.
+        assert_eq!(
+            sequential.stats.clone().deterministic(),
+            parallel.stats.clone().deterministic()
+        );
         assert_eq!(sequential.frequency.to_bits(), parallel.frequency.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    /// Four redundant lines with structurally identical dynamic pumps —
+    /// exercises the quantification cache under the streaming engine.
+    fn replicated_lines() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let mut lines = Vec::new();
+        for i in 0..4 {
+            let valve = b
+                .static_event(&format!("valve{i}"), 1e-3 * (i as f64 + 1.0))
+                .unwrap();
+            let pump = b
+                .dynamic_event(
+                    &format!("pump{i}"),
+                    erlang::repairable(1, 1e-3, 0.05).unwrap(),
+                )
+                .unwrap();
+            lines.push(b.and(&format!("line{i}"), [valve, pump]).unwrap());
+        }
+        let top = b.or("plant", lines).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_and_batch_agree_bitwise() {
+        for tree in [example3(), replicated_lines()] {
+            let mut batch_opts = AnalysisOptions::new(96.0);
+            batch_opts.streaming = false;
+            batch_opts.threads = 1;
+            let reference = analyze_horizons(&tree, &batch_opts, &[24.0, 96.0]).unwrap();
+            for threads in [1, 2, 4] {
+                let mut opts = AnalysisOptions::new(96.0);
+                opts.streaming = true;
+                opts.threads = threads;
+                let streamed = analyze_horizons(&tree, &opts, &[24.0, 96.0]).unwrap();
+                for (b, s) in reference.iter().zip(&streamed) {
+                    assert_eq!(b.frequency.to_bits(), s.frequency.to_bits());
+                    assert_eq!(b.static_rea.to_bits(), s.static_rea.to_bits());
+                    assert_eq!(b.cutsets.len(), s.cutsets.len());
+                    for (rb, rs) in b.cutsets.iter().zip(&s.cutsets) {
+                        assert_eq!(rb.cutset.events(), rs.cutset.events());
+                        assert_eq!(rb.probability.to_bits(), rs.probability.to_bits());
+                        assert_eq!(
+                            rb.static_probability.to_bits(),
+                            rs.static_probability.to_bits()
+                        );
+                        assert_eq!(rb.chain_states, rs.chain_states);
+                    }
+                    assert_eq!(
+                        b.stats.clone().deterministic(),
+                        s.stats.clone().deterministic(),
+                        "threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reports_bounded_residency() {
+        let t = replicated_lines();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.streaming = true;
+        let streamed = analyze(&t, &opts).unwrap();
+        opts.streaming = false;
+        let batch = analyze(&t, &opts).unwrap();
+        // Batch residency equals the materialized totals: every
+        // candidate lives until minimization, the whole minimal list
+        // until quantification.
+        assert_eq!(
+            batch.stats.peak_pending_cutsets as u64,
+            batch.stats.mocus_peak_live_candidates
+        );
+        assert_eq!(batch.stats.peak_inflight_models, batch.stats.num_cutsets);
+        assert!(batch.stats.mocus_peak_live_candidates > 0);
+        assert!(streamed.stats.peak_pending_cutsets > 0);
+        assert!(streamed.stats.peak_inflight_models > 0);
+        assert!(
+            streamed.stats.peak_inflight_models <= batch.stats.peak_inflight_models,
+            "streaming must not hold more models in flight than batch"
+        );
+        assert_eq!(batch.timings.stream_overlap, Duration::ZERO);
+    }
+
+    #[test]
+    fn generation_budget_errors_propagate_through_all_stages() {
+        let t = example3();
+        for threads in [1, 4] {
+            let mut opts = AnalysisOptions::new(24.0);
+            opts.streaming = true;
+            opts.threads = threads;
+            opts.mocus.max_cutsets = 2;
+            assert!(matches!(
+                analyze(&t, &opts),
+                Err(CoreError::Mocus(sdft_mocus::MocusError::TooManyCutsets {
+                    limit: 2
+                }))
+            ));
+            let mut opts = AnalysisOptions::new(24.0);
+            opts.streaming = true;
+            opts.threads = threads;
+            opts.mocus.max_partials = 1;
+            assert!(matches!(
+                analyze(&t, &opts),
+                Err(CoreError::Mocus(sdft_mocus::MocusError::TooManyPartials {
+                    limit: 1
+                }))
+            ));
+        }
+    }
+
+    #[test]
+    fn quantification_errors_abort_the_pipeline_promptly() {
+        let t = example3();
+        for threads in [1, 4] {
+            let mut opts = AnalysisOptions::new(24.0);
+            opts.streaming = true;
+            opts.threads = threads;
+            opts.max_chain_states = 1;
+            // Returning at all proves generation and filter drained and
+            // joined (no deadlock on a full channel); the error kind
+            // proves it came from the quantification stage.
+            let error = analyze(&t, &opts).unwrap_err();
+            assert!(
+                matches!(error, CoreError::Product(_)),
+                "expected a product chain error, got: {error}"
+            );
+            // The same failure under batch, for parity.
+            opts.streaming = false;
+            assert!(matches!(analyze(&t, &opts), Err(CoreError::Product(_))));
+        }
     }
 }
 

@@ -39,6 +39,7 @@ pub mod erlang;
 mod error;
 mod mttf;
 mod poisson;
+mod pool;
 mod signature;
 mod stationary;
 mod transient;
@@ -51,6 +52,7 @@ pub use csr::{
 };
 pub use error::CtmcError;
 pub use poisson::PoissonWeights;
+pub use pool::WorkspacePool;
 pub use signature::ChainSignature;
 pub use stationary::{limiting_distribution, StationaryOptions};
 #[doc(hidden)]

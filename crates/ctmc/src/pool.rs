@@ -1,0 +1,91 @@
+//! A thread-safe pool of reusable solver workspaces.
+//!
+//! Uniformization reuses sized buffers across solves through
+//! [`SolverWorkspace`]; a pool lets a staged pipeline hand warm
+//! workspaces between quantification workers instead of pinning one
+//! workspace per long-lived thread.
+
+use crate::csr::SolverWorkspace;
+use std::sync::Mutex;
+
+/// A lock-protected stack of [`SolverWorkspace`]s. Acquire pops a warm
+/// workspace (or creates an empty one), release pushes it back for the
+/// next solve — any thread may do either, in any order.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<SolverWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Pop a pooled workspace, or create an empty one when the pool is
+    /// drained (its buffers grow on first use).
+    #[must_use]
+    pub fn acquire(&self) -> SolverWorkspace {
+        self.free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a workspace to the pool, keeping its grown buffers warm
+    /// for the next [`acquire`](Self::acquire).
+    pub fn release(&self, workspace: SolverWorkspace) {
+        self.free
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(workspace);
+    }
+
+    /// Number of workspaces currently pooled (not checked out).
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_recycles_workspaces() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.acquire();
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = Arc::new(WorkspacePool::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let ws = pool.acquire();
+                        pool.release(ws);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let idle = pool.idle();
+        assert!((1..=4).contains(&idle));
+    }
+}

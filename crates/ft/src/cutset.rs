@@ -1,8 +1,63 @@
 use crate::node::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Fast rotate-multiply hasher (the FxHash recipe) for the subsumption
+/// indexes: keys are short `NodeId` slices looked up hundreds of
+/// millions of times in deep cutoff sweeps, where SipHash becomes the
+/// dominant cost. Not DoS-resistant, which is irrelevant here — the
+/// keys come from the tree under analysis, not an adversary.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 
 /// A cutset: a set of basic events whose joint failure fails the top gate
 /// (§IV-A of the paper).
@@ -200,12 +255,12 @@ impl CutsetList {
 
         let (keep, comparisons) = {
             let candidates = &self.cutsets;
-            let sets: HashSet<&[NodeId]> = candidates.iter().map(Cutset::events).collect();
+            let sets: HashSet<&[NodeId], FxBuild> = candidates.iter().map(Cutset::events).collect();
             // Inverted index for the counting path, built only when some
             // candidate exceeds the enumeration limit (orders ascend).
             let needs_index = candidates.last().is_some_and(|c| c.order() > ENUM_LIMIT);
-            let by_event: HashMap<NodeId, Vec<usize>> = if needs_index {
-                let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+            let by_event: HashMap<NodeId, Vec<usize>, FxBuild> = if needs_index {
+                let mut index: HashMap<NodeId, Vec<usize>, FxBuild> = HashMap::default();
                 for (i, c) in candidates.iter().enumerate() {
                     for &e in c.events() {
                         index.entry(e).or_default().push(i);
@@ -213,7 +268,7 @@ impl CutsetList {
                 }
                 index
             } else {
-                HashMap::new()
+                HashMap::default()
             };
 
             // Whether candidate `ci` is minimal; `comparisons` counts the
@@ -246,7 +301,7 @@ impl CutsetList {
                     // strictly smaller orders can be proper subsets, and
                     // orders ascend with the index, so the lists cut off
                     // early.
-                    let mut hits: HashMap<usize, u32> = HashMap::new();
+                    let mut hits: HashMap<usize, u32, FxBuild> = HashMap::default();
                     for &e in cutset.events() {
                         if let Some(list) = by_event.get(&e) {
                             for &ki in list {
@@ -345,6 +400,320 @@ impl CutsetList {
             .collect();
         keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         self.cutsets = keyed.into_iter().map(|(_, c)| c).collect();
+    }
+}
+
+/// Online minimization of a stream of cutset candidates.
+///
+/// An [`offer`](Self::offer) is rejected when a kept set is a subset of
+/// it (or an exact duplicate); kept supersets of an accepted candidate
+/// are evicted, so [`into_sorted`](Self::into_sorted) returns exactly
+/// [`CutsetList::minimize`] of the offered multiset, for every offer
+/// order. A streaming pipeline can therefore keep only roughly the
+/// current minimal sets resident instead of every candidate.
+///
+/// Rejection uses the same hashed subset enumeration as the batch path
+/// (all `2^m − 2` proper subsets of a small candidate are looked up in
+/// an exact-set hash), so the per-offer cost does not grow with the
+/// number of kept sets. Eviction is performed eagerly only when the
+/// candidate's rarest event indexes few kept sets; otherwise the
+/// subsumed supersets stay resident until the next compaction — a batch
+/// re-minimize triggered whenever residency doubles — which keeps
+/// [`len`](Self::len) within a small factor of the true minimal count
+/// with amortized batch-like cost.
+#[derive(Debug)]
+pub struct IncrementalMinimizer {
+    /// Kept cutsets; `None` marks an evicted slot (ids are never reused
+    /// between compactions).
+    slots: Vec<Option<Cutset>>,
+    /// Exact event-list → slot id of every kept cutset, for duplicate
+    /// detection and subset-enumeration lookups.
+    by_events: HashMap<Box<[NodeId]>, usize, FxBuild>,
+    /// Event → slot ids whose cutset contains the event (may contain
+    /// stale ids of evicted slots; rebuilt on compaction).
+    by_event: HashMap<NodeId, Vec<usize>, FxBuild>,
+    /// Scratch for subset enumeration (reused across offers).
+    subset_buf: Vec<NodeId>,
+    /// The empty cutset subsumes everything; it lives outside the index.
+    has_empty: bool,
+    live: usize,
+    /// Residency threshold that triggers the next compaction.
+    compact_at: usize,
+    comparisons: u64,
+}
+
+impl Default for IncrementalMinimizer {
+    fn default() -> Self {
+        IncrementalMinimizer {
+            slots: Vec::new(),
+            by_events: HashMap::default(),
+            by_event: HashMap::default(),
+            subset_buf: Vec::new(),
+            has_empty: false,
+            live: 0,
+            compact_at: Self::MIN_COMPACT,
+            comparisons: 0,
+        }
+    }
+}
+
+impl IncrementalMinimizer {
+    /// Largest candidate order handled by subset enumeration (the same
+    /// bound as the batch [`CutsetList::minimize`]).
+    const ENUM_LIMIT: usize = 12;
+    /// Eager eviction scans the candidate's shortest index list only up
+    /// to this length; longer scans are left to the next compaction.
+    const EVICT_SCAN_LIMIT: usize = 64;
+    /// Compactions never trigger below this residency.
+    const MIN_COMPACT: usize = 4096;
+
+    /// An empty minimizer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently resident cutsets. Between compactions this
+    /// may exceed the true minimal count by the supersets whose eviction
+    /// was deferred (at most a doubling before a compaction runs).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.has_empty {
+            1
+        } else {
+            self.live
+        }
+    }
+
+    /// Whether no cutset has been kept yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Subset tests performed so far. Unlike the batch count this
+    /// depends on the offer order.
+    #[must_use]
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Offer a candidate. Returns `true` if it was kept (no kept set is
+    /// a subset of it); kept proper supersets are evicted, eagerly when
+    /// cheap and otherwise at the next compaction. Returns `false` if a
+    /// kept set already subsumes it (including an exact duplicate).
+    pub fn offer(&mut self, cutset: Cutset) -> bool {
+        if self.has_empty {
+            return false;
+        }
+        if cutset.is_empty() {
+            self.slots.clear();
+            self.by_events.clear();
+            self.by_event.clear();
+            self.live = 0;
+            self.compact_at = Self::MIN_COMPACT;
+            self.has_empty = true;
+            return true;
+        }
+        self.comparisons += 1;
+        if self.by_events.contains_key(cutset.events()) {
+            return false; // exact duplicate
+        }
+        let m = cutset.order();
+        if m <= Self::ENUM_LIMIT {
+            // Enumerate all proper non-empty subsets and look them up in
+            // the exact-set hash — a kept subset rejects the candidate.
+            let full = (1u32 << m) - 1;
+            let mut buf = std::mem::take(&mut self.subset_buf);
+            for mask in 1..full {
+                buf.clear();
+                for (bit, &e) in cutset.events().iter().enumerate() {
+                    if mask >> bit & 1 == 1 {
+                        buf.push(e);
+                    }
+                }
+                self.comparisons += 1;
+                if self.by_events.contains_key(buf.as_slice()) {
+                    self.subset_buf = buf;
+                    return false;
+                }
+            }
+            self.subset_buf = buf;
+        } else {
+            // Counting pass over the inverted index for the rare
+            // oversized candidate: a kept set of smaller order is a
+            // subset iff its hit count reaches its own order.
+            let mut hits: HashMap<usize, u32, FxBuild> = HashMap::default();
+            for &e in cutset.events() {
+                let Some(list) = self.by_event.get_mut(&e) else {
+                    continue;
+                };
+                let mut w = 0;
+                for r in 0..list.len() {
+                    let ki = list[r];
+                    let Some(kept) = self.slots[ki].as_ref() else {
+                        continue; // stale id — drop it while we're here
+                    };
+                    list[w] = ki;
+                    w += 1;
+                    if kept.order() >= m {
+                        continue;
+                    }
+                    self.comparisons += 1;
+                    let hit = hits.entry(ki).or_insert(0);
+                    *hit += 1;
+                    if *hit as usize == kept.order() {
+                        // Early reject: `w..=r` was already compacted.
+                        list.drain(w..=r);
+                        return false;
+                    }
+                }
+                list.truncate(w);
+            }
+        }
+        // Accepted. Evict kept proper supersets now if the candidate's
+        // rarest event indexes few enough kept sets to scan cheaply;
+        // otherwise they stay until the next compaction.
+        let probe = cutset
+            .events()
+            .iter()
+            .copied()
+            .min_by_key(|e| self.by_event.get(e).map_or(0, Vec::len));
+        if let Some(e) = probe {
+            let len = self.by_event.get(&e).map_or(0, Vec::len);
+            if len > 0 && len <= Self::EVICT_SCAN_LIMIT {
+                let mut list = self.by_event.remove(&e).unwrap_or_default();
+                let mut w = 0;
+                for r in 0..list.len() {
+                    let ki = list[r];
+                    if self.slots[ki].is_none() {
+                        continue; // stale id
+                    }
+                    self.comparisons += 1;
+                    let subsumed = self.slots[ki]
+                        .as_ref()
+                        .is_some_and(|kept| cutset.is_subset_of(kept));
+                    if subsumed {
+                        let kept = self.slots[ki].take().expect("live slot");
+                        self.by_events.remove(kept.events());
+                        self.live -= 1;
+                        continue;
+                    }
+                    list[w] = ki;
+                    w += 1;
+                }
+                list.truncate(w);
+                self.by_event.insert(e, list);
+            }
+        }
+        let id = self.slots.len();
+        for &e in cutset.events() {
+            self.by_event.entry(e).or_default().push(id);
+        }
+        self.by_events
+            .insert(cutset.events().to_vec().into_boxed_slice(), id);
+        self.slots.push(Some(cutset));
+        self.live += 1;
+        if self.live >= self.compact_at {
+            self.compact();
+        }
+        true
+    }
+
+    /// Whether some *other* kept set is a proper subset of `cutset`
+    /// (which is itself kept, so the exact-match lookup never fires).
+    fn has_kept_proper_subset(
+        &self,
+        cutset: &Cutset,
+        buf: &mut Vec<NodeId>,
+        tests: &mut u64,
+    ) -> bool {
+        let m = cutset.order();
+        if m <= Self::ENUM_LIMIT {
+            let full = (1u32 << m) - 1;
+            for mask in 1..full {
+                buf.clear();
+                for (bit, &e) in cutset.events().iter().enumerate() {
+                    if mask >> bit & 1 == 1 {
+                        buf.push(e);
+                    }
+                }
+                *tests += 1;
+                if self.by_events.contains_key(buf.as_slice()) {
+                    return true;
+                }
+            }
+            false
+        } else {
+            let mut hits: HashMap<usize, u32, FxBuild> = HashMap::default();
+            for &e in cutset.events() {
+                let Some(list) = self.by_event.get(&e) else {
+                    continue;
+                };
+                for &ki in list {
+                    let Some(kept) = self.slots[ki].as_ref() else {
+                        continue;
+                    };
+                    if kept.order() >= m {
+                        continue;
+                    }
+                    *tests += 1;
+                    let hit = hits.entry(ki).or_insert(0);
+                    *hit += 1;
+                    if *hit as usize == kept.order() {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+    }
+
+    /// Drop resident sets whose eviction was deferred. A kept set's
+    /// subsumer was necessarily accepted *after* it (an earlier kept
+    /// subset would have rejected it on offer), and the offered-minimal
+    /// sets are never evicted, so every non-minimal resident set still
+    /// has a minimal proper subset in `by_events` — one hashed
+    /// subset-enumeration pass over the residents restores exact
+    /// minimality in place, with no re-sort or index rebuild. Doubling
+    /// `compact_at` keeps the amortized cost linear in the offers.
+    fn compact(&mut self) {
+        let mut tests = 0u64;
+        let mut buf = std::mem::take(&mut self.subset_buf);
+        let mut doomed: Vec<usize> = Vec::new();
+        for i in 0..self.slots.len() {
+            if let Some(c) = &self.slots[i] {
+                if self.has_kept_proper_subset(c, &mut buf, &mut tests) {
+                    doomed.push(i);
+                }
+            }
+        }
+        for i in doomed {
+            let c = self.slots[i].take().expect("doomed slot is live");
+            self.by_events.remove(c.events());
+            self.live -= 1;
+        }
+        self.subset_buf = buf;
+        self.comparisons += tests;
+        self.compact_at = (self.live * 2).max(Self::MIN_COMPACT);
+    }
+
+    /// Consume the minimizer, returning the minimal cutsets sorted by
+    /// (order, events) — the same canonical order the batch
+    /// [`CutsetList::minimize`] produces.
+    #[must_use]
+    pub fn into_sorted(mut self) -> Vec<Cutset> {
+        if self.has_empty {
+            return vec![Cutset::new([])];
+        }
+        self.compact();
+        let mut kept: Vec<Cutset> = self.slots.into_iter().flatten().collect();
+        kept.sort_unstable_by(|a, b| {
+            a.order()
+                .cmp(&b.order())
+                .then_with(|| a.events.cmp(&b.events))
+        });
+        kept
     }
 }
 
@@ -531,5 +900,98 @@ mod tests {
         let min = list.minimize();
         assert_eq!(min.len(), 1);
         assert!(min.get(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incremental_offer_verdicts() {
+        let mut inc = IncrementalMinimizer::new();
+        assert!(inc.offer(cs(&[1, 2])));
+        assert!(!inc.offer(cs(&[1, 2]))); // duplicate
+        assert!(!inc.offer(cs(&[1, 2, 3]))); // superset of a kept set
+        assert!(inc.offer(cs(&[2]))); // evicts {1,2}
+        assert_eq!(inc.len(), 1);
+        assert!(inc.offer(cs(&[4, 5])));
+        assert!(inc.comparisons() > 0);
+        assert_eq!(inc.into_sorted(), vec![cs(&[2]), cs(&[4, 5])]);
+    }
+
+    #[test]
+    fn incremental_empty_cutset_wins() {
+        let mut inc = IncrementalMinimizer::new();
+        assert!(inc.offer(cs(&[1])));
+        assert!(inc.offer(cs(&[])));
+        assert_eq!(inc.len(), 1);
+        assert!(!inc.offer(cs(&[7])));
+        assert_eq!(inc.into_sorted(), vec![cs(&[])]);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_random_streams() {
+        // Same LCG recipe as the batch determinism test: duplicates,
+        // supersets and oversized cutsets, offered in several different
+        // orders — the surviving set must equal the batch minimization
+        // regardless of order.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut cutsets: Vec<Cutset> = Vec::new();
+        for _ in 0..3000 {
+            let order = 1 + rng() % 5;
+            cutsets.push(Cutset::new(
+                (0..order).map(|_| NodeId::from_index(rng() % 32)),
+            ));
+        }
+        for _ in 0..40 {
+            let order = 13 + rng() % 4;
+            cutsets.push(Cutset::new(
+                (0..order).map(|_| NodeId::from_index(rng() % 32)),
+            ));
+        }
+        let reference: Vec<Cutset> = CutsetList::from_vec(cutsets.clone())
+            .minimize()
+            .into_iter()
+            .collect();
+        for pass in 0..3 {
+            let mut stream = cutsets.clone();
+            match pass {
+                0 => {}
+                1 => stream.reverse(),
+                _ => {
+                    // Deterministic shuffle.
+                    let mut s: u64 = 0xdead_beef;
+                    for i in (1..stream.len()).rev() {
+                        s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                        stream.swap(i, (s >> 33) as usize % (i + 1));
+                    }
+                }
+            }
+            let mut inc = IncrementalMinimizer::new();
+            for c in stream {
+                inc.offer(c);
+            }
+            assert_eq!(inc.into_sorted(), reference, "pass {pass}");
+        }
+    }
+
+    #[test]
+    fn incremental_bounds_residency_under_eviction_churn() {
+        // Offer supersets first, then the small sets that evict them;
+        // the kept count must track the true minimal count, and stale
+        // index entries must not corrupt later verdicts.
+        let mut inc = IncrementalMinimizer::new();
+        for i in 0..100 {
+            assert!(inc.offer(cs(&[i, i + 100, i + 200])));
+        }
+        for i in 0..100 {
+            assert!(inc.offer(cs(&[i])));
+            assert!(!inc.offer(cs(&[i, i + 100, i + 200])));
+        }
+        assert_eq!(inc.len(), 100);
+        let kept = inc.into_sorted();
+        assert!(kept.iter().all(|c| c.order() == 1));
     }
 }

@@ -62,7 +62,7 @@ mod signature;
 pub mod transform;
 mod tree;
 
-pub use cutset::{Cutset, CutsetList};
+pub use cutset::{Cutset, CutsetList, IncrementalMinimizer};
 pub use error::FtError;
 pub use modules::modules;
 pub use node::{Behavior, GateKind, NodeId};

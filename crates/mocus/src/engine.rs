@@ -2,6 +2,7 @@ use crate::assumptions::Assumptions;
 use crate::error::MocusError;
 use crate::options::MocusOptions;
 use crate::stats::MocusStats;
+use crate::stream::StreamCtx;
 use sdft_ft::{modules, Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -108,6 +109,19 @@ struct Partial {
     gates: Vec<NodeId>,
     /// Product of the probabilities of `events`.
     prob: f64,
+    /// Streaming epoch the partial belongs to (0 in batch runs).
+    epoch: u32,
+}
+
+/// Approximate resident bytes of a partial cutset (two inline vectors
+/// plus the struct itself).
+fn partial_bytes(partial: &Partial) -> usize {
+    (partial.events.len() + partial.gates.len()) * 8 + 48
+}
+
+/// Approximate resident bytes of a candidate cutset.
+fn cutset_bytes(cutset: &Cutset) -> usize {
+    cutset.order() * 8 + 24
 }
 
 enum Outcome {
@@ -122,8 +136,10 @@ enum Outcome {
 struct Worker {
     /// Local DFS stack (also the BFS frontier during seeding).
     local: Vec<Partial>,
-    /// Cutset candidates this worker emitted.
+    /// Cutset candidates this worker emitted (batch mode).
     found: Vec<Cutset>,
+    /// Per-epoch buffers of candidates awaiting delivery (streaming).
+    stream_found: Vec<Vec<Cutset>>,
     /// Recycled partials: branching pulls allocations from here instead
     /// of cloning fresh vectors for every child.
     pool: Vec<Partial>,
@@ -140,11 +156,15 @@ struct Worker {
 /// Cap on recycled partials per worker, bounding idle memory.
 const POOL_LIMIT: usize = 256;
 
+/// Candidates buffered per epoch before a worker flushes to the sink.
+const STREAM_BATCH: usize = 128;
+
 impl Worker {
-    fn new(words: usize) -> Self {
+    fn new(words: usize, epochs: usize) -> Self {
         Worker {
             local: Vec::new(),
             found: Vec::new(),
+            stream_found: (0..epochs).map(|_| Vec::new()).collect(),
             pool: Vec::new(),
             scratch: vec![0u64; words],
             gate_scratch: Vec::new(),
@@ -162,6 +182,7 @@ impl Worker {
                 p.gates.clear();
                 p.gates.extend_from_slice(&src.gates);
                 p.prob = src.prob;
+                p.epoch = src.epoch;
                 p
             }
             None => src.clone(),
@@ -198,6 +219,16 @@ struct Shared {
     abort: AtomicBool,
     error: Mutex<Option<MocusError>>,
     workers: usize,
+    /// Memory high-water tracking: live partials / resident candidates
+    /// (count and approximate bytes) with their peaks.
+    live_partials: AtomicUsize,
+    peak_partials: AtomicUsize,
+    live_partial_bytes: AtomicUsize,
+    peak_partial_bytes: AtomicUsize,
+    live_candidates: AtomicUsize,
+    peak_candidates: AtomicUsize,
+    live_candidate_bytes: AtomicUsize,
+    peak_candidate_bytes: AtomicUsize,
 }
 
 struct Queue {
@@ -221,7 +252,51 @@ impl Shared {
             abort: AtomicBool::new(false),
             error: Mutex::new(None),
             workers,
+            live_partials: AtomicUsize::new(0),
+            peak_partials: AtomicUsize::new(0),
+            live_partial_bytes: AtomicUsize::new(0),
+            peak_partial_bytes: AtomicUsize::new(0),
+            live_candidates: AtomicUsize::new(0),
+            peak_candidates: AtomicUsize::new(0),
+            live_candidate_bytes: AtomicUsize::new(0),
+            peak_candidate_bytes: AtomicUsize::new(0),
         }
+    }
+
+    /// A partial came alive (allocated or copied for a branch).
+    fn partial_created(&self, partial: &Partial) {
+        let count = self.live_partials.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_partials.fetch_max(count, Ordering::Relaxed);
+        let bytes = partial_bytes(partial);
+        let total = self.live_partial_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_partial_bytes.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// A partial died (pruned, dead, or finalized into a candidate).
+    fn partial_dropped(&self, partial: &Partial) {
+        self.live_partials.fetch_sub(1, Ordering::Relaxed);
+        self.live_partial_bytes
+            .fetch_sub(partial_bytes(partial), Ordering::Relaxed);
+    }
+
+    /// A candidate cutset became resident in the generator.
+    fn candidate_created(&self, cutset: &Cutset) {
+        let count = self.live_candidates.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_candidates.fetch_max(count, Ordering::Relaxed);
+        let bytes = cutset_bytes(cutset);
+        let total = self
+            .live_candidate_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            + bytes;
+        self.peak_candidate_bytes
+            .fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// `n` buffered candidates totalling `bytes` left the generator.
+    fn candidates_dropped(&self, n: usize, bytes: usize) {
+        self.live_candidates.fetch_sub(n, Ordering::Relaxed);
+        self.live_candidate_bytes
+            .fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// Record the first error and wake everyone up.
@@ -282,6 +357,27 @@ struct Engine<'a> {
     masks: Vec<Vec<u64>>,
     /// Words per event bitmask.
     words: usize,
+    /// Streaming context: candidates are delivered to its sink on
+    /// finalize instead of accumulating in `Worker::found`.
+    stream: Option<&'a StreamCtx<'a>>,
+}
+
+/// Streaming driver used by [`crate::stream::stream_minimal_cutsets`]:
+/// same expansion engine and work-stealing pool, candidates routed to
+/// the context's sink with epoch watermarks instead of being merged and
+/// minimized here.
+pub(crate) fn run_streaming<'a>(
+    tree: &'a FaultTree,
+    root: NodeId,
+    probs: &'a EventProbabilities,
+    options: &'a MocusOptions,
+    assumptions: &'a Assumptions,
+    ctx: &'a StreamCtx<'a>,
+) -> Result<MocusStats, MocusError> {
+    assumptions.validate(tree)?;
+    let mut engine = Engine::new(tree, probs, options, assumptions);
+    engine.stream = Some(ctx);
+    engine.run(root).map(|(_, stats)| stats)
 }
 
 impl<'a> Engine<'a> {
@@ -394,6 +490,7 @@ impl<'a> Engine<'a> {
             event_index,
             masks,
             words,
+            stream: None,
         }
     }
 
@@ -410,29 +507,51 @@ impl<'a> Engine<'a> {
         // A basic-event root degenerates to a single obligation.
         let initial = if tree.is_basic(root) {
             if self.assumptions.is_failed(root) {
+                if let Some(ctx) = self.stream {
+                    let mut batch = vec![Cutset::new(std::iter::empty())];
+                    if !ctx.sink.deliver(0, &mut batch) || !ctx.complete_all() {
+                        return Err(MocusError::Aborted);
+                    }
+                    return Ok((CutsetList::new(), base_stats));
+                }
                 return Ok((
                     CutsetList::from_vec(vec![Cutset::new(std::iter::empty())]),
                     base_stats,
                 ));
             }
             if self.assumptions.is_ok(root) {
+                if let Some(ctx) = self.stream {
+                    if !ctx.complete_all() {
+                        return Err(MocusError::Aborted);
+                    }
+                }
                 return Ok((CutsetList::new(), base_stats));
             }
             Partial {
                 events: vec![root],
                 gates: Vec::new(),
                 prob: self.probs.get(root),
+                epoch: 0,
             }
         } else {
             Partial {
                 events: Vec::new(),
                 gates: vec![root],
                 prob: 1.0,
+                epoch: 0,
             }
         };
 
-        let mut workers: Vec<Worker> = (0..threads).map(|_| Worker::new(self.words)).collect();
+        let epochs = self.stream.map_or(0, |ctx| ctx.epochs() as usize);
+        let mut workers: Vec<Worker> = (0..threads)
+            .map(|_| Worker::new(self.words, epochs))
+            .collect();
         if !self.within_bounds(&mut workers[0], &initial) {
+            if let Some(ctx) = self.stream {
+                if !ctx.complete_all() {
+                    return Err(MocusError::Aborted);
+                }
+            }
             return Ok((
                 CutsetList::new(),
                 MocusStats {
@@ -444,6 +563,10 @@ impl<'a> Engine<'a> {
         let shared = Shared::new(threads);
         let mut stats = base_stats;
 
+        shared.partial_created(&initial);
+        if let Some(ctx) = self.stream {
+            ctx.inc(initial.epoch);
+        }
         workers[0].local.push(initial);
         if threads > 1 {
             // Module-aware seeding: expand breadth-first in the calling
@@ -502,6 +625,28 @@ impl<'a> Engine<'a> {
             }
         }
 
+        stats.partials_processed = shared.processed.load(Ordering::Relaxed) as u64;
+        stats.cutset_candidates = shared.candidates.load(Ordering::Relaxed) as u64;
+        stats.partials_pruned = workers.iter().map(|w| w.pruned).sum();
+        stats.stolen_tasks = workers.iter().map(Worker::stolen).sum();
+        stats.peak_live_partials = shared.peak_partials.load(Ordering::Relaxed) as u64;
+        stats.peak_partial_bytes = shared.peak_partial_bytes.load(Ordering::Relaxed) as u64;
+        stats.peak_live_candidates = shared.peak_candidates.load(Ordering::Relaxed) as u64;
+        stats.peak_candidate_bytes = shared.peak_candidate_bytes.load(Ordering::Relaxed) as u64;
+
+        if let Some(ctx) = self.stream {
+            // Worker buffers were flushed before each worker retired;
+            // sweep any epoch that never received work. Minimization
+            // (and its comparison count) belongs to the consumer.
+            debug_assert!(workers
+                .iter()
+                .all(|w| w.stream_found.iter().all(Vec::is_empty)));
+            if !ctx.complete_all() {
+                return Err(MocusError::Aborted);
+            }
+            return Ok((CutsetList::new(), stats));
+        }
+
         // Deterministic merge: the candidate set is schedule-independent
         // (pruning is per-branch and order-independent), and minimization
         // canonically sorts, so the final list is identical for every
@@ -512,11 +657,6 @@ impl<'a> Engine<'a> {
             all.append(&mut worker.found);
         }
         let (minimized, comparisons) = CutsetList::from_vec(all).minimize_with_stats(threads);
-
-        stats.partials_processed = shared.processed.load(Ordering::Relaxed) as u64;
-        stats.cutset_candidates = shared.candidates.load(Ordering::Relaxed) as u64;
-        stats.partials_pruned = workers.iter().map(|w| w.pruned).sum();
-        stats.stolen_tasks = workers.iter().map(Worker::stolen).sum();
         stats.subsumption_comparisons = comparisons;
         Ok((minimized, stats))
     }
@@ -536,6 +676,16 @@ impl<'a> Engine<'a> {
                 }
                 if worker.local.len() > 1 && shared.hungry.load(Ordering::Relaxed) > 0 {
                     self.donate(shared, worker);
+                }
+            }
+            // Flush buffered candidates before blocking (or retiring):
+            // an idle worker must not sit on undelivered work, and the
+            // termination protocol relies on every buffer being empty
+            // when the last worker detects completion.
+            if let Some(ctx) = self.stream {
+                if let Err(error) = self.flush_all(shared, worker, ctx) {
+                    shared.fail(error);
+                    return;
                 }
             }
             match shared.steal() {
@@ -561,6 +711,70 @@ impl<'a> Engine<'a> {
         drop(queue);
     }
 
+    /// Deliver one epoch's buffered candidates to the sink, then drop
+    /// their outstanding counts. The delivery happens *before* the
+    /// counts are released, so the epoch's completion (fired by the
+    /// zero crossing, possibly right here) is ordered after every
+    /// delivery for it.
+    fn flush_epoch(
+        &self,
+        shared: &Shared,
+        worker: &mut Worker,
+        ctx: &StreamCtx<'_>,
+        epoch: usize,
+    ) -> Result<(), MocusError> {
+        if worker.stream_found[epoch].is_empty() {
+            return Ok(());
+        }
+        let buf = &mut worker.stream_found[epoch];
+        let n = buf.len();
+        let bytes: usize = buf.iter().map(cutset_bytes).sum();
+        let ok = ctx.sink.deliver(epoch as u32, buf);
+        buf.clear();
+        shared.candidates_dropped(n, bytes);
+        if !ok || !ctx.release(epoch as u32, n) {
+            return Err(MocusError::Aborted);
+        }
+        Ok(())
+    }
+
+    /// Flush every non-empty epoch buffer of `worker`.
+    fn flush_all(
+        &self,
+        shared: &Shared,
+        worker: &mut Worker,
+        ctx: &StreamCtx<'_>,
+    ) -> Result<(), MocusError> {
+        for epoch in 0..worker.stream_found.len() {
+            self.flush_epoch(shared, worker, ctx, epoch)?;
+        }
+        Ok(())
+    }
+
+    /// Push a surviving partial onto the local stack, counting it live
+    /// (residency is measured over *queued* partials, whose size is
+    /// fixed while they wait) and giving it an outstanding count in
+    /// streaming mode.
+    fn push_live(&self, worker: &mut Worker, shared: &Shared, partial: Partial) {
+        shared.partial_created(&partial);
+        if let Some(ctx) = self.stream {
+            ctx.inc(partial.epoch);
+        }
+        worker.local.push(partial);
+    }
+
+    /// Drop the count the partial entering `expand_one` held (it was
+    /// not finalized into a candidate). Fires the epoch's completion on
+    /// the zero crossing.
+    fn release_entry(&self, epoch: u32) -> Result<(), MocusError> {
+        if let Some(ctx) = self.stream {
+            if !ctx.release(epoch, 1) {
+                return Err(MocusError::Aborted);
+            }
+        }
+        Ok(())
+    }
+
     /// Expand one partial cutset: leaves become candidates, AND extends,
     /// OR branches (reusing the parent allocation for the last child),
     /// at-least enumerates combinations. Surviving branches are pushed
@@ -571,6 +785,9 @@ impl<'a> Engine<'a> {
         shared: &Shared,
         mut partial: Partial,
     ) -> Result<(), MocusError> {
+        let entry_epoch = partial.epoch;
+        // The partial left its queue; it is re-counted if re-pushed.
+        shared.partial_dropped(&partial);
         let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
         if processed > self.options.max_partials {
             return Err(MocusError::TooManyPartials {
@@ -585,12 +802,25 @@ impl<'a> Engine<'a> {
                 });
             }
             let Partial { events, gates, .. } = partial;
-            worker.found.push(Cutset::new(events));
+            let cutset = Cutset::new(events);
+            shared.candidate_created(&cutset);
             worker.recycle(Partial {
                 events: Vec::new(),
                 gates,
                 prob: 1.0,
+                epoch: 0,
             });
+            if let Some(ctx) = self.stream {
+                // The entry count transfers to the buffered candidate;
+                // it is released when the batch is delivered.
+                let epoch = entry_epoch as usize;
+                worker.stream_found[epoch].push(cutset);
+                if worker.stream_found[epoch].len() >= STREAM_BATCH {
+                    self.flush_epoch(shared, worker, ctx, epoch)?;
+                }
+            } else {
+                worker.found.push(cutset);
+            }
             return Ok(());
         };
         match self.tree.gate_kind(gate).expect("pending nodes are gates") {
@@ -605,7 +835,7 @@ impl<'a> Engine<'a> {
                 if !alive {
                     worker.recycle(partial);
                 } else if self.within_bounds(worker, &partial) {
-                    worker.local.push(partial);
+                    self.push_live(worker, shared, partial);
                 } else {
                     worker.pruned += 1;
                     worker.recycle(partial);
@@ -619,43 +849,49 @@ impl<'a> Engine<'a> {
                     .iter()
                     .any(|&c| self.tree.is_basic(c) && self.assumptions.is_failed(c));
                 if satisfied {
-                    worker.local.push(partial);
-                    return Ok(());
+                    self.push_live(worker, shared, partial);
+                    return self.release_entry(entry_epoch);
                 }
                 let skip = |c: NodeId| self.tree.is_basic(c) && self.assumptions.is_ok(c);
                 let Some(last) = inputs.iter().rposition(|&c| !skip(c)) else {
                     worker.recycle(partial);
-                    return Ok(());
+                    return self.release_entry(entry_epoch);
                 };
                 for &child in &inputs[..last] {
                     if skip(child) {
                         continue;
                     }
                     let mut branch = worker.alloc_copy(&partial);
+                    if let Some(ctx) = self.stream {
+                        branch.epoch = ctx.branch_epoch(gate, entry_epoch, child);
+                    }
                     if matches!(self.add_child(&mut branch, child), Outcome::Dead) {
                         worker.recycle(branch);
                     } else if self.within_bounds(worker, &branch) {
-                        worker.local.push(branch);
+                        self.push_live(worker, shared, branch);
                     } else {
                         worker.pruned += 1;
                         worker.recycle(branch);
                     }
                 }
                 // Reuse the parent allocation for the final branch.
+                if let Some(ctx) = self.stream {
+                    partial.epoch = ctx.branch_epoch(gate, entry_epoch, inputs[last]);
+                }
                 if matches!(self.add_child(&mut partial, inputs[last]), Outcome::Dead) {
                     worker.recycle(partial);
                 } else if self.within_bounds(worker, &partial) {
-                    worker.local.push(partial);
+                    self.push_live(worker, shared, partial);
                 } else {
                     worker.pruned += 1;
                     worker.recycle(partial);
                 }
             }
             GateKind::AtLeast(k) => {
-                self.expand_atleast(worker, gate, k as usize, partial)?;
+                self.expand_atleast(worker, shared, gate, k as usize, partial)?;
             }
         }
-        Ok(())
+        self.release_entry(entry_epoch)
     }
 
     /// Add one child requirement to a partial cutset.
@@ -738,6 +974,7 @@ impl<'a> Engine<'a> {
     fn expand_atleast(
         &self,
         worker: &mut Worker,
+        shared: &Shared,
         gate: NodeId,
         k: usize,
         partial: Partial,
@@ -760,7 +997,7 @@ impl<'a> Engine<'a> {
             candidates.push(child);
         }
         if threshold == 0 {
-            worker.local.push(partial);
+            self.push_live(worker, shared, partial);
             return Ok(());
         }
         if threshold > candidates.len() {
@@ -788,7 +1025,7 @@ impl<'a> Engine<'a> {
             if !alive {
                 worker.recycle(branch);
             } else if self.within_bounds(worker, &branch) {
-                worker.local.push(branch);
+                self.push_live(worker, shared, branch);
             } else {
                 worker.pruned += 1;
                 worker.recycle(branch);

@@ -37,6 +37,9 @@ pub enum MocusError {
         /// The offending cutoff.
         cutoff: f64,
     },
+    /// A streaming consumer rejected further candidates (it failed or
+    /// shut down); the real cause lives downstream of the generator.
+    Aborted,
 }
 
 impl fmt::Display for MocusError {
@@ -69,6 +72,7 @@ impl fmt::Display for MocusError {
                 )
             }
             MocusError::InvalidCutoff { cutoff } => write!(f, "invalid cutoff {cutoff}"),
+            MocusError::Aborted => write!(f, "cutset generation aborted by the consumer"),
         }
     }
 }

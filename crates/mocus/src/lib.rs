@@ -48,6 +48,7 @@ mod engine;
 mod error;
 mod options;
 mod stats;
+mod stream;
 
 pub use assumptions::Assumptions;
 pub use engine::{
@@ -57,3 +58,4 @@ pub use engine::{
 pub use error::MocusError;
 pub use options::MocusOptions;
 pub use stats::MocusStats;
+pub use stream::{stream_minimal_cutsets, CandidateSink};

@@ -6,7 +6,8 @@
 /// checked against the full candidate set the same way, so the counts are
 /// identical for every thread count (when no safety budget aborts the
 /// run). `stolen_tasks`, `seed_tasks` and `workers` describe the work
-/// distribution and naturally vary with the thread count and scheduling.
+/// distribution, and the `peak_*` high-water marks describe memory
+/// residency; both naturally vary with the thread count and scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MocusStats {
     /// Partial cutsets processed (popped and expanded), leaves included.
@@ -24,6 +25,16 @@ pub struct MocusStats {
     pub seed_tasks: u64,
     /// Worker threads used for expansion and minimization.
     pub workers: usize,
+    /// Peak number of live partial cutsets (allocated and not yet
+    /// consumed) across all workers. Scheduling-dependent.
+    pub peak_live_partials: u64,
+    /// Approximate peak bytes held by live partial cutsets.
+    pub peak_partial_bytes: u64,
+    /// Peak number of candidate cutsets resident in the generator (all
+    /// of them in batch mode; only undelivered buffers when streaming).
+    pub peak_live_candidates: u64,
+    /// Approximate peak bytes held by resident candidate cutsets.
+    pub peak_candidate_bytes: u64,
 }
 
 impl MocusStats {
@@ -36,6 +47,10 @@ impl MocusStats {
         self.stolen_tasks = 0;
         self.seed_tasks = 0;
         self.workers = 0;
+        self.peak_live_partials = 0;
+        self.peak_partial_bytes = 0;
+        self.peak_live_candidates = 0;
+        self.peak_candidate_bytes = 0;
         self
     }
 }

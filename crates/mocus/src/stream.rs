@@ -1,0 +1,402 @@
+//! Emit-on-finalize streaming for the MOCUS engine.
+//!
+//! The batch entry points materialize every cutset candidate before
+//! minimization. Streaming instead pushes candidates to a
+//! [`CandidateSink`] as workers finalize them, in *epochs* carrying a
+//! subsumption watermark: two candidates can only subsume one another
+//! when they share basic events, so the children of a top-level OR
+//! whose reachable event sets are pairwise disjoint form independent
+//! epochs (a coarse form of the module argument — an epoch's candidates
+//! are final once its generation completes). Everything else — an
+//! overlapping child, the root partial itself — lands in the residual
+//! epoch 0. [`CandidateSink::epoch_complete`] fires exactly once per
+//! epoch, after the last `deliver` for it, so a downstream minimizer
+//! may release an epoch's surviving cutsets the moment it completes
+//! instead of waiting for the whole run.
+//!
+//! Completion is detected with a per-epoch outstanding counter: every
+//! live partial and every buffered (undelivered) candidate of an epoch
+//! holds one count, and the zero crossing is the watermark. Epochs that
+//! never receive any work complete in a final sweep when generation
+//! ends.
+
+use crate::assumptions::Assumptions;
+use crate::engine::run_streaming;
+use crate::error::MocusError;
+use crate::options::MocusOptions;
+use crate::stats::MocusStats;
+use sdft_ft::{Cutset, EventProbabilities, FaultTree, GateKind, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Consumer side of a streaming MOCUS run. Implementations must be
+/// thread-safe: any worker may call either method at any time, though
+/// for a given epoch every [`deliver`](Self::deliver) happens before
+/// its single [`epoch_complete`](Self::epoch_complete).
+///
+/// Returning `false` from either method aborts generation promptly
+/// (the run ends with [`MocusError::Aborted`]); use it when the
+/// downstream pipeline has failed or shut down.
+pub trait CandidateSink: Sync {
+    /// Take a batch of cutset candidates belonging to `epoch`. The sink
+    /// owns the drained contents; the vector is cleared afterwards
+    /// either way.
+    fn deliver(&self, epoch: u32, batch: &mut Vec<Cutset>) -> bool;
+
+    /// All candidates of `epoch` have been delivered; no candidate of
+    /// any epoch can subsume them now, so they may be minimized among
+    /// themselves and released downstream.
+    fn epoch_complete(&self, epoch: u32) -> bool;
+}
+
+/// Shared state of one streaming run: the sink, the epoch plan, and the
+/// per-epoch outstanding counters implementing the watermark.
+pub(crate) struct StreamCtx<'s> {
+    pub(crate) sink: &'s dyn CandidateSink,
+    /// The gate whose OR expansion assigns epochs (the run's root);
+    /// only consulted when `epochs > 1`.
+    top: NodeId,
+    /// Epoch of each top-child node (dense by node index, 0 elsewhere).
+    child_epoch: Vec<u32>,
+    epochs: u32,
+    /// Live partials plus buffered candidates per epoch.
+    outstanding: Vec<AtomicUsize>,
+    completed: Vec<AtomicBool>,
+}
+
+impl<'s> StreamCtx<'s> {
+    /// Build the epoch plan for a run rooted at `root`.
+    ///
+    /// Multiple epochs exist only for an OR root with no assumptions:
+    /// assumptions cut events out of cutsets, which can create
+    /// cross-subtree subsumption even between event-disjoint children.
+    pub(crate) fn new(
+        tree: &FaultTree,
+        root: NodeId,
+        assumptions: &Assumptions,
+        sink: &'s dyn CandidateSink,
+    ) -> Self {
+        let mut child_epoch = vec![0u32; tree.len()];
+        let mut epochs = 1u32;
+        let is_or_root = tree.is_gate(root)
+            && matches!(tree.gate_kind(root), Some(GateKind::Or))
+            && assumptions.is_empty();
+        if is_or_root {
+            // Dense event numbering for the per-child reachability
+            // bitsets.
+            let mut event_index = vec![usize::MAX; tree.len()];
+            let mut num_events = 0usize;
+            for event in tree.basic_events() {
+                event_index[event.index()] = num_events;
+                num_events += 1;
+            }
+            let words = num_events.div_ceil(64);
+            let inputs = tree.gate_inputs(root);
+            let masks: Vec<Vec<u64>> = inputs
+                .iter()
+                .map(|&c| {
+                    let mut mask = vec![0u64; words];
+                    let events = if tree.is_basic(c) {
+                        vec![c]
+                    } else {
+                        tree.subtree_basic_events(c)
+                    };
+                    for e in events {
+                        let i = event_index[e.index()];
+                        mask[i / 64] |= 1 << (i % 64);
+                    }
+                    mask
+                })
+                .collect();
+            for (i, &c) in inputs.iter().enumerate() {
+                let isolated = inputs.iter().enumerate().all(|(j, &d)| {
+                    j == i || (c != d && masks[i].iter().zip(&masks[j]).all(|(a, b)| a & b == 0))
+                });
+                // A child listed twice maps consistently to epoch 0
+                // through the `c != d` test above.
+                if isolated {
+                    child_epoch[c.index()] = epochs;
+                    epochs += 1;
+                }
+            }
+        }
+        StreamCtx {
+            sink,
+            top: root,
+            child_epoch,
+            epochs,
+            outstanding: (0..epochs).map(|_| AtomicUsize::new(0)).collect(),
+            completed: (0..epochs).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    pub(crate) fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// The epoch of a child branched off `gate` by a partial of
+    /// `parent_epoch`: top-OR children get their planned epoch, every
+    /// other branch inherits.
+    pub(crate) fn branch_epoch(&self, gate: NodeId, parent_epoch: u32, child: NodeId) -> u32 {
+        if self.epochs > 1 && gate == self.top {
+            self.child_epoch[child.index()]
+        } else {
+            parent_epoch
+        }
+    }
+
+    /// A partial or buffered candidate of `epoch` came alive.
+    pub(crate) fn inc(&self, epoch: u32) {
+        self.outstanding[epoch as usize].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Release `n` counts of `epoch`; the zero crossing fires the
+    /// epoch's completion. Returns `false` if the sink rejected.
+    pub(crate) fn release(&self, epoch: u32, n: usize) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let prev = self.outstanding[epoch as usize].fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "outstanding counter underflow");
+        if prev == n {
+            self.complete(epoch)
+        } else {
+            true
+        }
+    }
+
+    fn complete(&self, epoch: u32) -> bool {
+        if self.completed[epoch as usize].swap(true, Ordering::AcqRel) {
+            true
+        } else {
+            self.sink.epoch_complete(epoch)
+        }
+    }
+
+    /// Fire completion for every epoch not yet completed — the final
+    /// sweep covering epochs that never received work (pruned at
+    /// creation, skipped children, degenerate roots).
+    pub(crate) fn complete_all(&self) -> bool {
+        let mut ok = true;
+        for e in 0..self.epochs {
+            ok &= self.complete(e);
+        }
+        ok
+    }
+}
+
+/// Generate cutset candidates for the top gate of `tree`, streaming
+/// them into `sink` instead of materializing a list (see the module
+/// docs for the epoch/watermark contract). The returned stats carry no
+/// `subsumption_comparisons` — minimization belongs to the consumer.
+///
+/// The candidate set (and therefore the minimal cutsets the consumer
+/// derives) is identical to [`minimal_cutsets`](crate::minimal_cutsets)
+/// for every thread count; only delivery order and batching vary.
+///
+/// # Errors
+///
+/// Returns an error if the cutoff is invalid or a safety budget in
+/// `options` is exceeded; [`MocusError::Aborted`] when the sink
+/// rejected a delivery (the real cause lives with the consumer).
+pub fn stream_minimal_cutsets(
+    tree: &FaultTree,
+    probs: &EventProbabilities,
+    options: &MocusOptions,
+    sink: &dyn CandidateSink,
+) -> Result<MocusStats, MocusError> {
+    if let Some(c) = options.cutoff {
+        if !c.is_finite() || c < 0.0 {
+            return Err(MocusError::InvalidCutoff { cutoff: c });
+        }
+    }
+    let assumptions = Assumptions::new(tree);
+    let ctx = StreamCtx::new(tree, tree.top(), &assumptions, sink);
+    run_streaming(tree, tree.top(), probs, options, &assumptions, &ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal_cutsets_with_stats;
+    use sdft_ft::{CutsetList, FaultTreeBuilder};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// Collects deliveries per epoch and asserts the watermark
+    /// contract: no delivery after an epoch completed, one completion
+    /// per epoch.
+    #[derive(Default)]
+    struct CollectingSink {
+        state: Mutex<SinkState>,
+    }
+
+    #[derive(Default)]
+    struct SinkState {
+        delivered: HashMap<u32, Vec<Cutset>>,
+        completed: HashMap<u32, u32>,
+        violations: Vec<String>,
+    }
+
+    impl CandidateSink for CollectingSink {
+        fn deliver(&self, epoch: u32, batch: &mut Vec<Cutset>) -> bool {
+            let mut s = self.state.lock().unwrap();
+            if s.completed.contains_key(&epoch) {
+                s.violations
+                    .push(format!("delivery after completion of epoch {epoch}"));
+            }
+            let drained: Vec<Cutset> = batch.drain(..).collect();
+            s.delivered.entry(epoch).or_default().extend(drained);
+            true
+        }
+
+        fn epoch_complete(&self, epoch: u32) -> bool {
+            let mut s = self.state.lock().unwrap();
+            *s.completed.entry(epoch).or_insert(0) += 1;
+            true
+        }
+    }
+
+    /// Rejects the first delivery, simulating a failed consumer.
+    struct RejectingSink;
+
+    impl CandidateSink for RejectingSink {
+        fn deliver(&self, _epoch: u32, _batch: &mut Vec<Cutset>) -> bool {
+            false
+        }
+
+        fn epoch_complete(&self, _epoch: u32) -> bool {
+            true
+        }
+    }
+
+    /// Top OR over two event-disjoint lines plus an overlapping pair
+    /// sharing an event — two distinct epochs and a residual one.
+    fn epoch_tree() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a1 = b.static_event("a1", 0.01).unwrap();
+        let a2 = b.static_event("a2", 0.02).unwrap();
+        let line_a = b.and("line_a", [a1, a2]).unwrap();
+        let c1 = b.static_event("c1", 0.03).unwrap();
+        let c2 = b.static_event("c2", 0.04).unwrap();
+        let line_c = b.or("line_c", [c1, c2]).unwrap();
+        let shared = b.static_event("shared", 0.05).unwrap();
+        let s1 = b.static_event("s1", 0.06).unwrap();
+        let s2 = b.static_event("s2", 0.07).unwrap();
+        let over1 = b.and("over1", [shared, s1]).unwrap();
+        let over2 = b.and("over2", [shared, s2]).unwrap();
+        let top = b.or("top", [line_a, line_c, over1, over2]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streamed_candidates_match_batch_for_every_thread_count() {
+        let t = epoch_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let batch_opts = MocusOptions {
+            threads: 1,
+            ..MocusOptions::exhaustive()
+        };
+        let (reference, ref_stats) = minimal_cutsets_with_stats(&t, &probs, &batch_opts).unwrap();
+        for threads in [1, 2, 4] {
+            let sink = CollectingSink::default();
+            let opts = MocusOptions {
+                threads,
+                ..MocusOptions::exhaustive()
+            };
+            let stats = stream_minimal_cutsets(&t, &probs, &opts, &sink).unwrap();
+            let state = sink.state.into_inner().unwrap();
+            assert!(state.violations.is_empty(), "{:?}", state.violations);
+            // Every epoch completed exactly once, and more than one
+            // epoch exists (the top split into independent children).
+            assert!(state.completed.values().all(|&n| n == 1));
+            assert!(state.completed.len() > 1, "expected a multi-epoch plan");
+            // The candidate multiset matches the batch run.
+            let all: Vec<Cutset> = state.delivered.values().flatten().cloned().collect();
+            assert_eq!(
+                stats.cutset_candidates as usize,
+                all.len(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                ref_stats.deterministic().partials_processed,
+                stats.deterministic().partials_processed,
+                "threads = {threads}"
+            );
+            // Global minimization of the streamed candidates equals the
+            // batch minimal cutsets...
+            let global = CutsetList::from_vec(all).minimize();
+            assert_eq!(reference, global, "threads = {threads}");
+            // ...and so does per-epoch minimization (the watermark
+            // guarantee: epochs cannot subsume across each other).
+            let mut per_epoch: Vec<Cutset> = state
+                .delivered
+                .values()
+                .flat_map(|v| CutsetList::from_vec(v.clone()).minimize())
+                .collect();
+            per_epoch.sort_unstable_by(|a, b| {
+                a.order()
+                    .cmp(&b.order())
+                    .then_with(|| a.events().cmp(b.events()))
+            });
+            let flat: Vec<Cutset> = reference.iter().cloned().collect();
+            assert_eq!(flat, per_epoch, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn rejecting_sink_aborts_generation() {
+        let t = epoch_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        for threads in [1, 4] {
+            let opts = MocusOptions {
+                threads,
+                ..MocusOptions::exhaustive()
+            };
+            assert!(matches!(
+                stream_minimal_cutsets(&t, &probs, &opts, &RejectingSink),
+                Err(MocusError::Aborted)
+            ));
+        }
+    }
+
+    #[test]
+    fn budgets_abort_streaming_runs() {
+        let t = epoch_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        for threads in [1, 4] {
+            let sink = CollectingSink::default();
+            let opts = MocusOptions {
+                max_cutsets: 2,
+                threads,
+                ..MocusOptions::exhaustive()
+            };
+            assert!(matches!(
+                stream_minimal_cutsets(&t, &probs, &opts, &sink),
+                Err(MocusError::TooManyCutsets { limit: 2 })
+            ));
+        }
+    }
+
+    #[test]
+    fn peak_residency_counters_are_populated() {
+        let t = epoch_tree();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let opts = MocusOptions {
+            threads: 1,
+            ..MocusOptions::exhaustive()
+        };
+        let (list, batch) = minimal_cutsets_with_stats(&t, &probs, &opts).unwrap();
+        assert!(batch.peak_live_partials > 0);
+        assert!(batch.peak_partial_bytes > 0);
+        // Batch keeps every candidate resident.
+        assert_eq!(batch.peak_live_candidates, batch.cutset_candidates);
+        assert!(batch.peak_candidate_bytes > 0);
+        assert!(!list.is_empty());
+        let sink = CollectingSink::default();
+        let stream = stream_minimal_cutsets(&t, &probs, &opts, &sink).unwrap();
+        // Streaming delivers in batches, so resident candidates stay at
+        // or below the flush threshold (tiny tree: far below).
+        assert!(stream.peak_live_candidates <= batch.peak_live_candidates);
+    }
+}

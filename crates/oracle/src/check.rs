@@ -59,6 +59,10 @@ pub struct CheckConfig {
     /// Re-run the base analysis with the quantification cache disabled
     /// and require bitwise-identical results.
     pub check_cache_consistency: bool,
+    /// Re-run the base analysis with the opposite engine (streaming vs
+    /// batch) and require bitwise-identical frequencies and identical
+    /// cutset lists.
+    pub check_streaming_consistency: bool,
 }
 
 impl Default for CheckConfig {
@@ -74,6 +78,7 @@ impl Default for CheckConfig {
             sim_seed: 0x0_5EED,
             metamorphic: true,
             check_cache_consistency: true,
+            check_streaming_consistency: true,
         }
     }
 }
@@ -323,6 +328,44 @@ pub(crate) fn check_tree_into(
                 },
             ),
             Err(e) => out.fail("cache_bitwise", format!("cache-off analysis failed: {e}")),
+        }
+    }
+
+    if cfg.check_streaming_consistency {
+        // The base run used whichever engine `opts` selected (streaming
+        // by default); the other engine must agree bitwise, down to the
+        // cutset list and per-cutset probabilities.
+        let mut flipped = opts;
+        flipped.streaming = !opts.streaming;
+        match analyze(tree, &flipped) {
+            Ok(second) => out.check(
+                second.frequency.to_bits() == base.frequency.to_bits()
+                    && second.static_rea.to_bits() == base.static_rea.to_bits()
+                    && second.cutsets.len() == base.cutsets.len()
+                    && second.cutsets.iter().zip(&base.cutsets).all(|(s, b)| {
+                        s.cutset == b.cutset
+                            && s.probability.to_bits() == b.probability.to_bits()
+                            && s.chain_states == b.chain_states
+                    }),
+                "stream_bitwise",
+                || {
+                    format!(
+                        "engines disagree: base(streaming={}) freq {} rea {} ({} cutsets); \
+                         flipped freq {} rea {} ({} cutsets)",
+                        opts.streaming,
+                        base.frequency,
+                        base.static_rea,
+                        base.cutsets.len(),
+                        second.frequency,
+                        second.static_rea,
+                        second.cutsets.len(),
+                    )
+                },
+            ),
+            Err(e) => out.fail(
+                "stream_bitwise",
+                format!("opposite-engine analysis failed: {e}"),
+            ),
         }
     }
 

@@ -5,6 +5,7 @@
 //! sdft check      <file>                     validate + classify triggers
 //! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //!                        [--fast] [--csv OUT] [--no-steady-state]
+//!                        [--no-stream] [--progress SECS]
 //! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //! sdft exact      <file> [--horizon H]       product-chain reference (small models)
 //! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
@@ -30,6 +31,8 @@ struct Args {
     threads: usize,
     fast: bool,
     steady_state: bool,
+    streaming: bool,
+    progress: Option<f64>,
     csv: Option<String>,
 }
 
@@ -37,7 +40,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
          [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--threads N] \
-         [--fast] [--no-steady-state] [--csv OUT]"
+         [--fast] [--no-steady-state] [--no-stream] [--progress SECS] [--csv OUT]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +63,8 @@ fn main() -> ExitCode {
         threads: 0,
         fast: false,
         steady_state: true,
+        streaming: true,
+        progress: None,
         csv: None,
     };
     let mut it = flags.iter();
@@ -99,6 +104,14 @@ fn main() -> ExitCode {
                 args.steady_state = false;
                 Some(())
             }
+            "--no-stream" => {
+                args.streaming = false;
+                Some(())
+            }
+            "--progress" => value("--progress")
+                .and_then(|v| v.parse().ok())
+                .filter(|&v: &f64| v.is_finite() && v > 0.0)
+                .map(|v| args.progress = Some(v)),
             other => {
                 eprintln!("unknown flag {other:?}");
                 None
@@ -201,6 +214,11 @@ fn analysis_options(args: &Args) -> AnalysisOptions {
         options.treatment = TriggerTreatment::CutsetOnly;
     }
     options.steady_state_detection = args.steady_state;
+    options.streaming = args.streaming;
+    options.progress = args.progress.map(std::time::Duration::from_secs_f64);
+    if options.progress.is_some() && !options.streaming {
+        eprintln!("note: --progress reports the streaming engine; ignored with --no-stream");
+    }
     options
 }
 
@@ -241,11 +259,23 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         result.stats.mocus_stolen_tasks,
     );
     println!(
-        "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}",
+        "memory peaks: {} partials ({} B), {} candidates ({} B), \
+         {} pending cutsets, {} in-flight models",
+        result.stats.mocus_peak_live_partials,
+        result.stats.mocus_peak_partial_bytes,
+        result.stats.mocus_peak_live_candidates,
+        result.stats.mocus_peak_candidate_bytes,
+        result.stats.peak_pending_cutsets,
+        result.stats.peak_inflight_models,
+    );
+    println!(
+        "times: worst-case {:?}, translation {:?}, MCS {:?}, quantification {:?}, \
+         stage overlap {:?}",
         result.timings.worst_case,
         result.timings.translation,
         result.timings.mcs_generation,
         result.timings.quantification,
+        result.timings.stream_overlap,
     );
     println!("\ntop cutsets:");
     for report in result.cutsets.iter().take(args.top) {
