@@ -36,6 +36,8 @@
 
 mod error;
 mod manager;
+mod modular;
 
 pub use error::BddError;
 pub use manager::{Bdd, BddOptions};
+pub use modular::{CutsetLimits, ModularBdd, ModularBddOptions, ModularBddStats, ModuleStats};

@@ -1,11 +1,11 @@
 use crate::error::BddError;
-use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, GateKind, NodeId};
+use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree, FxBuild, GateKind, NodeId};
 use std::collections::HashMap;
 
-type Ref = u32;
+pub(crate) type Ref = u32;
 
-const FALSE: Ref = 0;
-const TRUE: Ref = 1;
+pub(crate) const FALSE: Ref = 0;
+pub(crate) const TRUE: Ref = 1;
 const TERMINAL_LEVEL: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,7 +16,7 @@ struct Node {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
+pub(crate) enum Op {
     And,
     Or,
 }
@@ -47,12 +47,14 @@ impl Default for BddOptions {
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    apply_cache: HashMap<(Op, Ref, Ref), Ref>,
+    unique: HashMap<Node, Ref, FxBuild>,
+    apply_cache: HashMap<(Op, Ref, Ref), Ref, FxBuild>,
     /// level -> basic event.
     vars: Vec<NodeId>,
     root: Ref,
     max_nodes: usize,
+    apply_hits: u64,
+    apply_misses: u64,
 }
 
 impl Bdd {
@@ -87,49 +89,9 @@ impl Bdd {
         order: Vec<NodeId>,
         options: &BddOptions,
     ) -> Result<Self, BddError> {
-        let events: Vec<NodeId> = tree.basic_events().collect();
-        if order.len() != events.len() {
-            return Err(BddError::InvalidOrder {
-                reason: format!(
-                    "order has {} entries for {} basic events",
-                    order.len(),
-                    events.len()
-                ),
-            });
-        }
-        let mut level_of: HashMap<NodeId, u32> = HashMap::new();
-        for (level, &event) in order.iter().enumerate() {
-            if !tree.is_basic(event) {
-                return Err(BddError::InvalidOrder {
-                    reason: format!("{} is not a basic event", tree.name(event)),
-                });
-            }
-            if level_of.insert(event, level as u32).is_some() {
-                return Err(BddError::InvalidOrder {
-                    reason: format!("{} appears twice", tree.name(event)),
-                });
-            }
-        }
+        let level_of = validate_order(tree, &order)?;
 
-        let mut bdd = Bdd {
-            nodes: vec![
-                Node {
-                    level: TERMINAL_LEVEL,
-                    low: FALSE,
-                    high: FALSE,
-                },
-                Node {
-                    level: TERMINAL_LEVEL,
-                    low: TRUE,
-                    high: TRUE,
-                },
-            ],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            vars: order,
-            root: FALSE,
-            max_nodes: options.max_nodes,
-        };
+        let mut bdd = Bdd::empty(order, options.max_nodes);
 
         // Bottom-up construction: node ids are topological, so every
         // gate's inputs already have a function when we reach it.
@@ -166,10 +128,55 @@ impl Bdd {
         Ok(bdd)
     }
 
+    /// An empty manager over the given variable order (terminals only,
+    /// root = FALSE). The modular builder constructs functions into it
+    /// region by region.
+    pub(crate) fn empty(vars: Vec<NodeId>, max_nodes: usize) -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    level: TERMINAL_LEVEL,
+                    low: FALSE,
+                    high: FALSE,
+                },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    low: TRUE,
+                    high: TRUE,
+                },
+            ],
+            unique: HashMap::default(),
+            apply_cache: HashMap::default(),
+            vars,
+            root: FALSE,
+            max_nodes,
+            apply_hits: 0,
+            apply_misses: 0,
+        }
+    }
+
+    pub(crate) fn set_root(&mut self, root: Ref) {
+        self.root = root;
+    }
+
     /// Number of live nodes (including the two terminals).
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of variables in the order.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Apply-cache `(hits, misses)` accumulated by this manager. A miss
+    /// is any non-trivial `apply` that had to recurse; hits are served
+    /// from the memo table.
+    #[must_use]
+    pub fn apply_cache_stats(&self) -> (u64, u64) {
+        (self.apply_hits, self.apply_misses)
     }
 
     /// Whether the top function is constant true/false.
@@ -187,25 +194,33 @@ impl Bdd {
     /// rare-event approximation.
     #[must_use]
     pub fn top_probability(&self, probs: &EventProbabilities) -> f64 {
-        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        self.top_probability_with(|event| probs.get(event))
+    }
+
+    /// The exact top-event probability with a caller-supplied variable
+    /// probability function. This is what the modular engine uses to give
+    /// pseudo-variables (nested modules) their computed probabilities.
+    #[must_use]
+    pub fn top_probability_with(&self, var_prob: impl Fn(NodeId) -> f64) -> f64 {
+        let mut memo: HashMap<Ref, f64, FxBuild> = HashMap::default();
         memo.insert(FALSE, 0.0);
         memo.insert(TRUE, 1.0);
-        self.probability_rec(self.root, probs, &mut memo)
+        self.probability_rec(self.root, &var_prob, &mut memo)
     }
 
     fn probability_rec(
         &self,
         f: Ref,
-        probs: &EventProbabilities,
-        memo: &mut HashMap<Ref, f64>,
+        var_prob: &impl Fn(NodeId) -> f64,
+        memo: &mut HashMap<Ref, f64, FxBuild>,
     ) -> f64 {
         if let Some(&p) = memo.get(&f) {
             return p;
         }
         let node = self.nodes[f as usize];
-        let p_var = probs.get(self.vars[node.level as usize]);
-        let p_low = self.probability_rec(node.low, probs, memo);
-        let p_high = self.probability_rec(node.high, probs, memo);
+        let p_var = var_prob(self.vars[node.level as usize]);
+        let p_low = self.probability_rec(node.low, var_prob, memo);
+        let p_high = self.probability_rec(node.high, var_prob, memo);
         let p = (1.0 - p_var) * p_low + p_var * p_high;
         memo.insert(f, p);
         p
@@ -220,22 +235,28 @@ impl Bdd {
     /// Returns an error if the intermediate diagrams exceed the node
     /// budget.
     pub fn minimal_cutsets(&mut self) -> Result<CutsetList, BddError> {
-        let mut minsol_cache: HashMap<Ref, Ref> = HashMap::new();
-        let mut without_cache: HashMap<(Ref, Ref), Ref> = HashMap::new();
-        let root = self.root;
-        let sol = self.minsol(root, &mut minsol_cache, &mut without_cache)?;
+        let sol = self.minimal_solutions()?;
         let mut out = CutsetList::new();
         let mut path: Vec<NodeId> = Vec::new();
         self.enumerate_sets(sol, &mut path, &mut out);
         Ok(out)
     }
 
+    /// The minsol family of the root as a set-family diagram, for lazy
+    /// enumeration by the modular engine.
+    pub(crate) fn minimal_solutions(&mut self) -> Result<Ref, BddError> {
+        let mut minsol_cache: HashMap<Ref, Ref, FxBuild> = HashMap::default();
+        let mut without_cache: HashMap<(Ref, Ref), Ref, FxBuild> = HashMap::default();
+        let root = self.root;
+        self.minsol(root, &mut minsol_cache, &mut without_cache)
+    }
+
     /// `minsol(f)`: the antichain of minimal solutions of a monotone `f`.
     fn minsol(
         &mut self,
         f: Ref,
-        minsol_cache: &mut HashMap<Ref, Ref>,
-        without_cache: &mut HashMap<(Ref, Ref), Ref>,
+        minsol_cache: &mut HashMap<Ref, Ref, FxBuild>,
+        without_cache: &mut HashMap<(Ref, Ref), Ref, FxBuild>,
     ) -> Result<Ref, BddError> {
         if f == FALSE || f == TRUE {
             return Ok(f);
@@ -260,7 +281,7 @@ impl Bdd {
         &mut self,
         f: Ref,
         g: Ref,
-        cache: &mut HashMap<(Ref, Ref), Ref>,
+        cache: &mut HashMap<(Ref, Ref), Ref, FxBuild>,
     ) -> Result<Ref, BddError> {
         if f == FALSE || g == TRUE || f == g {
             return Ok(FALSE);
@@ -313,9 +334,68 @@ impl Bdd {
         path.pop();
     }
 
+    /// Walk every set of the family rooted at `f` in the deterministic
+    /// low-before-high order, with branch-and-bound pruning: `weight_of`
+    /// maps a variable to an optimistic `(probability, order)`
+    /// contribution (for a plain event, its probability and 1; for a
+    /// pseudo-variable, the best kept expansion's probability and the
+    /// smallest kept order). Including a variable multiplies the path's
+    /// probability bound and adds to its order bound; a branch is pruned
+    /// once no extension can beat `bounds` — sound for antichain
+    /// enumeration under a cutoff because every extension only lowers
+    /// the probability and raises the order. `visit` receives the
+    /// variables on the current high-path; returning `false` aborts the
+    /// walk, and the walk's own return mirrors that. With empty bounds
+    /// this is a plain exhaustive walk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_each_set_pruned(
+        &self,
+        f: Ref,
+        path: &mut Vec<NodeId>,
+        prob_bound: f64,
+        order_bound: usize,
+        weight_of: &impl Fn(NodeId) -> (f64, usize),
+        bounds: &SetBounds,
+        visit: &mut impl FnMut(&[NodeId]) -> bool,
+    ) -> bool {
+        if f == FALSE {
+            return true;
+        }
+        if f == TRUE {
+            return visit(path);
+        }
+        let node = self.nodes[f as usize];
+        if !self.for_each_set_pruned(
+            node.low,
+            path,
+            prob_bound,
+            order_bound,
+            weight_of,
+            bounds,
+            visit,
+        ) {
+            return false;
+        }
+        let var = self.vars[node.level as usize];
+        let (weight, order) = weight_of(var);
+        let high_prob = prob_bound * weight;
+        let high_order = order_bound.saturating_add(order);
+        if bounds.prune_below.is_some_and(|c| high_prob <= c)
+            || bounds.max_order.is_some_and(|m| high_order > m)
+        {
+            return true;
+        }
+        path.push(var);
+        let keep_going = self.for_each_set_pruned(
+            node.high, path, high_prob, high_order, weight_of, bounds, visit,
+        );
+        path.pop();
+        keep_going
+    }
+
     /// At-least-k over arbitrary input functions via a threshold network:
     /// `c[j]` = "at least j of the inputs processed so far hold".
-    fn atleast(&mut self, k: usize, inputs: &[Ref]) -> Result<Ref, BddError> {
+    pub(crate) fn atleast(&mut self, k: usize, inputs: &[Ref]) -> Result<Ref, BddError> {
         let mut counts: Vec<Ref> = vec![FALSE; k + 1];
         counts[0] = TRUE;
         for &input in inputs {
@@ -327,7 +407,7 @@ impl Bdd {
         Ok(counts[k])
     }
 
-    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Result<Ref, BddError> {
+    pub(crate) fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Result<Ref, BddError> {
         match (op, f, g) {
             (Op::And, FALSE, _) | (Op::And, _, FALSE) => return Ok(FALSE),
             (Op::And, TRUE, x) | (Op::And, x, TRUE) => return Ok(x),
@@ -340,8 +420,10 @@ impl Bdd {
         }
         let key = (op, f.min(g), f.max(g));
         if let Some(&r) = self.apply_cache.get(&key) {
+            self.apply_hits += 1;
             return Ok(r);
         }
+        self.apply_misses += 1;
         let fnode = self.nodes[f as usize];
         let gnode = self.nodes[g as usize];
         let level = fnode.level.min(gnode.level);
@@ -364,7 +446,7 @@ impl Bdd {
 
     /// Hash-consed node constructor with the standard (function) reduction
     /// rule `low == high → low`.
-    fn mk(&mut self, level: u32, low: Ref, high: Ref) -> Result<Ref, BddError> {
+    pub(crate) fn mk(&mut self, level: u32, low: Ref, high: Ref) -> Result<Ref, BddError> {
         if low == high {
             return Ok(low);
         }
@@ -413,6 +495,60 @@ impl Bdd {
         self.unique.insert(node, r);
         Ok(r)
     }
+}
+
+/// Pruning bounds for [`Bdd::for_each_set_pruned`]: branches whose
+/// optimistic probability falls to `prune_below` or less, or whose
+/// minimum order exceeds `max_order`, are skipped wholesale.
+pub(crate) struct SetBounds {
+    pub(crate) prune_below: Option<f64>,
+    pub(crate) max_order: Option<usize>,
+}
+
+/// Validate a user-supplied order: every entry must be an in-range basic
+/// event of `tree`, appear exactly once, and the order must cover every
+/// basic event. Returns the event → level map on success.
+fn validate_order(tree: &FaultTree, order: &[NodeId]) -> Result<HashMap<NodeId, u32>, BddError> {
+    let mut level_of: HashMap<NodeId, u32> = HashMap::new();
+    for (level, &event) in order.iter().enumerate() {
+        if event.index() >= tree.len() {
+            return Err(BddError::InvalidOrder {
+                reason: format!(
+                    "node id {} is out of range for a tree of {} nodes",
+                    event.index(),
+                    tree.len()
+                ),
+            });
+        }
+        if !tree.is_basic(event) {
+            return Err(BddError::InvalidOrder {
+                reason: format!("{} is not a basic event", tree.name(event)),
+            });
+        }
+        if level_of.insert(event, level as u32).is_some() {
+            return Err(BddError::InvalidOrder {
+                reason: format!("{} appears twice", tree.name(event)),
+            });
+        }
+    }
+    let events: Vec<NodeId> = tree.basic_events().collect();
+    if order.len() != events.len() {
+        let missing: Vec<&str> = events
+            .iter()
+            .filter(|e| !level_of.contains_key(e))
+            .map(|&e| tree.name(e))
+            .collect();
+        let shown = missing[..missing.len().min(3)].join(", ");
+        let ellipsis = if missing.len() > 3 { ", …" } else { "" };
+        return Err(BddError::InvalidOrder {
+            reason: format!(
+                "order has {} entries for {} basic events (missing: {shown}{ellipsis})",
+                order.len(),
+                events.len(),
+            ),
+        });
+    }
+    Ok(level_of)
 }
 
 /// Default variable order: first occurrence in a depth-first traversal
@@ -584,6 +720,45 @@ mod tests {
             Bdd::with_order(&t, with_gate, &opts),
             Err(BddError::InvalidOrder { .. })
         ));
+    }
+
+    #[test]
+    fn out_of_range_order_entries_are_rejected_not_panicking() {
+        let t = example1();
+        // An id minted by a different, larger tree: out of range for `t`.
+        let mut b = FaultTreeBuilder::new();
+        let foreign: Vec<NodeId> = (0..20)
+            .map(|i| b.static_event(&format!("x{i}"), 0.1).unwrap())
+            .collect();
+        let g = b.or("g", foreign.iter().copied()).unwrap();
+        b.top(g);
+        b.build().unwrap();
+        let mut order: Vec<NodeId> = t.basic_events().collect();
+        order[0] = foreign[19];
+        let err = Bdd::with_order(&t, order, &BddOptions::default()).unwrap_err();
+        match err {
+            BddError::InvalidOrder { reason } => {
+                assert!(reason.contains("out of range"), "{reason}");
+            }
+            other => panic!("expected InvalidOrder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_orders_name_the_missing_events() {
+        let t = example1();
+        let order: Vec<NodeId> = t.basic_events().take(2).collect();
+        let err = Bdd::with_order(&t, order, &BddOptions::default()).unwrap_err();
+        match err {
+            BddError::InvalidOrder { reason } => {
+                assert!(reason.contains("missing"), "{reason}");
+                assert!(
+                    reason.contains('c'),
+                    "should name a missing event: {reason}"
+                );
+            }
+            other => panic!("expected InvalidOrder, got {other:?}"),
+        }
     }
 
     #[test]

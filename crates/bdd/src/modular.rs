@@ -1,0 +1,760 @@
+//! Modular BDD analysis: one ROBDD per independent module.
+//!
+//! [`modules`](sdft_ft::modules) finds the gates whose subtrees share no
+//! node with the rest of the tree (Dutuit & Rauzy 1996). Each such
+//! subtree can be analyzed in isolation and re-enters its parent as a
+//! single *pseudo-variable*, which keeps every individual diagram small:
+//! the monolithic BDD of a 50k-gate industrial tree is hopeless, but its
+//! modules rarely exceed a few hundred variables each.
+//!
+//! Soundness of the composition rests on the modules being
+//! event-disjoint:
+//!
+//! * **probability** — a pseudo-variable is an independent Boolean with
+//!   the module's exact probability, so Shannon expansion composes
+//!   bottom-up without approximation;
+//! * **minimal cutsets** — substituting each pseudo-variable occurrence
+//!   in a minimal solution by any minimal cutset of its module (cartesian
+//!   expansion) yields exactly the minimal cutsets of the composed
+//!   function, because no substitution can collide with or subsume
+//!   events from a sibling branch.
+
+use crate::error::BddError;
+use crate::manager::{Bdd, Op, Ref, SetBounds, FALSE, TRUE};
+use sdft_ft::{
+    modules, Cutset, CutsetList, EventProbabilities, FaultTree, FxBuild, GateKind, NodeId,
+};
+use std::collections::HashMap;
+
+/// Limits pushed *into* the minsol enumeration as branch-and-bound
+/// pruning, mirroring the MOCUS cutoff semantics (keep cutsets with
+/// probability strictly above `cutoff` and order at most `max_order`).
+///
+/// Pruning is conservative: every cutset that passes the limits is
+/// guaranteed to be delivered, but cutsets within a relative `1e-9` of
+/// the cutoff may be delivered as well (the enumeration accumulates
+/// probability products in a different association order than
+/// [`Cutset::probability_with`], so the exact boundary is left to the
+/// caller's own final filter). Without limits the full antichain is
+/// enumerated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CutsetLimits {
+    /// Drop cutsets whose probability is at or below this value.
+    pub cutoff: Option<f64>,
+    /// Drop cutsets with more events than this.
+    pub max_order: Option<usize>,
+}
+
+/// The margin that keeps internal pruning strictly conservative against
+/// floating-point association differences (see [`CutsetLimits`]).
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// One fully expanded (plain-event) minimal cutset of a nested module,
+/// with its probability and order under the enumeration's probe.
+struct ExpandedSet {
+    events: Vec<NodeId>,
+    prob: f64,
+    order: usize,
+}
+
+/// A nested module's kept cutsets, best-first, plus the optimistic
+/// bounds its pseudo-variable contributes to an enclosing path.
+struct Expansion {
+    /// Kept sets sorted by descending probability (stable, so the
+    /// unlimited enumeration preserves the walk order).
+    sets: Vec<ExpandedSet>,
+    /// Largest kept probability (`0.0` when nothing survived — any path
+    /// through the pseudo-variable is then dead under a cutoff).
+    max_prob: f64,
+    /// Smallest kept order (`usize::MAX` when nothing survived).
+    min_order: usize,
+}
+
+/// Options for the modular BDD engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModularBddOptions {
+    /// Abort once this many BDD nodes exist *in total* across all
+    /// module diagrams (shared budget).
+    pub max_nodes: usize,
+    /// Modules whose region (gates + variables) is at least this large
+    /// use the weight/depth variable order instead of plain DFS order.
+    pub weighted_order_threshold: usize,
+}
+
+impl Default for ModularBddOptions {
+    fn default() -> Self {
+        ModularBddOptions {
+            max_nodes: 20_000_000,
+            weighted_order_threshold: 64,
+        }
+    }
+}
+
+/// Per-module construction statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// The module's root gate.
+    pub gate: NodeId,
+    /// BDD nodes of the module's diagram (including terminals).
+    pub nodes: usize,
+    /// Variables of the diagram: own basic events plus nested-module
+    /// pseudo-variables.
+    pub variables: usize,
+    /// Whether the weight/depth order was chosen over plain DFS order.
+    pub weighted_order: bool,
+}
+
+/// Aggregate statistics of a modular construction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModularBddStats {
+    /// Number of independent modules (the top counts as one).
+    pub modules: usize,
+    /// Total BDD nodes across all module diagrams.
+    pub total_nodes: usize,
+    /// Largest single module diagram.
+    pub max_module_nodes: usize,
+    /// Modules that used the weight/depth order.
+    pub weighted_orders: usize,
+    /// Apply-cache hits summed over all module managers.
+    pub apply_hits: u64,
+    /// Apply-cache misses summed over all module managers.
+    pub apply_misses: u64,
+    /// Per-module detail, in bottom-up (id) order; the last entry is the
+    /// top module.
+    pub per_module: Vec<ModuleStats>,
+}
+
+struct Module {
+    gate: NodeId,
+    bdd: Bdd,
+    weighted: bool,
+}
+
+/// A modular BDD of a fault tree: one diagram per independent module,
+/// composed through pseudo-variables.
+///
+/// Like [`Bdd`], dynamic basic events are opaque variables; trigger
+/// edges only influence module boundaries (via [`modules`]).
+pub struct ModularBdd {
+    mods: Vec<Module>,
+    /// gate id → index into `mods` (only module gates).
+    index_of: HashMap<NodeId, usize, FxBuild>,
+}
+
+impl ModularBdd {
+    /// Build one BDD per module of `tree` with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diagrams exceed the shared node budget.
+    pub fn new(tree: &FaultTree) -> Result<Self, BddError> {
+        Self::with_options(tree, &ModularBddOptions::default())
+    }
+
+    /// Build with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diagrams exceed the shared node budget.
+    pub fn with_options(tree: &FaultTree, options: &ModularBddOptions) -> Result<Self, BddError> {
+        let module_gates = modules(tree);
+        let mut index_of: HashMap<NodeId, usize, FxBuild> = HashMap::default();
+        for (i, &g) in module_gates.iter().enumerate() {
+            index_of.insert(g, i);
+        }
+        let mut mods: Vec<Module> = Vec::with_capacity(module_gates.len());
+        let mut used_nodes = 0usize;
+        // Ids are topological, so iterating in id order builds every
+        // nested module before the module that references it.
+        for &gate in &module_gates {
+            let region = collect_region(tree, gate, &index_of);
+            let weighted = region.size >= options.weighted_order_threshold;
+            let order = if weighted {
+                weighted_order(&region)
+            } else {
+                region.vars.clone()
+            };
+            let budget = options.max_nodes.saturating_sub(used_nodes).max(2);
+            let bdd = build_module(tree, &region, order, budget)?;
+            used_nodes += bdd.node_count();
+            mods.push(Module {
+                gate,
+                bdd,
+                weighted,
+            });
+        }
+        Ok(ModularBdd { mods, index_of })
+    }
+
+    /// Number of modules.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.mods.len()
+    }
+
+    /// Construction statistics (node counts, ordering choices, apply
+    /// cache behavior).
+    #[must_use]
+    pub fn stats(&self) -> ModularBddStats {
+        let mut stats = ModularBddStats {
+            modules: self.mods.len(),
+            ..ModularBddStats::default()
+        };
+        for m in &self.mods {
+            let nodes = m.bdd.node_count();
+            let (hits, misses) = m.bdd.apply_cache_stats();
+            stats.total_nodes += nodes;
+            stats.max_module_nodes = stats.max_module_nodes.max(nodes);
+            stats.weighted_orders += usize::from(m.weighted);
+            stats.apply_hits += hits;
+            stats.apply_misses += misses;
+            stats.per_module.push(ModuleStats {
+                gate: m.gate,
+                nodes,
+                variables: m.bdd.var_count(),
+                weighted_order: m.weighted,
+            });
+        }
+        stats
+    }
+
+    /// The exact top-event probability under `probs`: per-module Shannon
+    /// expansion composed bottom-up, free of cutoffs and of the
+    /// rare-event approximation.
+    #[must_use]
+    pub fn exact_probability(&self, probs: &EventProbabilities) -> f64 {
+        self.exact_probability_with(|event| probs.get(event))
+    }
+
+    /// The exact top-event probability with a caller-supplied basic event
+    /// probability function.
+    #[must_use]
+    pub fn exact_probability_with(&self, var_prob: impl Fn(NodeId) -> f64) -> f64 {
+        let mut module_prob: HashMap<NodeId, f64, FxBuild> = HashMap::default();
+        let mut top = 0.0;
+        for m in &self.mods {
+            let p = m.bdd.top_probability_with(|v| {
+                module_prob.get(&v).copied().unwrap_or_else(|| var_prob(v))
+            });
+            module_prob.insert(m.gate, p);
+            top = p;
+        }
+        top
+    }
+
+    /// The complete list of minimal cutsets, identical (as a set) to the
+    /// monolithic [`Bdd::minimal_cutsets`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the minsol diagrams exceed the node budget.
+    pub fn minimal_cutsets(&mut self) -> Result<CutsetList, BddError> {
+        let mut out = CutsetList::new();
+        self.stream_minimal_cutsets(usize::MAX, |batch| {
+            for c in batch.drain(..) {
+                out.push(c);
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Stream the complete minimal cutset antichain in deterministic
+    /// order, delivering batches of (at least) `batch_size` through
+    /// `deliver`. The final batch may be smaller. `deliver` returning
+    /// `false` aborts the enumeration; the function then returns
+    /// `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the minsol diagrams exceed the node budget.
+    pub fn stream_minimal_cutsets(
+        &mut self,
+        batch_size: usize,
+        deliver: impl FnMut(&mut Vec<Cutset>) -> bool,
+    ) -> Result<bool, BddError> {
+        self.stream_minimal_cutsets_bounded(batch_size, |_| 1.0, &CutsetLimits::default(), deliver)
+    }
+
+    /// [`ModularBdd::stream_minimal_cutsets`] with the cutoff and order
+    /// limits pushed *into* the enumeration as branch-and-bound pruning
+    /// (see [`CutsetLimits`] for the conservative-boundary contract).
+    ///
+    /// This is what makes the exact backend usable on industrial trees:
+    /// their full antichain is combinatorially huge, but the part above
+    /// any practical cutoff is small, and extending a cutset only lowers
+    /// its probability and raises its order — so whole branches of the
+    /// minsol walk and of the nested-module cartesian expansion can be
+    /// discarded the moment their optimistic bound falls below the
+    /// cutoff.
+    ///
+    /// Minimality is established *inside* the backend: each nested module
+    /// is fully solved before the top module's solutions are expanded, so
+    /// every delivered cutset is already minimal and no cross-batch
+    /// subsumption is ever needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the minsol diagrams exceed the node budget.
+    pub fn stream_minimal_cutsets_bounded(
+        &mut self,
+        batch_size: usize,
+        prob_of: impl Fn(NodeId) -> f64,
+        limits: &CutsetLimits,
+        mut deliver: impl FnMut(&mut Vec<Cutset>) -> bool,
+    ) -> Result<bool, BddError> {
+        let bounds = SetBounds {
+            prune_below: limits.cutoff.map(|c| c * (1.0 - PRUNE_SLACK)),
+            max_order: limits.max_order,
+        };
+        // Fully expand every nested module bottom-up; the top module is
+        // then enumerated lazily.
+        let mut expanded: HashMap<NodeId, Expansion, FxBuild> = HashMap::default();
+        let last = self.mods.len() - 1;
+        for i in 0..last {
+            let sol = self.mods[i].bdd.minimal_solutions()?;
+            let gate = self.mods[i].gate;
+            let mut sets: Vec<ExpandedSet> = Vec::new();
+            let mut path = Vec::new();
+            self.mods[i].bdd.for_each_set_pruned(
+                sol,
+                &mut path,
+                1.0,
+                0,
+                &|v| pseudo_weight(v, &expanded, &prob_of),
+                &bounds,
+                &mut |set| {
+                    expand_set(
+                        set,
+                        &expanded,
+                        &prob_of,
+                        &bounds,
+                        &mut |events, prob, order| {
+                            sets.push(ExpandedSet {
+                                events: events.to_vec(),
+                                prob,
+                                order,
+                            });
+                        },
+                    );
+                    true
+                },
+            );
+            // Best-first, so enclosing expansions can stop a candidate
+            // loop as soon as the probability bound drops out. The sort
+            // is stable and unlimited runs give every set probability
+            // 1.0, preserving the walk order exactly.
+            sets.sort_by(|a, b| b.prob.total_cmp(&a.prob));
+            let max_prob = sets.first().map_or(0.0, |s| s.prob);
+            let min_order = sets.iter().map(|s| s.order).min().unwrap_or(usize::MAX);
+            expanded.insert(
+                gate,
+                Expansion {
+                    sets,
+                    max_prob,
+                    min_order,
+                },
+            );
+        }
+
+        let sol = self.mods[last].bdd.minimal_solutions()?;
+        let mut buffer: Vec<Cutset> = Vec::new();
+        let mut path = Vec::new();
+        let completed = self.mods[last].bdd.for_each_set_pruned(
+            sol,
+            &mut path,
+            1.0,
+            0,
+            &|v| pseudo_weight(v, &expanded, &prob_of),
+            &bounds,
+            &mut |set| {
+                expand_set(set, &expanded, &prob_of, &bounds, &mut |events, _, _| {
+                    buffer.push(Cutset::new(events.iter().copied()));
+                });
+                if buffer.len() >= batch_size {
+                    deliver(&mut buffer)
+                } else {
+                    true
+                }
+            },
+        );
+        if !completed {
+            return Ok(false);
+        }
+        if !buffer.is_empty() && !deliver(&mut buffer) {
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Whether `id` is one of the module root gates.
+    #[must_use]
+    pub fn is_module(&self, id: NodeId) -> bool {
+        self.index_of.contains_key(&id)
+    }
+}
+
+/// The optimistic `(probability, order)` contribution of including a
+/// minsol variable on a path: a plain event contributes its own
+/// probability and one event; a pseudo-variable contributes its module's
+/// best kept probability and smallest kept order.
+fn pseudo_weight(
+    v: NodeId,
+    expanded: &HashMap<NodeId, Expansion, FxBuild>,
+    prob_of: &impl Fn(NodeId) -> f64,
+) -> (f64, usize) {
+    match expanded.get(&v) {
+        Some(exp) => (exp.max_prob, exp.min_order),
+        None => (prob_of(v), 1),
+    }
+}
+
+/// Expand one minsol set (own events + pseudo-variables) into plain
+/// event sets by cartesian product over the nested modules' expansions,
+/// pruning combinations that cannot pass `bounds`. Emits each surviving
+/// set with its probability and order; first pseudo-variable slowest, so
+/// the expansion order is deterministic.
+fn expand_set(
+    set: &[NodeId],
+    expanded: &HashMap<NodeId, Expansion, FxBuild>,
+    prob_of: &impl Fn(NodeId) -> f64,
+    bounds: &SetBounds,
+    emit: &mut impl FnMut(&[NodeId], f64, usize),
+) {
+    let mut own: Vec<NodeId> = Vec::with_capacity(set.len());
+    let mut pseudo: Vec<&Expansion> = Vec::new();
+    for &v in set {
+        match expanded.get(&v) {
+            Some(exp) => pseudo.push(exp),
+            None => own.push(v),
+        }
+    }
+    let mut own_prob = 1.0;
+    for &e in &own {
+        own_prob *= prob_of(e);
+    }
+    let own_order = own.len();
+    if pseudo.is_empty() {
+        if bounds.prune_below.is_none_or(|c| own_prob > c)
+            && bounds.max_order.is_none_or(|m| own_order <= m)
+        {
+            emit(&own, own_prob, own_order);
+        }
+        return;
+    }
+    // Optimistic bounds over the not-yet-chosen suffix of pseudo
+    // variables, for early loop exits inside the recursion.
+    let n = pseudo.len();
+    let mut suffix_prob = vec![1.0; n + 1];
+    let mut suffix_order = vec![0usize; n + 1];
+    for i in (0..n).rev() {
+        suffix_prob[i] = suffix_prob[i + 1] * pseudo[i].max_prob;
+        suffix_order[i] = suffix_order[i + 1].saturating_add(pseudo[i].min_order);
+    }
+    let mut scratch = own;
+    expand_rec(
+        &pseudo,
+        &suffix_prob,
+        &suffix_order,
+        bounds,
+        0,
+        own_prob,
+        own_order,
+        &mut scratch,
+        emit,
+    );
+}
+
+/// One level of the pruned cartesian product: try this pseudo-variable's
+/// kept sets best-first and stop the loop once even the optimistic
+/// remainder cannot clear the probability bound.
+#[allow(clippy::too_many_arguments)]
+fn expand_rec(
+    pseudo: &[&Expansion],
+    suffix_prob: &[f64],
+    suffix_order: &[usize],
+    bounds: &SetBounds,
+    depth: usize,
+    prob: f64,
+    order: usize,
+    scratch: &mut Vec<NodeId>,
+    emit: &mut impl FnMut(&[NodeId], f64, usize),
+) {
+    if depth == pseudo.len() {
+        emit(scratch, prob, order);
+        return;
+    }
+    for s in &pseudo[depth].sets {
+        let p = prob * s.prob;
+        if bounds
+            .prune_below
+            .is_some_and(|c| p * suffix_prob[depth + 1] <= c)
+        {
+            // Sets are sorted by descending probability: the rest of
+            // this loop can only do worse.
+            break;
+        }
+        let o = order.saturating_add(s.order);
+        if bounds
+            .max_order
+            .is_some_and(|m| o.saturating_add(suffix_order[depth + 1]) > m)
+        {
+            // Order is not monotone under the probability sort, so a
+            // too-large candidate does not end the loop.
+            continue;
+        }
+        let len = scratch.len();
+        scratch.extend_from_slice(&s.events);
+        expand_rec(
+            pseudo,
+            suffix_prob,
+            suffix_order,
+            bounds,
+            depth + 1,
+            p,
+            o,
+            scratch,
+            emit,
+        );
+        scratch.truncate(len);
+    }
+}
+
+/// A module's region: everything reachable from its root gate without
+/// descending into nested modules.
+struct Region {
+    root: NodeId,
+    /// Region gates in id (topological) order, excluding nested module
+    /// roots, including the region root itself.
+    gates: Vec<NodeId>,
+    /// Variables (own basic events + nested module pseudo-variables) in
+    /// DFS first-occurrence order.
+    vars: Vec<NodeId>,
+    /// Shallowest occurrence depth per variable, parallel to `vars`.
+    min_depth: Vec<u32>,
+    /// Edge reference count per variable, parallel to `vars`.
+    occurrences: Vec<u32>,
+    /// Gates + variables, the size used for the ordering decision.
+    size: usize,
+}
+
+fn collect_region(
+    tree: &FaultTree,
+    root: NodeId,
+    index_of: &HashMap<NodeId, usize, FxBuild>,
+) -> Region {
+    let mut var_pos: HashMap<NodeId, usize, FxBuild> = HashMap::default();
+    let mut region = Region {
+        root,
+        gates: Vec::new(),
+        vars: Vec::new(),
+        min_depth: Vec::new(),
+        occurrences: Vec::new(),
+        size: 0,
+    };
+    let mut seen_gates: HashMap<NodeId, (), FxBuild> = HashMap::default();
+    // DFS with explicit depth; inputs pushed in reverse so the first
+    // input is visited first (matching the monolithic `dfs_order`).
+    let mut stack: Vec<(NodeId, u32)> = vec![(root, 0)];
+    while let Some((id, depth)) = stack.pop() {
+        let is_var = tree.is_basic(id) || (id != root && index_of.contains_key(&id));
+        if is_var {
+            match var_pos.get(&id) {
+                Some(&pos) => {
+                    region.occurrences[pos] += 1;
+                    region.min_depth[pos] = region.min_depth[pos].min(depth);
+                }
+                None => {
+                    var_pos.insert(id, region.vars.len());
+                    region.vars.push(id);
+                    region.min_depth.push(depth);
+                    region.occurrences.push(1);
+                }
+            }
+            continue;
+        }
+        if seen_gates.insert(id, ()).is_some() {
+            continue;
+        }
+        region.gates.push(id);
+        for &input in tree.gate_inputs(id).iter().rev() {
+            stack.push((input, depth + 1));
+        }
+    }
+    region.gates.sort_unstable();
+    region.size = region.gates.len() + region.vars.len();
+    region
+}
+
+/// The weight/depth order for large modules: shallow, frequently
+/// referenced variables first (they dominate the function's shape), DFS
+/// position as the deterministic tiebreak.
+fn weighted_order(region: &Region) -> Vec<NodeId> {
+    let mut idx: Vec<usize> = (0..region.vars.len()).collect();
+    idx.sort_by_key(|&i| {
+        (
+            region.min_depth[i],
+            std::cmp::Reverse(region.occurrences[i]),
+            i,
+        )
+    });
+    idx.into_iter().map(|i| region.vars[i]).collect()
+}
+
+fn build_module(
+    tree: &FaultTree,
+    region: &Region,
+    order: Vec<NodeId>,
+    max_nodes: usize,
+) -> Result<Bdd, BddError> {
+    let mut level_of: HashMap<NodeId, u32, FxBuild> = HashMap::default();
+    for (level, &v) in order.iter().enumerate() {
+        level_of.insert(v, level as u32);
+    }
+    let mut bdd = Bdd::empty(order, max_nodes);
+    // Variables first, then region gates bottom-up (ids are topological).
+    let mut func: HashMap<NodeId, Ref, FxBuild> = HashMap::default();
+    for (&v, &level) in &level_of {
+        func.insert(v, bdd.mk(level, FALSE, TRUE)?);
+    }
+    for &gate in &region.gates {
+        let inputs: Vec<Ref> = tree.gate_inputs(gate).iter().map(|i| func[i]).collect();
+        let f = match tree.gate_kind(gate).expect("gate") {
+            GateKind::And => {
+                let mut acc = TRUE;
+                for g in inputs {
+                    acc = bdd.apply(Op::And, acc, g)?;
+                }
+                acc
+            }
+            GateKind::Or => {
+                let mut acc = FALSE;
+                for g in inputs {
+                    acc = bdd.apply(Op::Or, acc, g)?;
+                }
+                acc
+            }
+            GateKind::AtLeast(k) => bdd.atleast(k as usize, &inputs)?,
+        };
+        func.insert(gate, f);
+    }
+    bdd.set_root(func[&region.root]);
+    Ok(bdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example1() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b.static_event("b", 1e-3).unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b.static_event("d", 1e-3).unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn modular_probability_matches_monolithic_and_enumeration() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let modular = ModularBdd::new(&t).unwrap();
+        let mono = Bdd::new(&t).unwrap();
+        let exact = t.exact_static_probability().unwrap();
+        let pm = modular.exact_probability(&probs);
+        assert!((pm - exact).abs() < 1e-15, "{pm} vs {exact}");
+        assert!((pm - mono.top_probability(&probs)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn modular_cutsets_match_monolithic() {
+        let t = example1();
+        let mut modular = ModularBdd::new(&t).unwrap();
+        let mut mono = Bdd::new(&t).unwrap();
+        let mut a: Vec<Cutset> = modular.minimal_cutsets().unwrap().iter().cloned().collect();
+        let mut b: Vec<Cutset> = mono.minimal_cutsets().unwrap().iter().cloned().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn streaming_yields_the_same_cutsets_in_batches() {
+        let t = example1();
+        let mut modular = ModularBdd::new(&t).unwrap();
+        let full: Vec<Cutset> = modular.minimal_cutsets().unwrap().iter().cloned().collect();
+        let mut streamed: Vec<Cutset> = Vec::new();
+        let mut batches = 0;
+        let done = modular
+            .stream_minimal_cutsets(1, |batch| {
+                batches += 1;
+                streamed.append(batch);
+                true
+            })
+            .unwrap();
+        assert!(done);
+        assert!(batches >= 2, "expected several batches, got {batches}");
+        assert_eq!(streamed, full, "stream order must match batch order");
+    }
+
+    #[test]
+    fn streaming_abort_is_honored() {
+        let t = example1();
+        let mut modular = ModularBdd::new(&t).unwrap();
+        let done = modular.stream_minimal_cutsets(1, |_| false).unwrap();
+        assert!(!done);
+    }
+
+    #[test]
+    fn stats_report_one_diagram_per_module() {
+        let t = example1();
+        let modular = ModularBdd::new(&t).unwrap();
+        let stats = modular.stats();
+        // p1, p2, pumps, cooling are all modules of example1.
+        assert_eq!(stats.modules, 4);
+        assert_eq!(stats.per_module.len(), 4);
+        assert!(stats.total_nodes >= stats.max_module_nodes);
+        assert_eq!(stats.weighted_orders, 0, "tiny modules stay on DFS order");
+        assert!(modular.is_module(t.node_by_name("pumps").unwrap()));
+        assert!(!modular.is_module(t.node_by_name("a").unwrap()));
+    }
+
+    #[test]
+    fn shared_budget_is_enforced_across_modules() {
+        let t = example1();
+        let err = ModularBdd::with_options(
+            &t,
+            &ModularBddOptions {
+                max_nodes: 4,
+                ..ModularBddOptions::default()
+            },
+        );
+        assert!(matches!(err, Err(BddError::TooManyNodes { .. })));
+    }
+
+    #[test]
+    fn weighted_order_threshold_changes_order_not_semantics() {
+        let t = example1();
+        let probs = EventProbabilities::from_static(&t).unwrap();
+        let weighted = ModularBdd::with_options(
+            &t,
+            &ModularBddOptions {
+                weighted_order_threshold: 0,
+                ..ModularBddOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(weighted.stats().weighted_orders, 4);
+        let exact = t.exact_static_probability().unwrap();
+        assert!((weighted.exact_probability(&probs) - exact).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the modular BDD backend on random static
+//! trees: the modular diagram (one ROBDD per independent module,
+//! composed through pseudo-variables) must agree with the monolithic
+//! diagram and with exhaustive scenario enumeration on both the exact
+//! probability and the minimal cutset antichain — and the module
+//! decomposition it builds on must be a genuine laminar family (any
+//! two module subtrees are nested or event-disjoint).
+
+use proptest::prelude::*;
+use sdft_bdd::{Bdd, ModularBdd};
+use sdft_ft::{modules, Cutset, EventProbabilities, FaultTree, FaultTreeBuilder, NodeId};
+use std::collections::BTreeSet;
+
+/// A compact description of a random static fault tree: event
+/// probabilities plus gate specs referencing earlier nodes by index
+/// (same scheme as the workspace-level property suite).
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    probs: Vec<f64>,
+    gates: Vec<(u8, Vec<usize>)>,
+}
+
+fn arb_tree_spec() -> impl Strategy<Value = TreeSpec> {
+    let events = prop::collection::vec(0.0f64..=1.0, 2..8);
+    let gates = prop::collection::vec((0u8..3, prop::collection::vec(0usize..100, 1..5)), 1..7);
+    (events, gates).prop_map(|(probs, gates)| TreeSpec { probs, gates })
+}
+
+fn build_tree(spec: &TreeSpec) -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    let mut nodes: Vec<NodeId> = spec
+        .probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| b.static_event(&format!("e{i}"), p).expect("valid"))
+        .collect();
+    for (g, (kind, refs)) in spec.gates.iter().enumerate() {
+        let mut inputs: Vec<NodeId> = refs.iter().map(|&r| nodes[r % nodes.len()]).collect();
+        inputs.sort();
+        inputs.dedup();
+        let id = match kind {
+            0 => b.and(&format!("g{g}"), inputs).expect("valid"),
+            1 => b.or(&format!("g{g}"), inputs).expect("valid"),
+            _ => {
+                let k = (refs.len() as u32 % inputs.len() as u32) + 1;
+                b.atleast(&format!("g{g}"), k, inputs).expect("valid")
+            }
+        };
+        nodes.push(id);
+    }
+    b.top(*nodes.last().expect("at least one gate"));
+    b.build().expect("spec produces a valid tree")
+}
+
+/// All basic events reachable from `node`.
+fn subtree_events(tree: &FaultTree, node: NodeId) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        if tree.is_basic(n) {
+            out.insert(n);
+        } else {
+            stack.extend(tree.gate_inputs(n).iter().copied());
+        }
+    }
+    out
+}
+
+fn sorted(mut cutsets: Vec<Cutset>) -> Vec<Cutset> {
+    cutsets.sort();
+    cutsets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Modular probability == monolithic probability == exhaustive
+    /// enumeration, to tight tolerance (different factorizations of the
+    /// same polynomial, so exact equality is not guaranteed bitwise).
+    #[test]
+    fn modular_probability_matches_monolithic_and_enumeration(spec in arb_tree_spec()) {
+        let tree = build_tree(&spec);
+        let probs = EventProbabilities::from_static(&tree).unwrap();
+        let modular = ModularBdd::new(&tree).unwrap();
+        let mono = Bdd::new(&tree).unwrap();
+        let p_modular = modular.exact_probability(&probs);
+        let p_mono = mono.top_probability(&probs);
+        let p_enum = tree.exact_static_probability().unwrap();
+        prop_assert!((p_modular - p_mono).abs() <= 1e-12 * p_mono.abs().max(1.0),
+            "modular {p_modular} vs monolithic {p_mono}");
+        prop_assert!((p_modular - p_enum).abs() <= 1e-10 * p_enum.abs().max(1.0),
+            "modular {p_modular} vs enumeration {p_enum}");
+    }
+
+    /// The modular backend's composed minimal cutsets equal the
+    /// monolithic diagram's antichain exactly.
+    #[test]
+    fn modular_cutsets_match_monolithic(spec in arb_tree_spec()) {
+        let tree = build_tree(&spec);
+        let mut modular = ModularBdd::new(&tree).unwrap();
+        let mut mono = Bdd::new(&tree).unwrap();
+        let from_modular = sorted(modular.minimal_cutsets().unwrap().into_iter().collect());
+        let from_mono = sorted(mono.minimal_cutsets().unwrap().into_iter().collect());
+        prop_assert_eq!(from_modular, from_mono);
+    }
+
+    /// `modules()` returns a laminar family: any two module subtrees
+    /// are either nested or have disjoint basic events — the
+    /// independence that makes pseudo-variable composition sound.
+    #[test]
+    fn modules_partition_is_laminar(spec in arb_tree_spec()) {
+        let tree = build_tree(&spec);
+        let mods = modules(&tree);
+        prop_assert!(mods.contains(&tree.top()), "top is always a module");
+        let event_sets: Vec<BTreeSet<NodeId>> = mods
+            .iter()
+            .map(|&m| subtree_events(&tree, m))
+            .collect();
+        for i in 0..event_sets.len() {
+            for j in i + 1..event_sets.len() {
+                let (a, b) = (&event_sets[i], &event_sets[j]);
+                let nested = a.is_subset(b) || b.is_subset(a);
+                let disjoint = a.is_disjoint(b);
+                prop_assert!(nested || disjoint,
+                    "modules {:?} and {:?} overlap without nesting: {:?} vs {:?}",
+                    tree.name(mods[i]), tree.name(mods[j]), a, b);
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! scale factor (1.0 = the paper's model sizes; smaller scales shrink the
 //! generated models proportionally for quick runs).
 
-use sdft_core::{analyze, AnalysisOptions, AnalysisResult, FtcContext, QuantifyOptions};
+use sdft_core::{analyze, AnalysisOptions, AnalysisResult, Backend, FtcContext, QuantifyOptions};
 use sdft_ft::{Cutset, EventProbabilities, FaultTree, FaultTreeBuilder};
 use sdft_importance::fussell_vesely_ranking;
 use sdft_mocus::{minimal_cutsets, minimal_cutsets_with_stats, MocusOptions};
@@ -513,6 +513,96 @@ pub fn cutoff_sweep(scale: f64, cutoffs: &[f64], horizon: f64) -> Vec<CutoffRow>
         .collect()
 }
 
+/// One row of the backend contrast (extension X3): the same analysis
+/// once through MOCUS at a cutoff and once through the exact modular
+/// BDD backend, with the truncation error the cutoff incurred against
+/// the exact static probability.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// The cutoff `c*` applied to both backends' cutset lists.
+    pub cutoff: f64,
+    /// Cutsets above the cutoff (identical for both backends).
+    pub cutsets: usize,
+    /// Time-aware failure frequency (bitwise identical across backends).
+    pub frequency: f64,
+    /// Static REA over the kept cutsets — what the cutoff run reports.
+    pub rea: f64,
+    /// Exact static probability of `FT̄` from the modular BDD — no
+    /// cutoff, no rare-event approximation.
+    pub exact: f64,
+    /// `|rea − exact|`: truncation *plus* rare-event error at this
+    /// cutoff, eliminated entirely by the exact backend.
+    pub abs_error: f64,
+    /// Whole-analysis wall clock under MOCUS.
+    pub mocus_time: Duration,
+    /// Whole-analysis wall clock under the BDD backend.
+    pub bdd_time: Duration,
+    /// Cutset-generation span under MOCUS.
+    pub mocus_generation: Duration,
+    /// Cutset-generation span (construction + minsol) under the BDD.
+    pub bdd_generation: Duration,
+    /// Independent modules the BDD backend decomposed `FT̄` into.
+    pub bdd_modules: usize,
+    /// Total ROBDD nodes across the module diagrams.
+    pub bdd_nodes: usize,
+}
+
+/// Contrast the MOCUS-at-cutoff pipeline with the exact modular-BDD
+/// backend on the X1 fixture (industrial model 1, 30% dynamic): both
+/// must report bitwise-identical frequencies over the same cutset
+/// list, while only the BDD quotes the exact static probability.
+///
+/// # Panics
+///
+/// Panics if generation, annotation or analysis fails, or if the
+/// backends disagree on the frequency bits.
+#[must_use]
+pub fn backend_contrast(scale: f64, cutoffs: &[f64], horizon: f64) -> Vec<BackendRow> {
+    let tree = industrial::generate(&industrial::model1().scaled(scale));
+    let probs = EventProbabilities::from_static(&tree).expect("static model");
+    let mcs = minimal_cutsets(&tree, &probs, &MocusOptions::default()).expect("mocus");
+    let ranking = fussell_vesely_ranking(&mcs, &probs, tree.basic_events());
+    let annotated =
+        annotate(&tree, &ranking, &AnnotationConfig::percent_dynamic(30.0)).expect("annotation");
+    cutoffs
+        .iter()
+        .map(|&cutoff| {
+            let mut options = AnalysisOptions::new(horizon);
+            options.mocus = MocusOptions::with_cutoff(cutoff);
+            let begin = Instant::now();
+            let mocus = analyze(&annotated.tree, &options).expect("mocus analysis");
+            let mocus_time = begin.elapsed();
+
+            options.backend = Backend::Bdd;
+            let begin = Instant::now();
+            let bdd = analyze(&annotated.tree, &options).expect("bdd analysis");
+            let bdd_time = begin.elapsed();
+
+            assert_eq!(
+                mocus.frequency.to_bits(),
+                bdd.frequency.to_bits(),
+                "backends must agree bitwise at cutoff {cutoff:e}"
+            );
+            assert_eq!(mocus.stats.num_cutsets, bdd.stats.num_cutsets);
+            let exact = bdd.exact_static.expect("bdd backend reports exact");
+            BackendRow {
+                cutoff,
+                cutsets: bdd.stats.num_cutsets,
+                frequency: bdd.frequency,
+                rea: bdd.static_rea,
+                exact,
+                abs_error: (bdd.static_rea - exact).abs(),
+                mocus_time,
+                bdd_time,
+                mocus_generation: mocus.timings.mcs_generation,
+                bdd_generation: bdd.timings.mcs_generation,
+                bdd_modules: bdd.stats.bdd_modules,
+                bdd_nodes: bdd.stats.bdd_total_nodes,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -556,6 +646,22 @@ mod tests {
             step2 < step1,
             "increments must shrink: {step1} then {step2}"
         );
+    }
+
+    #[test]
+    fn backend_contrast_error_shrinks_with_the_cutoff() {
+        let rows = super::backend_contrast(0.03, &[1e-13, 1e-17], 24.0);
+        assert_eq!(rows.len(), 2);
+        // The exact probability is cutoff-independent; the REA closes in
+        // on it (from below via truncation, overshooting via the
+        // rare-event sum) as the cutoff tightens.
+        assert_eq!(rows[0].exact.to_bits(), rows[1].exact.to_bits());
+        assert!(rows[0].cutsets <= rows[1].cutsets);
+        for row in &rows {
+            assert!(row.exact > 0.0);
+            assert!(row.bdd_modules >= 1);
+            assert!(row.bdd_nodes > 0);
+        }
     }
 }
 

@@ -1,0 +1,321 @@
+//! Cutset-generation backends for the analysis pipeline.
+//!
+//! Both the batch path ([`crate::analyze_horizons`]) and the streaming
+//! engine are generic over *how* the minimal cutsets of the translated
+//! static tree `FT̄` come to exist. The paper's MOCUS traversal (with its
+//! probabilistic cutoff) is the default; the modular-BDD backend trades
+//! generation time for **exactness**: it also computes the exact
+//! top-event probability of `FT̄` — no cutoff, no rare-event
+//! approximation — as a by-product of building one ROBDD per
+//! independent module.
+//!
+//! Both backends emit the *same* minimal cutset list for the same
+//! options (the BDD backend applies the cutoff and order limits as a
+//! post-filter, which is sound: any superset of a below-cutoff cutset is
+//! itself below the cutoff), so the per-cutset dynamic quantification
+//! downstream is backend-agnostic and results stay bitwise-comparable.
+
+use crate::error::CoreError;
+use sdft_bdd::{CutsetLimits, ModularBdd, ModularBddOptions, ModularBddStats};
+use sdft_ft::{Cutset, CutsetList, EventProbabilities, FaultTree};
+use sdft_mocus::{
+    minimal_cutsets_with_stats, stream_minimal_cutsets, CandidateSink, MocusError, MocusOptions,
+    MocusStats,
+};
+
+/// Which cutset-generation backend drives the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The paper's MOCUS traversal with the probabilistic cutoff
+    /// (default). Scales to trees whose BDD would blow up, at the cost
+    /// of the cutoff's truncation error.
+    #[default]
+    Mocus,
+    /// One ROBDD per independent module of `FT̄`, composed through
+    /// pseudo-variables. Produces the same minimal cutsets *plus* the
+    /// exact top-event probability (no cutoff, no rare-event
+    /// approximation).
+    Bdd,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mocus" => Ok(Backend::Mocus),
+            "bdd" => Ok(Backend::Bdd),
+            other => Err(format!("unknown backend {other:?} (expected mocus or bdd)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Mocus => write!(f, "mocus"),
+            Backend::Bdd => write!(f, "bdd"),
+        }
+    }
+}
+
+/// Backend-specific by-products of a BDD generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BddGenStats {
+    /// Modular construction statistics (node counts, ordering choices,
+    /// apply-cache behavior).
+    pub(crate) stats: ModularBddStats,
+    /// The exact top-event probability of `FT̄`, one entry per probe
+    /// probability assignment handed to the generation call (the
+    /// pipeline probes once per horizon).
+    pub(crate) exact: Vec<f64>,
+}
+
+/// What a generation run reports alongside the cutsets. The MOCUS
+/// fields are zero for the BDD backend and vice versa; every populated
+/// field is schedule-independent within its backend except where
+/// [`crate::AnalysisStats::deterministic`] says otherwise.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GenerationStats {
+    pub(crate) mocus: MocusStats,
+    pub(crate) bdd: Option<BddGenStats>,
+}
+
+/// Streaming generation failure: either the sink asked the backend to
+/// stop (the real cause lives downstream), or generation itself failed.
+pub(crate) enum GenError {
+    Aborted,
+    Failed(CoreError),
+}
+
+/// A source of minimal cutsets of a static fault tree, pluggable under
+/// both the batch and the streaming analysis flow.
+///
+/// `exact_probe` is a list of probability assignments over the tree's
+/// basic events; backends that can answer exactly (BDD) evaluate the
+/// exact top-event probability under each and report it through
+/// [`GenerationStats`]. MOCUS ignores it.
+pub(crate) trait CutsetBackend: Sync {
+    /// Produce the complete minimal cutset list, materialized, in
+    /// canonical (order, events) order.
+    fn generate_batch(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        exact_probe: &[EventProbabilities],
+    ) -> Result<(CutsetList, GenerationStats), CoreError>;
+
+    /// Stream the minimal cutsets into `sink` under the epoch/watermark
+    /// contract of [`CandidateSink`].
+    fn generate_streaming(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        exact_probe: &[EventProbabilities],
+        sink: &dyn CandidateSink,
+    ) -> Result<GenerationStats, GenError>;
+}
+
+/// The default backend: the paper's MOCUS traversal.
+pub(crate) struct MocusBackend {
+    pub(crate) options: MocusOptions,
+}
+
+impl CutsetBackend for MocusBackend {
+    fn generate_batch(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        _exact_probe: &[EventProbabilities],
+    ) -> Result<(CutsetList, GenerationStats), CoreError> {
+        let (mcs, stats) = minimal_cutsets_with_stats(tree, probs, &self.options)?;
+        Ok((
+            mcs,
+            GenerationStats {
+                mocus: stats,
+                bdd: None,
+            },
+        ))
+    }
+
+    fn generate_streaming(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        _exact_probe: &[EventProbabilities],
+        sink: &dyn CandidateSink,
+    ) -> Result<GenerationStats, GenError> {
+        match stream_minimal_cutsets(tree, probs, &self.options, sink) {
+            Ok(stats) => Ok(GenerationStats {
+                mocus: stats,
+                bdd: None,
+            }),
+            Err(MocusError::Aborted) => Err(GenError::Aborted),
+            Err(error) => Err(GenError::Failed(error.into())),
+        }
+    }
+}
+
+/// Cutsets per delivery batch under the streaming flow — matches the
+/// MOCUS generator's flush threshold so downstream channel sizing
+/// behaves identically for both backends.
+const BDD_STREAM_BATCH: usize = 128;
+
+/// The modular-BDD backend: exact probability plus minimal cutsets via
+/// `minsol` on one diagram per module.
+pub(crate) struct BddBackend {
+    /// The analysis-level cutset limits, honored as a post-filter so the
+    /// emitted list equals the MOCUS list for the same options.
+    pub(crate) mocus_options: MocusOptions,
+    pub(crate) bdd_options: ModularBddOptions,
+}
+
+impl BddBackend {
+    /// The analysis limits as enumeration-pruning hints. The enumeration
+    /// guarantees every surviving cutset is delivered but may hand back
+    /// borderline extras (see [`CutsetLimits`]); [`BddBackend::keeps`]
+    /// is the exact gate that restores MOCUS parity.
+    fn limits(&self) -> CutsetLimits {
+        CutsetLimits {
+            cutoff: self.mocus_options.cutoff,
+            max_order: self.mocus_options.max_order,
+        }
+    }
+
+    /// Whether a cutset survives the cutoff and order limits. MOCUS
+    /// keeps cutsets strictly above the cutoff; supersets of a dropped
+    /// cutset can only have lower probability and higher order, so the
+    /// post-filtered antichain equals the MOCUS-with-cutoff output.
+    fn keeps(&self, cutset: &Cutset, probs: &EventProbabilities) -> bool {
+        if let Some(max_order) = self.mocus_options.max_order {
+            if cutset.order() > max_order {
+                return false;
+            }
+        }
+        if let Some(cutoff) = self.mocus_options.cutoff {
+            if cutset.probability_with(|e| probs.get(e)) <= cutoff {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn build(
+        &self,
+        tree: &FaultTree,
+        exact_probe: &[EventProbabilities],
+    ) -> Result<(ModularBdd, BddGenStats), CoreError> {
+        let modular = ModularBdd::with_options(tree, &self.bdd_options)?;
+        let exact = exact_probe
+            .iter()
+            .map(|p| modular.exact_probability(p))
+            .collect();
+        let stats = modular.stats();
+        Ok((modular, BddGenStats { stats, exact }))
+    }
+}
+
+impl CutsetBackend for BddBackend {
+    fn generate_batch(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        exact_probe: &[EventProbabilities],
+    ) -> Result<(CutsetList, GenerationStats), CoreError> {
+        let (mut modular, bdd_stats) = self.build(tree, exact_probe)?;
+        let mut cutsets: Vec<Cutset> = Vec::new();
+        modular
+            .stream_minimal_cutsets_bounded(
+                usize::MAX,
+                |e| probs.get(e),
+                &self.limits(),
+                |batch| {
+                    cutsets.extend(batch.drain(..).filter(|c| self.keeps(c, probs)));
+                    true
+                },
+            )
+            .map_err(CoreError::from)?;
+        // Canonical (order, events) order — the same order the batch
+        // MOCUS merge and the streaming engine's final assembly use, so
+        // downstream results are backend- and engine-agnostic.
+        cutsets.sort_unstable_by(|a, b| {
+            a.order()
+                .cmp(&b.order())
+                .then_with(|| a.events().cmp(b.events()))
+        });
+        let mut list = CutsetList::new();
+        let mut stats = GenerationStats {
+            mocus: MocusStats::default(),
+            bdd: Some(bdd_stats),
+        };
+        stats.mocus.cutset_candidates = cutsets.len() as u64;
+        for c in cutsets {
+            list.push(c);
+        }
+        Ok((list, stats))
+    }
+
+    fn generate_streaming(
+        &self,
+        tree: &FaultTree,
+        probs: &EventProbabilities,
+        exact_probe: &[EventProbabilities],
+        sink: &dyn CandidateSink,
+    ) -> Result<GenerationStats, GenError> {
+        let (mut modular, bdd_stats) = match self.build(tree, exact_probe) {
+            Ok(built) => built,
+            Err(error) => return Err(GenError::Failed(error)),
+        };
+        // Minimality is established inside the backend — every nested
+        // module is fully solved before the top module's solutions are
+        // expanded — so each delivered batch is already an antichain and
+        // forms its own immediately-complete epoch: batch completion is
+        // the whole-module watermark, and the downstream minimizer's
+        // per-epoch subsumption pass has nothing to remove.
+        let mut epoch: u32 = 0;
+        let mut delivered: u64 = 0;
+        let mut filtered: Vec<Cutset> = Vec::with_capacity(BDD_STREAM_BATCH);
+        let completed = modular
+            .stream_minimal_cutsets_bounded(
+                BDD_STREAM_BATCH,
+                |e| probs.get(e),
+                &self.limits(),
+                |batch| {
+                    filtered.extend(batch.drain(..).filter(|c| self.keeps(c, probs)));
+                    if filtered.is_empty() {
+                        return true;
+                    }
+                    delivered += filtered.len() as u64;
+                    let ok = sink.deliver(epoch, &mut filtered) && sink.epoch_complete(epoch);
+                    filtered.clear();
+                    epoch += 1;
+                    ok
+                },
+            )
+            .map_err(|e| GenError::Failed(e.into()))?;
+        if !completed {
+            return Err(GenError::Aborted);
+        }
+        let mut stats = GenerationStats {
+            mocus: MocusStats::default(),
+            bdd: Some(bdd_stats),
+        };
+        stats.mocus.cutset_candidates = delivered;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("mocus".parse::<Backend>().unwrap(), Backend::Mocus);
+        assert_eq!("bdd".parse::<Backend>().unwrap(), Backend::Bdd);
+        assert!("sat".parse::<Backend>().is_err());
+        assert_eq!(Backend::Mocus.to_string(), "mocus");
+        assert_eq!(Backend::Bdd.to_string(), "bdd");
+        assert_eq!(Backend::default(), Backend::Mocus);
+    }
+}

@@ -28,6 +28,7 @@
 //! the final assembly re-sorts reports into the batch's canonical
 //! (order, events) cutset order before the per-horizon summation.
 
+use crate::backend::{CutsetBackend, GenError, GenerationStats};
 use crate::canonical::{CacheStats, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::FtcContext;
@@ -36,7 +37,7 @@ use crate::quantify::{KernelUsage, QuantifyOptions};
 use crate::translate::Translated;
 use sdft_ctmc::WorkspacePool;
 use sdft_ft::{Cutset, EventProbabilities, FaultTree, IncrementalMinimizer};
-use sdft_mocus::{stream_minimal_cutsets, CandidateSink, MocusError, MocusOptions, MocusStats};
+use sdft_mocus::{CandidateSink, MocusError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -61,7 +62,7 @@ pub(crate) struct EngineOutput {
     /// One report vector per horizon, in canonical (order, events)
     /// cutset order — exactly the batch path's pre-sort order.
     pub(crate) per_horizon: Vec<Vec<CutsetReport>>,
-    pub(crate) mocus_stats: MocusStats,
+    pub(crate) gen_stats: GenerationStats,
     /// Subset tests the incremental minimizers performed (the online
     /// arrival order makes this scheduling-dependent, unlike batch).
     pub(crate) subsumption_comparisons: u64,
@@ -381,7 +382,8 @@ pub(crate) fn run_streaming(
     tree: &FaultTree,
     translated: &Translated,
     static_probs: &EventProbabilities,
-    mocus_options: &MocusOptions,
+    backend: &dyn CutsetBackend,
+    exact_probe: &[EventProbabilities],
     horizons: &[f64],
     options: &AnalysisOptions,
     probs_per_horizon: &[EventProbabilities],
@@ -483,7 +485,7 @@ pub(crate) fn run_streaming(
             };
             let gen_start = Instant::now();
             let gen_result =
-                stream_minimal_cutsets(&translated.tree, static_probs, mocus_options, &sink);
+                backend.generate_streaming(&translated.tree, static_probs, exact_probe, &sink);
             let generation_span = gen_start.elapsed();
             if gen_result.is_ok() {
                 gen_channel.close();
@@ -521,17 +523,17 @@ pub(crate) fn run_streaming(
         .into_inner()
         .expect("error slot poisoned")
         .map(|(_, error)| error);
-    let mocus_stats = match gen_result {
+    let gen_stats = match gen_result {
         Ok(stats) => {
             if let Some(error) = quant_error {
                 return Err(error);
             }
             stats
         }
-        Err(MocusError::Aborted) => {
+        Err(GenError::Aborted) => {
             return Err(quant_error.unwrap_or_else(|| MocusError::Aborted.into()));
         }
-        Err(error) => return Err(error.into()),
+        Err(GenError::Failed(error)) => return Err(error),
     };
 
     // Deterministic final assembly: reports arrive in scheduling order,
@@ -568,7 +570,7 @@ pub(crate) fn run_streaming(
         .map_or(Duration::ZERO, |first| quant_end.duration_since(first));
     Ok(EngineOutput {
         per_horizon,
-        mocus_stats,
+        gen_stats,
         subsumption_comparisons: filter_out.comparisons,
         peak_pending_cutsets: filter_out.peak_pending,
         peak_inflight_models: peak_inflight.into_inner(),

@@ -21,6 +21,8 @@ pub enum CoreError {
     Ctmc(sdft_ctmc::CtmcError),
     /// An error from the cutset generator.
     Mocus(sdft_mocus::MocusError),
+    /// An error from the BDD backend (node budget, invalid order).
+    Bdd(sdft_bdd::BddError),
     /// An error from the product chain builder (per-cutset quantification).
     Product(sdft_product::ProductError),
     /// The analysis horizon is negative or not finite.
@@ -52,6 +54,7 @@ impl fmt::Display for CoreError {
             CoreError::Ft(e) => write!(f, "fault tree error: {e}"),
             CoreError::Ctmc(e) => write!(f, "markov chain error: {e}"),
             CoreError::Mocus(e) => write!(f, "cutset generation error: {e}"),
+            CoreError::Bdd(e) => write!(f, "BDD backend error: {e}"),
             CoreError::Product(e) => write!(f, "cutset quantification error: {e}"),
             CoreError::InvalidHorizon { horizon } => {
                 write!(f, "invalid analysis horizon {horizon}")
@@ -69,6 +72,7 @@ impl std::error::Error for CoreError {
             CoreError::Ft(e) => Some(e),
             CoreError::Ctmc(e) => Some(e),
             CoreError::Mocus(e) => Some(e),
+            CoreError::Bdd(e) => Some(e),
             CoreError::Product(e) => Some(e),
             _ => None,
         }
@@ -90,6 +94,12 @@ impl From<sdft_ctmc::CtmcError> for CoreError {
 impl From<sdft_mocus::MocusError> for CoreError {
     fn from(e: sdft_mocus::MocusError) -> Self {
         CoreError::Mocus(e)
+    }
+}
+
+impl From<sdft_bdd::BddError> for CoreError {
+    fn from(e: sdft_bdd::BddError) -> Self {
+        CoreError::Bdd(e)
     }
 }
 

@@ -52,6 +52,7 @@
 //! # }
 //! ```
 
+mod backend;
 mod canonical;
 mod classify;
 mod engine;
@@ -62,6 +63,7 @@ mod quantify;
 mod translate;
 mod worstcase;
 
+pub use backend::Backend;
 pub use canonical::{CacheStats, CanonicalModelKey, DynamicSolution, KernelStats, QuantCache};
 pub use classify::{
     classify_gate, classify_triggering_gates, validate_trigger_structure, TriggerClass,

@@ -1,12 +1,14 @@
+use crate::backend::{Backend, BddBackend, CutsetBackend, GenerationStats, MocusBackend};
 use crate::canonical::{CacheStats, QuantCache};
 use crate::error::CoreError;
 use crate::ftc::FtcContext;
 use crate::quantify::{KernelUsage, QuantifyOptions};
 use crate::translate::translate;
 use crate::worstcase::worst_case_probabilities;
+use sdft_bdd::ModularBddOptions;
 use sdft_ctmc::SolverWorkspace;
 use sdft_ft::{Cutset, EventProbabilities, FaultTree};
-use sdft_mocus::{minimal_cutsets_with_stats, MocusOptions};
+use sdft_mocus::MocusOptions;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -16,8 +18,16 @@ pub struct AnalysisOptions {
     /// The mission horizon `t` (e.g. 24 hours).
     pub horizon: f64,
     /// Cutset generation options, including the cutoff `c*`
-    /// (default `10⁻¹⁵`, the paper's setting).
+    /// (default `10⁻¹⁵`, the paper's setting). The cutoff and order
+    /// limits apply to both backends; the traversal-tuning fields only
+    /// to MOCUS.
     pub mocus: MocusOptions,
+    /// Which cutset-generation backend drives the static phase
+    /// (default [`Backend::Mocus`]). [`Backend::Bdd`] produces the same
+    /// cutset list plus the **exact** top-event probability of `FT̄`
+    /// (reported per horizon through
+    /// [`AnalysisResult::exact_static`]).
+    pub backend: Backend,
     /// Truncation error for all transient analyses.
     pub epsilon: f64,
     /// Worker threads for cutset quantification; `0` uses all available
@@ -58,6 +68,7 @@ impl AnalysisOptions {
         AnalysisOptions {
             horizon,
             mocus: MocusOptions::default(),
+            backend: Backend::default(),
             epsilon: 1e-12,
             threads: 0,
             max_chain_states: 2_000_000,
@@ -190,6 +201,26 @@ pub struct AnalysisStats {
     pub mocus_peak_live_candidates: u64,
     /// Approximate peak bytes held by resident candidates.
     pub mocus_peak_candidate_bytes: u64,
+    /// Which backend generated the cutsets.
+    pub backend: Backend,
+    /// Independent modules of `FT̄` the BDD backend built a diagram for
+    /// (0 under MOCUS). Deterministic: module discovery and construction
+    /// follow node-id order regardless of thread count.
+    pub bdd_modules: usize,
+    /// Total ROBDD nodes across all module diagrams.
+    pub bdd_total_nodes: usize,
+    /// Nodes of the largest single module diagram.
+    pub bdd_max_module_nodes: usize,
+    /// Per-module diagram sizes, in module-gate id order.
+    pub bdd_per_module_nodes: Vec<usize>,
+    /// Modules whose variable order came from the weighted heuristic
+    /// rather than plain DFS order.
+    pub bdd_weighted_orders: usize,
+    /// Apply-cache hits across the whole modular construction
+    /// (deterministic — modules are built sequentially in id order).
+    pub bdd_apply_hits: u64,
+    /// Apply-cache misses across the whole modular construction.
+    pub bdd_apply_misses: u64,
 }
 
 impl AnalysisStats {
@@ -251,6 +282,12 @@ pub struct AnalysisResult {
     /// The static rare-event approximation with worst-case probabilities —
     /// what a purely static analysis of the same model would report.
     pub static_rea: f64,
+    /// The **exact** static top-event probability of `FT̄` at this
+    /// horizon's worst-case probabilities — Shannon decomposition over
+    /// the modular BDD, no cutoff, no rare-event approximation. `None`
+    /// under the MOCUS backend, which never materializes an exact
+    /// representation.
+    pub exact_static: Option<f64>,
     /// The analysis horizon.
     pub horizon: f64,
     /// Per-cutset details, sorted by descending probability.
@@ -426,6 +463,34 @@ pub fn analyze_horizons(
         })
         .collect::<Result<_, _>>()?;
 
+    let backend: Box<dyn CutsetBackend> = match options.backend {
+        Backend::Mocus => Box::new(MocusBackend {
+            options: mocus_options,
+        }),
+        Backend::Bdd => Box::new(BddBackend {
+            mocus_options,
+            bdd_options: ModularBddOptions::default(),
+        }),
+    };
+    // Probability assignments over FT̄ for the exact-probability probe,
+    // one per horizon: the translated tree carries the max-horizon
+    // worst-case probabilities, so remap each basic event to its own
+    // horizon's worst case. Only the BDD backend answers the probe.
+    let exact_probe: Vec<EventProbabilities> = if options.backend == Backend::Bdd {
+        probs_per_horizon
+            .iter()
+            .map(|horizon_probs| {
+                let mut probe = static_probs.clone();
+                for event in tree.basic_events() {
+                    probe.set(translated.from_original[&event], horizon_probs.get(event))?;
+                }
+                Ok(probe)
+            })
+            .collect::<Result<_, CoreError>>()?
+    } else {
+        Vec::new()
+    };
+
     // The generation→minimization→quantification middle, either fused
     // (streaming engine) or phase by phase (batch). Both produce the
     // per-horizon reports in canonical cutset order plus identical
@@ -435,7 +500,8 @@ pub fn analyze_horizons(
             tree,
             &translated,
             &static_probs,
-            &mocus_options,
+            backend.as_ref(),
+            &exact_probe,
             horizons,
             options,
             &probs_per_horizon,
@@ -445,7 +511,7 @@ pub fn analyze_horizons(
             per_horizon_reports: engine.per_horizon,
             cache_stats: engine.cache_stats,
             kernel_usage: engine.kernel_usage,
-            mocus_stats: engine.mocus_stats,
+            gen_stats: engine.gen_stats,
             subsumption_comparisons: engine.subsumption_comparisons,
             peak_pending_cutsets: engine.peak_pending_cutsets,
             peak_inflight_models: engine.peak_inflight_models,
@@ -455,8 +521,8 @@ pub fn analyze_horizons(
         }
     } else {
         let t2 = Instant::now();
-        let (mcs, mocus_stats) =
-            minimal_cutsets_with_stats(&translated.tree, &static_probs, &mocus_options)?;
+        let (mcs, gen_stats) =
+            backend.generate_batch(&translated.tree, &static_probs, &exact_probe)?;
         let cutsets = translated.cutsets_to_original(&mcs);
         let mcs_time = t2.elapsed();
 
@@ -464,16 +530,16 @@ pub fn analyze_horizons(
         let (per_horizon_reports, cache_stats, kernel_usage) =
             quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
         PhaseOutput {
-            subsumption_comparisons: mocus_stats.subsumption_comparisons,
+            subsumption_comparisons: gen_stats.mocus.subsumption_comparisons,
             // Batch materializes every candidate before minimizing and
             // holds the whole minimal list through quantification.
-            peak_pending_cutsets: usize::try_from(mocus_stats.cutset_candidates)
+            peak_pending_cutsets: usize::try_from(gen_stats.mocus.cutset_candidates)
                 .unwrap_or(usize::MAX),
             peak_inflight_models: cutsets.len(),
             per_horizon_reports,
             cache_stats,
             kernel_usage,
-            mocus_stats,
+            gen_stats,
             mcs_time,
             quantification_time: t3.elapsed(),
             stream_overlap: Duration::ZERO,
@@ -483,7 +549,7 @@ pub fn analyze_horizons(
         per_horizon_reports,
         cache_stats,
         kernel_usage,
-        mocus_stats,
+        gen_stats,
         subsumption_comparisons,
         peak_pending_cutsets,
         peak_inflight_models,
@@ -491,9 +557,10 @@ pub fn analyze_horizons(
         quantification_time,
         stream_overlap,
     } = phase;
+    let mocus_stats = &gen_stats.mocus;
 
     let mut results = Vec::with_capacity(horizons.len());
-    for (&horizon, reports) in horizons.iter().zip(per_horizon_reports) {
+    for (h_index, (&horizon, reports)) in horizons.iter().zip(per_horizon_reports).enumerate() {
         let mut cutset_reports = reports;
         cutset_reports.sort_by(|a, b| {
             b.probability
@@ -528,8 +595,18 @@ pub fn analyze_horizons(
             mocus_peak_partial_bytes: mocus_stats.peak_partial_bytes,
             mocus_peak_live_candidates: mocus_stats.peak_live_candidates,
             mocus_peak_candidate_bytes: mocus_stats.peak_candidate_bytes,
+            backend: options.backend,
             ..AnalysisStats::default()
         };
+        if let Some(bdd) = &gen_stats.bdd {
+            stats.bdd_modules = bdd.stats.modules;
+            stats.bdd_total_nodes = bdd.stats.total_nodes;
+            stats.bdd_max_module_nodes = bdd.stats.max_module_nodes;
+            stats.bdd_per_module_nodes = bdd.stats.per_module.iter().map(|m| m.nodes).collect();
+            stats.bdd_weighted_orders = bdd.stats.weighted_orders;
+            stats.bdd_apply_hits = bdd.stats.apply_hits;
+            stats.bdd_apply_misses = bdd.stats.apply_misses;
+        }
         for r in &cutset_reports {
             if r.cutset_dynamic > 0 {
                 stats.num_dynamic_cutsets += 1;
@@ -542,6 +619,7 @@ pub fn analyze_horizons(
         results.push(AnalysisResult {
             frequency,
             static_rea,
+            exact_static: gen_stats.bdd.as_ref().map(|bdd| bdd.exact[h_index]),
             horizon,
             cutsets: cutset_reports,
             timings: Timings {
@@ -574,7 +652,7 @@ struct PhaseOutput {
     per_horizon_reports: Vec<Vec<CutsetReport>>,
     cache_stats: CacheStats,
     kernel_usage: KernelUsage,
-    mocus_stats: sdft_mocus::MocusStats,
+    gen_stats: GenerationStats,
     subsumption_comparisons: u64,
     peak_pending_cutsets: usize,
     peak_inflight_models: usize,
@@ -1229,6 +1307,147 @@ mod streaming_tests {
             opts.streaming = false;
             assert!(matches!(analyze(&t, &opts), Err(CoreError::Product(_))));
         }
+    }
+}
+
+#[cfg(test)]
+mod bdd_backend_tests {
+    use super::*;
+    use sdft_ctmc::erlang;
+    use sdft_ft::FaultTreeBuilder;
+
+    fn example3() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        let a = b.static_event("a", 3e-3).unwrap();
+        let bb = b
+            .dynamic_event("b", erlang::repairable(1, 1e-3, 0.05).unwrap())
+            .unwrap();
+        let c = b.static_event("c", 3e-3).unwrap();
+        let d = b
+            .triggered_event("d", erlang::spare(1e-3, 0.05).unwrap())
+            .unwrap();
+        let e = b.static_event("e", 3e-6).unwrap();
+        let p1 = b.or("pump1", [a, bb]).unwrap();
+        let p2 = b.or("pump2", [c, d]).unwrap();
+        let pumps = b.and("pumps", [p1, p2]).unwrap();
+        let top = b.or("cooling", [pumps, e]).unwrap();
+        b.trigger(p1, d).unwrap();
+        b.top(top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bdd_backend_matches_mocus_bitwise() {
+        let t = example3();
+        let mut mocus_opts = AnalysisOptions::new(96.0);
+        mocus_opts.streaming = false;
+        mocus_opts.threads = 1;
+        let reference = analyze_horizons(&t, &mocus_opts, &[24.0, 96.0]).unwrap();
+        for streaming in [false, true] {
+            for threads in [1, 4] {
+                let mut opts = AnalysisOptions::new(96.0);
+                opts.backend = Backend::Bdd;
+                opts.streaming = streaming;
+                opts.threads = threads;
+                let bdd = analyze_horizons(&t, &opts, &[24.0, 96.0]).unwrap();
+                for (m, b) in reference.iter().zip(&bdd) {
+                    assert_eq!(m.frequency.to_bits(), b.frequency.to_bits());
+                    assert_eq!(m.static_rea.to_bits(), b.static_rea.to_bits());
+                    assert_eq!(m.cutsets.len(), b.cutsets.len());
+                    for (rm, rb) in m.cutsets.iter().zip(&b.cutsets) {
+                        assert_eq!(rm.cutset.events(), rb.cutset.events());
+                        assert_eq!(rm.probability.to_bits(), rb.probability.to_bits());
+                    }
+                    assert!(m.exact_static.is_none());
+                    assert!(b.exact_static.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_exact_probability_is_deterministic_across_engines_and_threads() {
+        let t = example3();
+        let mut exacts: Vec<u64> = Vec::new();
+        for streaming in [false, true] {
+            for threads in [1, 2, 4] {
+                let mut opts = AnalysisOptions::new(24.0);
+                opts.backend = Backend::Bdd;
+                opts.streaming = streaming;
+                opts.threads = threads;
+                let result = analyze(&t, &opts).unwrap();
+                exacts.push(result.exact_static.unwrap().to_bits());
+            }
+        }
+        assert!(
+            exacts.windows(2).all(|w| w[0] == w[1]),
+            "exacts: {exacts:?}"
+        );
+    }
+
+    #[test]
+    fn bdd_exact_probability_bounds_the_rea() {
+        // The REA sums cutset probabilities, over-counting intersections:
+        // for a coherent tree it can only exceed the exact probability.
+        let t = example3();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.backend = Backend::Bdd;
+        let result = analyze(&t, &opts).unwrap();
+        let exact = result.exact_static.unwrap();
+        assert!(exact > 0.0);
+        assert!(exact <= result.static_rea);
+        // Every single cutset's static probability is a lower bound.
+        for report in &result.cutsets {
+            assert!(report.static_probability <= exact + 1e-18);
+        }
+    }
+
+    #[test]
+    fn bdd_backend_reports_construction_stats() {
+        let t = example3();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.backend = Backend::Bdd;
+        let result = analyze(&t, &opts).unwrap();
+        let stats = &result.stats;
+        assert_eq!(stats.backend, Backend::Bdd);
+        assert!(stats.bdd_modules >= 1);
+        assert_eq!(stats.bdd_per_module_nodes.len(), stats.bdd_modules);
+        assert_eq!(
+            stats.bdd_per_module_nodes.iter().sum::<usize>(),
+            stats.bdd_total_nodes
+        );
+        assert_eq!(
+            stats.bdd_per_module_nodes.iter().copied().max().unwrap(),
+            stats.bdd_max_module_nodes
+        );
+        assert!(stats.bdd_apply_misses > 0, "construction must apply");
+
+        let mocus = analyze(&t, &AnalysisOptions::new(24.0)).unwrap();
+        assert_eq!(mocus.stats.backend, Backend::Mocus);
+        assert_eq!(mocus.stats.bdd_modules, 0);
+        assert_eq!(mocus.stats.bdd_total_nodes, 0);
+    }
+
+    #[test]
+    fn bdd_backend_honors_the_cutoff_like_mocus() {
+        let t = example3();
+        let mut opts = AnalysisOptions::new(24.0);
+        opts.mocus = MocusOptions::with_cutoff(5e-6); // drops {e} at 3e-6
+        let mocus = analyze(&t, &opts).unwrap();
+        opts.backend = Backend::Bdd;
+        let bdd = analyze(&t, &opts).unwrap();
+        assert_eq!(mocus.stats.num_cutsets, bdd.stats.num_cutsets);
+        assert_eq!(mocus.frequency.to_bits(), bdd.frequency.to_bits());
+        // The exact probability is computed on the full diagram, before
+        // the post-filter — the cutoff does not perturb it at all.
+        let mut full_opts = AnalysisOptions::new(24.0);
+        full_opts.backend = Backend::Bdd;
+        let full = analyze(&t, &full_opts).unwrap();
+        assert_eq!(
+            bdd.exact_static.unwrap().to_bits(),
+            full.exact_static.unwrap().to_bits()
+        );
+        assert!(full.stats.num_cutsets > bdd.stats.num_cutsets);
     }
 }
 

@@ -1,63 +1,9 @@
+use crate::hash::FxBuild;
 use crate::node::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-
-/// Fast rotate-multiply hasher (the FxHash recipe) for the subsumption
-/// indexes: keys are short `NodeId` slices looked up hundreds of
-/// millions of times in deep cutoff sweeps, where SipHash becomes the
-/// dominant cost. Not DoS-resistant, which is irrelevant here — the
-/// keys come from the tree under analysis, not an adversary.
-#[derive(Default)]
-pub(crate) struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-}
-
-pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 
 /// A cutset: a set of basic events whose joint failure fails the top gate
 /// (§IV-A of the paper).

@@ -1,0 +1,88 @@
+//! Fast rotate-multiply hashing (the FxHash recipe) shared by the hot
+//! hash maps of the analysis pipeline.
+//!
+//! Both the subsumption indexes of [`crate::CutsetList`] and the BDD
+//! unique table / apply cache key on short sequences of small integers
+//! (`NodeId`s, node triples) looked up hundreds of millions of times in
+//! deep sweeps, where SipHash becomes the dominant cost. FxHash is not
+//! DoS-resistant, which is irrelevant here — the keys come from the tree
+//! under analysis, not an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Rotate-multiply hasher: `h = rotl5(h) ^ word) * SEED` per word, the
+/// recipe popularized by the `rustc` FxHash family.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use as the `S` parameter of
+/// `HashMap`/`HashSet`.
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hasher_is_deterministic_and_usable() {
+        let mut m: HashMap<(u32, u32), u64, FxBuild> = HashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(42, 294)), Some(&42));
+
+        let one = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(one(99), one(99));
+        assert_ne!(one(99), one(100));
+    }
+}

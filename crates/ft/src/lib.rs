@@ -54,6 +54,7 @@ mod cutset;
 pub mod dot;
 mod error;
 pub mod format;
+pub mod hash;
 pub mod modules;
 mod node;
 mod probs;
@@ -64,6 +65,7 @@ mod tree;
 
 pub use cutset::{Cutset, CutsetList, IncrementalMinimizer};
 pub use error::FtError;
+pub use hash::{FxBuild, FxHasher};
 pub use modules::modules;
 pub use node::{Behavior, GateKind, NodeId};
 pub use probs::EventProbabilities;

@@ -24,7 +24,10 @@
 
 use crate::spec::TreeSpec;
 use sdft_bdd::Bdd;
-use sdft_core::{analyze, translate, worst_case_probabilities, AnalysisOptions, AnalysisResult};
+use sdft_core::{
+    analyze, translate, worst_case_probabilities, AnalysisOptions, AnalysisResult, Backend,
+    CoreError,
+};
 use sdft_ft::{Behavior, EventProbabilities, FaultTree};
 use sdft_mocus::MocusOptions;
 use sdft_product::{failure_probability, ProductOptions};
@@ -63,6 +66,11 @@ pub struct CheckConfig {
     /// batch) and require bitwise-identical frequencies and identical
     /// cutset lists.
     pub check_streaming_consistency: bool,
+    /// Re-run the base analysis with the modular-BDD backend and require
+    /// bitwise-identical frequencies and cutset lists, a sound exact
+    /// static probability, and bitwise agreement between the BDD
+    /// backend's own streaming and batch runs.
+    pub check_backend_consistency: bool,
 }
 
 impl Default for CheckConfig {
@@ -79,6 +87,7 @@ impl Default for CheckConfig {
             metamorphic: true,
             check_cache_consistency: true,
             check_streaming_consistency: true,
+            check_backend_consistency: true,
         }
     }
 }
@@ -369,6 +378,10 @@ pub(crate) fn check_tree_into(
         }
     }
 
+    if cfg.check_backend_consistency {
+        check_backend_bdd(tree, &base, &opts, cfg, out);
+    }
+
     let wc = match worst_case_probabilities(tree, cfg.horizon, cfg.epsilon) {
         Ok(wc) => wc,
         Err(e) => {
@@ -485,6 +498,122 @@ pub(crate) fn check_tree_into(
 
     if cfg.metamorphic {
         crate::metamorphic::metamorphic_checks(tree, spec, &base, cfg, out);
+    }
+}
+
+/// The full pipeline under `--backend bdd` against the MOCUS base run:
+/// bitwise-identical frequencies and cutset lists (same quantification
+/// over the same canonical list), a sound exact static probability
+/// (above every single cutset, below the REA sum), and bitwise
+/// agreement between the BDD backend's own streaming and batch runs.
+/// Trees whose diagram exceeds the node budget skip the arm.
+fn check_backend_bdd(
+    tree: &FaultTree,
+    base: &AnalysisResult,
+    opts: &AnalysisOptions,
+    cfg: &CheckConfig,
+    out: &mut Outcome,
+) {
+    let mut bdd_opts = *opts;
+    bdd_opts.backend = Backend::Bdd;
+    let second = match analyze(tree, &bdd_opts) {
+        Ok(second) => second,
+        Err(CoreError::Bdd(_)) => {
+            out.skip(); // node budget exceeded — no BDD backend for this tree
+            return;
+        }
+        Err(e) => {
+            out.fail("backend_bitwise", format!("--backend bdd failed: {e}"));
+            return;
+        }
+    };
+    out.check(
+        second.frequency.to_bits() == base.frequency.to_bits()
+            && second.static_rea.to_bits() == base.static_rea.to_bits()
+            && second.cutsets.len() == base.cutsets.len()
+            && second.cutsets.iter().zip(&base.cutsets).all(|(s, b)| {
+                s.cutset == b.cutset
+                    && s.probability.to_bits() == b.probability.to_bits()
+                    && s.chain_states == b.chain_states
+            }),
+        "backend_bitwise",
+        || {
+            format!(
+                "backends disagree: mocus freq {} rea {} ({} cutsets); \
+                 bdd freq {} rea {} ({} cutsets)",
+                base.frequency,
+                base.static_rea,
+                base.cutsets.len(),
+                second.frequency,
+                second.static_rea,
+                second.cutsets.len(),
+            )
+        },
+    );
+    match second.exact_static {
+        Some(exact) => {
+            out.check(
+                exact.is_finite() && (0.0..=1.0 + 1e-9).contains(&exact),
+                "backend_exact_in_range",
+                || format!("exact static probability {exact} out of [0, 1]"),
+            );
+            out.check(
+                leq_slack(exact, second.static_rea, cfg.tol_cross),
+                "backend_exact_le_rea",
+                || {
+                    format!(
+                        "exact static probability {exact} exceeds static REA {}",
+                        second.static_rea
+                    )
+                },
+            );
+            let max_cutset = second
+                .cutsets
+                .iter()
+                .map(|c| c.static_probability)
+                .fold(0.0_f64, f64::max);
+            out.check(
+                leq_slack(max_cutset, exact, cfg.tol_cross),
+                "backend_exact_ge_max_cutset",
+                || {
+                    format!(
+                        "largest cutset probability {max_cutset} exceeds \
+                         exact static probability {exact}"
+                    )
+                },
+            );
+        }
+        None => out.fail(
+            "backend_exact_in_range",
+            "--backend bdd reported no exact static probability".to_owned(),
+        ),
+    }
+    // The BDD backend must agree with itself across engines, down to
+    // the exact probability's bits (construction is deterministic).
+    let mut flipped = bdd_opts;
+    flipped.streaming = !bdd_opts.streaming;
+    match analyze(tree, &flipped) {
+        Ok(third) => out.check(
+            third.frequency.to_bits() == second.frequency.to_bits()
+                && third.exact_static.map(f64::to_bits) == second.exact_static.map(f64::to_bits)
+                && third.cutsets.len() == second.cutsets.len(),
+            "backend_stream_bitwise",
+            || {
+                format!(
+                    "bdd engines disagree: streaming={} freq {} exact {:?}; \
+                     flipped freq {} exact {:?}",
+                    bdd_opts.streaming,
+                    second.frequency,
+                    second.exact_static,
+                    third.frequency,
+                    third.exact_static,
+                )
+            },
+        ),
+        Err(e) => out.fail(
+            "backend_stream_bitwise",
+            format!("opposite-engine --backend bdd analysis failed: {e}"),
+        ),
     }
 }
 

@@ -4,8 +4,8 @@
 //! ```text
 //! sdft check      <file>                     validate + classify triggers
 //! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
-//!                        [--fast] [--csv OUT] [--no-steady-state]
-//!                        [--no-stream] [--progress SECS]
+//!                        [--backend mocus|bdd] [--fast] [--csv OUT]
+//!                        [--no-steady-state] [--no-stream] [--progress SECS]
 //! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //! sdft exact      <file> [--horizon H]       product-chain reference (small models)
 //! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
@@ -14,7 +14,7 @@
 //! sdft dot        <file>                     Graphviz export to stdout
 //! ```
 
-use sdft::core::{analyze, classify_triggering_gates, AnalysisOptions, TriggerTreatment};
+use sdft::core::{analyze, classify_triggering_gates, AnalysisOptions, Backend, TriggerTreatment};
 use sdft::ft::{dot, format, EventProbabilities, FaultTree};
 use sdft::mocus::MocusOptions;
 use sdft::product::{failure_probability, ProductOptions};
@@ -29,6 +29,7 @@ struct Args {
     samples: usize,
     seed: u64,
     threads: usize,
+    backend: Backend,
     fast: bool,
     steady_state: bool,
     streaming: bool,
@@ -40,7 +41,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
          [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--threads N] \
-         [--fast] [--no-steady-state] [--no-stream] [--progress SECS] [--csv OUT]"
+         [--backend mocus|bdd] [--fast] [--no-steady-state] [--no-stream] \
+         [--progress SECS] [--csv OUT]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +63,7 @@ fn main() -> ExitCode {
         samples: 100_000,
         seed: 7,
         threads: 0,
+        backend: Backend::default(),
         fast: false,
         steady_state: true,
         streaming: true,
@@ -95,6 +98,16 @@ fn main() -> ExitCode {
             "--threads" => value("--threads")
                 .and_then(|v| v.parse().ok())
                 .map(|v| args.threads = v),
+            "--backend" => value("--backend").and_then(|v| match v.parse() {
+                Ok(backend) => {
+                    args.backend = backend;
+                    Some(())
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    None
+                }
+            }),
             "--csv" => value("--csv").map(|v| args.csv = Some(v)),
             "--fast" => {
                 args.fast = true;
@@ -209,6 +222,7 @@ fn cmd_check(tree: &FaultTree) -> CliResult {
 fn analysis_options(args: &Args) -> AnalysisOptions {
     let mut options = AnalysisOptions::new(args.horizon);
     options.mocus = MocusOptions::with_cutoff(args.cutoff);
+    options.backend = args.backend;
     options.threads = args.threads;
     if args.fast {
         options.treatment = TriggerTreatment::CutsetOnly;
@@ -228,13 +242,32 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         "failure frequency over {}h: {:.4e}  (static worst case {:.4e})",
         args.horizon, result.frequency, result.static_rea
     );
+    if let Some(exact) = result.exact_static {
+        println!(
+            "exact static probability: {exact:.4e}  (REA overshoot {:+.2e})",
+            result.static_rea - exact
+        );
+    }
     println!(
-        "{} cutsets above {:.0e} ({} dynamic, largest chain {} states)",
+        "{} cutsets above {:.0e} ({} dynamic, largest chain {} states) via {}",
         result.stats.num_cutsets,
         args.cutoff,
         result.stats.num_dynamic_cutsets,
         result.stats.max_chain_states,
+        result.stats.backend,
     );
+    if result.stats.backend == Backend::Bdd {
+        println!(
+            "bdd: {} modules, {} nodes total (largest {}), {} weighted orders, \
+             apply cache {} hits / {} misses",
+            result.stats.bdd_modules,
+            result.stats.bdd_total_nodes,
+            result.stats.bdd_max_module_nodes,
+            result.stats.bdd_weighted_orders,
+            result.stats.bdd_apply_hits,
+            result.stats.bdd_apply_misses,
+        );
+    }
     println!(
         "model cache: {} distinct classes, {:.1}% hit rate, {:?} saved",
         result.stats.distinct_model_classes,
