@@ -1,0 +1,19 @@
+//! Timing probe for the T5 re-evaluation headline number: the 792k-cutset
+//! multi-horizon re-quantification on industrial model 2 at 30% scale
+//! (one cutset list generated at the 96 h horizon, all four horizons
+//! quantified from a single shared uniformization pass per cutset).
+//! Prints the amortized per-horizon quantification so kernel changes can
+//! be compared run-over-run.
+
+use sdft_bench as exp;
+
+fn main() {
+    let horizons = [24.0, 48.0, 72.0, 96.0];
+    let rows = exp::t5_reevaluate(0.3, &horizons);
+    for row in &rows {
+        println!(
+            "h={}: freq {:.3e}, amortized quantification {:?}, {} MCS, {} kernel steps",
+            row.horizon, row.frequency, row.time, row.cutsets, row.kernel_steps,
+        );
+    }
+}

@@ -7,11 +7,21 @@
 //! Each preset runs three ways — batch single-threaded, streaming
 //! single-threaded, streaming on all cores — and the streamed results
 //! must be bitwise identical to the batch results (same frequency bits,
-//! same cutset list, same schedule-independent counters).
+//! same cutset list, same schedule-independent counters). Streaming
+//! runs must also keep peak pending-cutset residency strictly below the
+//! total cutset count: the epoch plan exists to retire cutsets before
+//! generation finishes, and holding every cutset at once means it
+//! degenerated to batch with extra steps.
 //!
 //! ```text
-//! engine_smoke [output.json] [--scale X]
+//! engine_smoke [output.json] [--scale X] [--gate-multicore]
 //! ```
+//!
+//! `--gate-multicore` additionally enforces the multicore regression
+//! gates (meant for a >= 4-core CI runner, not a laptop in power-save):
+//! streaming on all cores must beat batch on the deep preset
+//! (`speedup_vs_batch >= 1.0`) and the deep preset must report genuine
+//! stage overlap (`overlap_seconds > 0`).
 
 use sdft_core::{analyze, AnalysisOptions, AnalysisResult};
 use sdft_ft::{EventProbabilities, FaultTree};
@@ -24,6 +34,19 @@ use std::time::Instant;
 struct Run {
     seconds: f64,
     result: AnalysisResult,
+}
+
+impl Run {
+    /// Sustained SpMV throughput in nonzeros per second (0 when the
+    /// stepping loop never ran, e.g. every model was rateless).
+    fn spmv_throughput(&self) -> f64 {
+        let seconds = self.result.timings.spmv.as_secs_f64();
+        if seconds <= 0.0 {
+            0.0
+        } else {
+            self.result.stats.kernel_spmv_nonzeros as f64 / seconds
+        }
+    }
 }
 
 fn run(tree: &FaultTree, cutoff: f64, streaming: bool, threads: usize) -> Run {
@@ -71,14 +94,46 @@ fn assert_bitwise(batch: &AnalysisResult, stream: &AnalysisResult, label: &str) 
     );
 }
 
+/// Streaming must retire cutsets while generation is still running;
+/// holding the entire cutset list in the pending buffer means the
+/// epoch plan failed to split the workload.
+fn assert_bounded_residency(stream: &Run, label: &str) {
+    let total = stream.result.stats.num_cutsets;
+    let peak = stream.result.stats.peak_pending_cutsets;
+    assert!(
+        peak < total,
+        "{label}: streaming peak pending cutsets ({peak}) must stay \
+         strictly below the total cutset count ({total})"
+    );
+}
+
+fn run_json(r: &Run, extra: &str) -> String {
+    let t = &r.result.timings;
+    format!(
+        "{{ \"seconds\": {:.6}, \
+         \"peak_pending_cutsets\": {}, \"peak_inflight_models\": {}, \
+         \"peak_candidate_bytes\": {}, \
+         \"generation_busy_seconds\": {:.6}, \"filter_busy_seconds\": {:.6}, \
+         \"quant_busy_seconds\": {:.6}, \"spmv_seconds\": {:.6}, \
+         \"spmv_nonzeros\": {}, \"spmv_nonzeros_per_second\": {:.0}{extra} }}",
+        r.seconds,
+        r.result.stats.peak_pending_cutsets,
+        r.result.stats.peak_inflight_models,
+        r.result.stats.mocus_peak_candidate_bytes,
+        t.generation_busy.as_secs_f64(),
+        t.filter_busy.as_secs_f64(),
+        t.quant_busy.as_secs_f64(),
+        t.spmv.as_secs_f64(),
+        r.result.stats.kernel_spmv_nonzeros,
+        r.spmv_throughput(),
+    )
+}
+
 fn preset_json(name: &str, cutoff: f64, batch: &Run, stream1: &Run, streamn: &Run) -> String {
-    let peaks = |r: &Run| {
+    let overlap = |r: &Run| {
         format!(
-            "\"peak_pending_cutsets\": {}, \"peak_inflight_models\": {}, \
-             \"peak_candidate_bytes\": {}",
-            r.result.stats.peak_pending_cutsets,
-            r.result.stats.peak_inflight_models,
-            r.result.stats.mocus_peak_candidate_bytes,
+            ", \"overlap_seconds\": {:.6}",
+            r.result.timings.stream_overlap.as_secs_f64()
         )
     };
     format!(
@@ -87,33 +142,36 @@ fn preset_json(name: &str, cutoff: f64, batch: &Run, stream1: &Run, streamn: &Ru
          \"cutoff\": {cutoff:e},\n    \
          \"cutsets\": {},\n    \
          \"frequency\": {:e},\n    \
-         \"batch\": {{ \"seconds\": {:.6}, {} }},\n    \
-         \"stream_1_thread\": {{ \"seconds\": {:.6}, {}, \"overlap_seconds\": {:.6} }},\n    \
-         \"stream_all_cores\": {{ \"seconds\": {:.6}, {}, \"overlap_seconds\": {:.6}, \
-         \"speedup_vs_batch\": {:.3} }}\n  }}",
+         \"batch\": {},\n    \
+         \"stream_1_thread\": {},\n    \
+         \"stream_all_cores\": {}\n  }}",
         batch.result.stats.num_cutsets,
         batch.result.frequency,
-        batch.seconds,
-        peaks(batch),
-        stream1.seconds,
-        peaks(stream1),
-        stream1.result.timings.stream_overlap.as_secs_f64(),
-        streamn.seconds,
-        peaks(streamn),
-        streamn.result.timings.stream_overlap.as_secs_f64(),
-        batch.seconds / streamn.seconds.max(1e-12),
+        run_json(batch, ""),
+        run_json(stream1, &overlap(stream1)),
+        run_json(
+            streamn,
+            &format!(
+                "{}, \"speedup_vs_batch\": {:.3}",
+                overlap(streamn),
+                batch.seconds / streamn.seconds.max(1e-12)
+            )
+        ),
     )
 }
 
 fn main() {
     let mut output = "BENCH_engine.json".to_owned();
     let mut scale = 0.15;
+    let mut gate_multicore = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--scale" {
             let v = iter.next().expect("--scale needs a value");
             scale = v.parse().expect("--scale needs a number");
+        } else if arg == "--gate-multicore" {
+            gate_multicore = true;
         } else {
             output = arg.clone();
         }
@@ -131,29 +189,61 @@ fn main() {
 
     let mut blocks = Vec::new();
     let mut summaries = Vec::new();
-    for (name, cutoff) in [("x1_default_1e-15", 1e-15), ("x1_deep_1e-18", 1e-18)] {
+    let mut gate_failures = Vec::new();
+    for (name, cutoff, deep) in [
+        ("x1_default_1e-15", 1e-15, false),
+        ("x1_deep_1e-18", 1e-18, true),
+    ] {
         let batch = run(&annotated.tree, cutoff, false, 1);
         let stream1 = run(&annotated.tree, cutoff, true, 1);
         let streamn = run(&annotated.tree, cutoff, true, 0);
         assert_bitwise(&batch.result, &stream1.result, name);
         assert_bitwise(&batch.result, &streamn.result, name);
+        assert_bounded_residency(&stream1, name);
+        assert_bounded_residency(&streamn, name);
+        let speedup = batch.seconds / streamn.seconds.max(1e-12);
+        let speedup1 = batch.seconds / stream1.seconds.max(1e-12);
+        let overlap = streamn.result.timings.stream_overlap.as_secs_f64();
+        if gate_multicore && deep {
+            if speedup < 1.0 {
+                gate_failures.push(format!(
+                    "{name}: stream on all cores must not lose to batch \
+                     (speedup_vs_batch {speedup:.3} < 1.0)"
+                ));
+            }
+            if speedup1 < 1.0 {
+                gate_failures.push(format!(
+                    "{name}: stream at one quant thread must not lose to \
+                     batch on a multicore host (speedup {speedup1:.3} < 1.0)"
+                ));
+            }
+            if overlap <= 0.0 {
+                gate_failures.push(format!(
+                    "{name}: deep preset must overlap generation and \
+                     quantification (overlap_seconds {overlap:.6} <= 0)"
+                ));
+            }
+        }
         summaries.push(format!(
-            "{name}: {} cutsets, batch {:.3}s (peak {} pending), stream {:.3}s / {:.3}s \
-             (peak {} pending, overlap {:.3}s)",
+            "{name}: {} cutsets, batch {:.3}s, stream {:.3}s / {:.3}s \
+             (peak {} of {} pending, overlap {:.3}s, quant busy {:.3}s, \
+             spmv {:.1}M nz/s)",
             batch.result.stats.num_cutsets,
             batch.seconds,
-            batch.result.stats.peak_pending_cutsets,
             stream1.seconds,
             streamn.seconds,
             streamn.result.stats.peak_pending_cutsets,
-            streamn.result.timings.stream_overlap.as_secs_f64(),
+            streamn.result.stats.num_cutsets,
+            overlap,
+            streamn.result.timings.quant_busy.as_secs_f64(),
+            streamn.spmv_throughput() / 1e6,
         ));
         blocks.push(preset_json(name, cutoff, &batch, &stream1, &streamn));
     }
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"sdft-bench-engine-v1\",\n  \
+         \"schema\": \"sdft-bench-engine-v2\",\n  \
          \"model\": \"industrial model 1 @ {scale}, 30% dynamic\",\n  \
          \"presets\": [\n{}\n]\n}}\n",
         blocks.join(",\n"),
@@ -163,4 +253,10 @@ fn main() {
         println!("engine smoke: {line}");
     }
     println!("engine smoke: wrote {output}");
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            eprintln!("engine smoke: GATE FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -127,6 +127,12 @@ pub struct KernelStats {
     pub steps_saved: u64,
     /// Solves in which steady-state detection fired.
     pub steady_state_solves: usize,
+    /// CSR entries streamed through the SpMV kernel (nonzeros × steps,
+    /// summed over solves) — the numerator of kernel throughput.
+    pub spmv_nonzeros: u64,
+    /// Solves that reused the workspace's memoized CSR (structurally
+    /// identical chain back-to-back) instead of rebuilding it.
+    pub csr_reuses: usize,
 }
 
 impl KernelStats {
@@ -136,6 +142,8 @@ impl KernelStats {
         self.steps_taken += other.steps_taken;
         self.steps_saved += other.steps_saved;
         self.steady_state_solves += other.steady_state_solves;
+        self.spmv_nonzeros += other.spmv_nonzeros;
+        self.csr_reuses += other.csr_reuses;
     }
 }
 
@@ -155,6 +163,8 @@ pub struct DynamicSolution {
     pub kernel: KernelStats,
     /// Wall-clock the kernel spent building its CSR form.
     pub csr_build: Duration,
+    /// Wall-clock the kernel spent inside its stepping loop.
+    pub spmv_time: Duration,
 }
 
 type CachedSolution = Result<DynamicSolution, CoreError>;
@@ -385,8 +395,11 @@ mod tests {
                 steps_taken: 7,
                 steps_saved: 3,
                 steady_state_solves: 1,
+                spmv_nonzeros: 14,
+                csr_reuses: 0,
             },
             csr_build: Duration::from_nanos(200),
+            spmv_time: Duration::from_nanos(900),
         }
     }
 

@@ -8,7 +8,7 @@
 //! MOCUS workers ──GenMsg──▶ filter thread ──Cutset──▶ quant workers
 //!  (generator)   (bounded)  (incremental    (bounded)  (FT_C models,
 //!                 channel    subsumption     channel    shared cache,
-//!                 of≤128-    per epoch)                 pooled kernel
+//!                 of≤512-    per epoch)                 pooled kernel
 //!                 batches)                              workspaces)
 //! ```
 //!
@@ -44,16 +44,16 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Generator→filter channel capacity, in delivery batches (a batch
-/// holds at most the generator's flush threshold of 128 candidates).
+/// holds at most the generator's flush threshold of 512 candidates).
 const GEN_CHANNEL_BATCHES: usize = 64;
 
 /// Cutsets per filter→quantification delivery batch (one channel send
 /// and one wakeup per batch instead of per cutset).
-const QUANT_BATCH: usize = 64;
+const QUANT_BATCH: usize = 256;
 
 /// Filter→quantification channel capacity, in batches. Together with
 /// [`QUANT_BATCH`] this bounds minimal cutsets awaiting quantification
-/// to 1024.
+/// to 4096.
 const QUANT_CHANNEL_BATCHES: usize = 16;
 
 /// What the engine hands back to the pipeline: per-horizon reports in
@@ -80,6 +80,12 @@ pub(crate) struct EngineOutput {
     /// Stage-seconds the generation and quantification spans overlapped
     /// (zero in a perfectly serial run; the pipeline's win).
     pub(crate) overlap: Duration,
+    /// Time the filter thread spent working (not blocked on the
+    /// generator channel).
+    pub(crate) filter_busy: Duration,
+    /// Time quantification workers spent solving models, summed over
+    /// workers (not blocked on the filter channel).
+    pub(crate) quant_busy: Duration,
 }
 
 /// A bounded MPMC channel on `Mutex` + `Condvar` (std only). `send`
@@ -197,6 +203,10 @@ struct FilterOutput {
     comparisons: u64,
     peak_pending: usize,
     first_release: Option<Instant>,
+    /// Time spent processing messages (minimizing, releasing), i.e. not
+    /// blocked waiting on the generator channel. Includes any
+    /// backpressure wait while handing batches downstream.
+    busy: Duration,
 }
 
 /// Live progress counters, shared by all stages. Updated with relaxed
@@ -243,6 +253,7 @@ fn filter_stage(
         comparisons: 0,
         peak_pending: 0,
         first_release: None,
+        busy: Duration::ZERO,
     };
     let release = |minimizer: IncrementalMinimizer, out: &mut FilterOutput| -> bool {
         out.comparisons += minimizer.comparisons();
@@ -281,6 +292,7 @@ fn filter_stage(
         true
     };
     while let Some(msg) = gen_rx.recv() {
+        let work_begin = Instant::now();
         match msg {
             GenMsg::Batch(epoch, cutsets) => {
                 let minimizer = minimizers.entry(epoch).or_default();
@@ -295,27 +307,33 @@ fn filter_stage(
                 // Epochs that never delivered a candidate have no
                 // minimizer and nothing to release.
                 let Some(minimizer) = minimizers.remove(&epoch) else {
+                    out.busy += work_begin.elapsed();
                     continue;
                 };
                 live -= minimizer.len();
                 if !release(minimizer, &mut out) {
+                    out.busy += work_begin.elapsed();
                     return out;
                 }
             }
         }
+        out.busy += work_begin.elapsed();
     }
     // A successful generation completes every epoch before the channel
     // closes; leftovers only exist on the abort path, where results are
     // discarded — finalize them anyway (sorted by epoch) so the
     // counters stay meaningful.
+    let drain_begin = Instant::now();
     let mut rest: Vec<(u32, IncrementalMinimizer)> = minimizers.into_iter().collect();
     rest.sort_unstable_by_key(|&(epoch, _)| epoch);
     for (_, minimizer) in rest {
         if !release(minimizer, &mut out) {
+            out.busy += drain_begin.elapsed();
             return out;
         }
     }
     quant_tx.close();
+    out.busy += drain_begin.elapsed();
     out
 }
 
@@ -335,11 +353,13 @@ fn quant_stage(
     progress: &Progress,
     inflight: &AtomicUsize,
     errors: &ErrorSlot,
-) -> (Vec<Vec<CutsetReport>>, KernelUsage) {
+) -> (Vec<Vec<CutsetReport>>, KernelUsage, Duration) {
     let mut workspace = pool.acquire();
     let mut local: Vec<Vec<CutsetReport>> = Vec::new();
     let mut usage = KernelUsage::default();
+    let mut busy = Duration::ZERO;
     'drain: while let Some(batch) = quant_rx.recv() {
+        let work_begin = Instant::now();
         for cutset in batch {
             let quantified = quantify_cutset_at_horizons(
                 tree,
@@ -354,8 +374,7 @@ fn quant_stage(
             inflight.fetch_sub(1, Ordering::Relaxed);
             match quantified {
                 Ok((reports, u)) => {
-                    usage.stats.absorb(u.stats);
-                    usage.csr_build += u.csr_build;
+                    usage.absorb(u);
                     local.push(reports);
                     progress.quantified.fetch_add(1, Ordering::Relaxed);
                 }
@@ -365,13 +384,15 @@ fn quant_stage(
                     // send fails, the filter's next recv/send fails.
                     quant_rx.abort();
                     gen_tx.abort();
+                    busy += work_begin.elapsed();
                     break 'drain;
                 }
             }
         }
+        busy += work_begin.elapsed();
     }
     pool.release(workspace);
-    (local, usage)
+    (local, usage, busy)
 }
 
 /// Run the full streaming analysis: generation on the calling thread,
@@ -497,10 +518,11 @@ pub(crate) fn run_streaming(
             }
 
             let filter_out = filter_handle.join().expect("filter thread does not panic");
-            let worker_outputs: Vec<(Vec<Vec<CutsetReport>>, KernelUsage)> = quant_handles
-                .into_iter()
-                .map(|h| h.join().expect("quant worker does not panic"))
-                .collect();
+            let worker_outputs: Vec<(Vec<Vec<CutsetReport>>, KernelUsage, Duration)> =
+                quant_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("quant worker does not panic"))
+                    .collect();
             let quant_end = Instant::now();
 
             *monitor_done.0.lock().expect("monitor flag poisoned") = true;
@@ -541,13 +563,14 @@ pub(crate) fn run_streaming(
     // translation keeps basic-event ids monotone, so original-id order
     // equals translated-id order).
     let mut kernel_usage = KernelUsage::default();
-    for (_, usage) in &worker_outputs {
-        kernel_usage.stats.absorb(usage.stats);
-        kernel_usage.csr_build += usage.csr_build;
+    let mut quant_busy = Duration::ZERO;
+    for (_, usage, busy) in &worker_outputs {
+        kernel_usage.absorb(*usage);
+        quant_busy += *busy;
     }
     let mut items: Vec<Vec<CutsetReport>> = worker_outputs
         .into_iter()
-        .flat_map(|(local, _)| local)
+        .flat_map(|(local, _, _)| local)
         .collect();
     items.sort_unstable_by(|a, b| {
         let (ca, cb) = (&a[0].cutset, &b[0].cutset);
@@ -579,5 +602,7 @@ pub(crate) fn run_streaming(
         generation_span,
         quantification_span,
         overlap: (generation_span + quantification_span).saturating_sub(pipeline_span),
+        filter_busy: filter_out.busy,
+        quant_busy,
     })
 }

@@ -134,6 +134,22 @@ pub struct Timings {
     /// quantification spans ran concurrently (zero for the batch path,
     /// which runs the phases strictly in sequence).
     pub stream_overlap: Duration,
+    /// Busy seconds of the generation stage (MOCUS/BDD enumeration on
+    /// the calling thread; equals `mcs_generation` when streaming).
+    pub generation_busy: Duration,
+    /// Busy seconds of the streaming filter stage: time actually spent
+    /// minimizing and releasing candidates, excluding channel waits
+    /// (zero for the batch path, whose minimization is inside MOCUS).
+    pub filter_busy: Duration,
+    /// Busy seconds summed over quantification workers: time spent
+    /// solving models, excluding channel waits. Exceeds wall-clock
+    /// `quantification` when several workers run concurrently.
+    pub quant_busy: Duration,
+    /// Wall-clock inside the uniformization stepping loop (SpMV plus
+    /// Poisson accumulation), summed over all solves. Divide
+    /// `AnalysisStats::kernel_spmv_nonzeros` by this for the kernel's
+    /// sustained nonzeros/second.
+    pub spmv: Duration,
     /// End-to-end analysis time.
     pub total: Duration,
 }
@@ -173,6 +189,12 @@ pub struct AnalysisStats {
     pub kernel_steps_saved: u64,
     /// Solves in which steady-state detection fired.
     pub steady_state_solves: usize,
+    /// CSR entries streamed through the SpMV kernel (nonzeros × steps,
+    /// summed over solves; deterministic for a fixed cutset list).
+    pub kernel_spmv_nonzeros: u64,
+    /// Solves that reused a workspace's memoized CSR instead of
+    /// rebuilding it (depends on which worker saw which model when).
+    pub kernel_csr_reuses: usize,
     /// Partial cutsets MOCUS processed (schedule-independent).
     pub mocus_partials_processed: u64,
     /// Partial cutsets MOCUS pruned via the cutoff, order limit or
@@ -261,6 +283,7 @@ impl AnalysisStats {
     /// engines for the same analysis.
     #[must_use]
     pub fn deterministic(mut self) -> Self {
+        self.kernel_csr_reuses = 0;
         self.mocus_stolen_tasks = 0;
         self.mocus_subsumption_comparisons = 0;
         self.peak_pending_cutsets = 0;
@@ -518,6 +541,8 @@ pub fn analyze_horizons(
             mcs_time: engine.generation_span,
             quantification_time: engine.quantification_span,
             stream_overlap: engine.overlap,
+            filter_busy: engine.filter_busy,
+            quant_busy: engine.quant_busy,
         }
     } else {
         let t2 = Instant::now();
@@ -527,7 +552,7 @@ pub fn analyze_horizons(
         let mcs_time = t2.elapsed();
 
         let t3 = Instant::now();
-        let (per_horizon_reports, cache_stats, kernel_usage) =
+        let (per_horizon_reports, cache_stats, kernel_usage, quant_busy) =
             quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
         PhaseOutput {
             subsumption_comparisons: gen_stats.mocus.subsumption_comparisons,
@@ -543,6 +568,8 @@ pub fn analyze_horizons(
             mcs_time,
             quantification_time: t3.elapsed(),
             stream_overlap: Duration::ZERO,
+            filter_busy: Duration::ZERO,
+            quant_busy,
         }
     };
     let PhaseOutput {
@@ -556,6 +583,8 @@ pub fn analyze_horizons(
         mcs_time,
         quantification_time,
         stream_overlap,
+        filter_busy,
+        quant_busy,
     } = phase;
     let mocus_stats = &gen_stats.mocus;
 
@@ -585,6 +614,8 @@ pub fn analyze_horizons(
             kernel_steps: kernel_usage.stats.steps_taken,
             kernel_steps_saved: kernel_usage.stats.steps_saved,
             steady_state_solves: kernel_usage.stats.steady_state_solves,
+            kernel_spmv_nonzeros: kernel_usage.stats.spmv_nonzeros,
+            kernel_csr_reuses: kernel_usage.stats.csr_reuses,
             mocus_partials_processed: mocus_stats.partials_processed,
             mocus_partials_pruned: mocus_stats.partials_pruned,
             mocus_subsumption_comparisons: subsumption_comparisons,
@@ -630,6 +661,10 @@ pub fn analyze_horizons(
                 quantification_saved: cache_stats.time_saved,
                 csr_build: kernel_usage.csr_build,
                 stream_overlap,
+                generation_busy: mcs_time,
+                filter_busy,
+                quant_busy,
+                spmv: kernel_usage.spmv_time,
                 total: start.elapsed(),
             },
             stats,
@@ -659,6 +694,10 @@ struct PhaseOutput {
     mcs_time: Duration,
     quantification_time: Duration,
     stream_overlap: Duration,
+    /// Filter-thread busy seconds (zero for batch).
+    filter_busy: Duration,
+    /// Quantification busy seconds summed over workers.
+    quant_busy: Duration,
 }
 
 /// Quantify one cutset against every horizon: build its `FT_C` model
@@ -700,6 +739,10 @@ pub(crate) fn quantify_cutset_at_horizons(
     Ok((reports, usage))
 }
 
+/// What [`quantify_all_multi`] hands back: per-horizon reports, cache
+/// statistics, aggregated kernel usage, and worker busy seconds.
+type QuantifyOutcome = (Vec<Vec<CutsetReport>>, CacheStats, KernelUsage, Duration);
+
 /// Quantify every cutset at every horizon, fanning the work out over a
 /// thread pool fed by a shared atomic work queue (quantifications are
 /// independent; the paper notes this parallelism extends to
@@ -722,7 +765,7 @@ fn quantify_all_multi(
     horizons: &[f64],
     options: &AnalysisOptions,
     probs_per_horizon: &[EventProbabilities],
-) -> Result<(Vec<Vec<CutsetReport>>, CacheStats, KernelUsage), CoreError> {
+) -> Result<QuantifyOutcome, CoreError> {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -765,23 +808,23 @@ fn quantify_all_multi(
         .collect();
 
     if threads <= 1 {
+        let busy_begin = Instant::now();
         let mut workspace = SolverWorkspace::new();
         let mut total_usage = KernelUsage::default();
         for &cutset in &work {
             let (reports, usage) = quantify_one(cutset, &mut workspace)?;
-            total_usage.stats.absorb(usage.stats);
-            total_usage.csr_build += usage.csr_build;
+            total_usage.absorb(usage);
             for (h, report) in reports.into_iter().enumerate() {
                 out[h].push(report);
             }
         }
         let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
-        return Ok((out, stats, total_usage));
+        return Ok((out, stats, total_usage, busy_begin.elapsed()));
     }
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let (produced, total_usage) = std::thread::scope(|scope| {
+    let (produced, total_usage, total_busy) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let next = &next;
@@ -789,6 +832,7 @@ fn quantify_all_multi(
             let work = &work;
             let quantify_one = &quantify_one;
             handles.push(scope.spawn(move || {
+                let busy_begin = Instant::now();
                 let mut workspace = SolverWorkspace::new();
                 let mut local: Vec<(usize, Vec<CutsetReport>)> = Vec::new();
                 let mut local_usage = KernelUsage::default();
@@ -802,8 +846,7 @@ fn quantify_all_multi(
                     };
                     match quantify_one(cutset, &mut workspace) {
                         Ok((reports, usage)) => {
-                            local_usage.stats.absorb(usage.stats);
-                            local_usage.csr_build += usage.csr_build;
+                            local_usage.absorb(usage);
                             local.push((index, reports));
                         }
                         Err(error) => {
@@ -813,18 +856,19 @@ fn quantify_all_multi(
                         }
                     }
                 }
-                Ok((local, local_usage))
+                Ok((local, local_usage, busy_begin.elapsed()))
             }));
         }
         let mut produced: Vec<(usize, Vec<CutsetReport>)> = Vec::with_capacity(work.len());
         let mut total_usage = KernelUsage::default();
+        let mut total_busy = Duration::ZERO;
         let mut first_error: Option<(usize, CoreError)> = None;
         for handle in handles {
             match handle.join().expect("worker does not panic") {
-                Ok((local, local_usage)) => {
+                Ok((local, local_usage, busy)) => {
                     produced.extend(local);
-                    total_usage.stats.absorb(local_usage.stats);
-                    total_usage.csr_build += local_usage.csr_build;
+                    total_usage.absorb(local_usage);
+                    total_busy += busy;
                 }
                 Err((index, error)) => {
                     if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
@@ -835,7 +879,7 @@ fn quantify_all_multi(
         }
         match first_error {
             Some((_, error)) => Err(error),
-            None => Ok((produced, total_usage)),
+            None => Ok((produced, total_usage, total_busy)),
         }
     })?;
 
@@ -848,7 +892,7 @@ fn quantify_all_multi(
         }
     }
     let stats = cache.as_ref().map(QuantCache::stats).unwrap_or_default();
-    Ok((out, stats, total_usage))
+    Ok((out, stats, total_usage, total_busy))
 }
 
 #[cfg(test)]

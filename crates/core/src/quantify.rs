@@ -166,8 +166,11 @@ fn solve_dynamics(
             steps_taken: stats.steps_taken as u64,
             steps_saved: stats.steps_saved() as u64,
             steady_state_solves: usize::from(stats.steady_state_step.is_some()),
+            spmv_nonzeros: stats.spmv_nonzeros,
+            csr_reuses: usize::from(stats.csr_shared),
         },
         csr_build: stats.csr_build,
+        spmv_time: stats.spmv_time,
     })
 }
 
@@ -232,6 +235,18 @@ pub struct KernelUsage {
     /// Wall-clock spent building CSR forms (not deterministic; kept out
     /// of [`KernelStats`] so those can be compared across runs).
     pub csr_build: Duration,
+    /// Wall-clock inside the uniformization stepping loop (SpMV plus
+    /// Poisson accumulation) — the denominator of kernel throughput.
+    pub spmv_time: Duration,
+}
+
+impl KernelUsage {
+    /// Accumulate another call's kernel work into this one.
+    pub fn absorb(&mut self, other: KernelUsage) {
+        self.stats.absorb(other.stats);
+        self.csr_build += other.csr_build;
+        self.spmv_time += other.spmv_time;
+    }
 }
 
 /// Like [`quantify_model_many`], consulting `cache` (when given) so that
@@ -324,6 +339,7 @@ pub fn quantify_model_many_with(
         KernelUsage {
             stats: solution.kernel,
             csr_build: solution.csr_build,
+            spmv_time: solution.spmv_time,
         }
     };
     let reports = solution

@@ -20,6 +20,22 @@
 //! bitwise-identical to the pre-CSR solver whenever steady-state
 //! detection does not trigger.
 //!
+//! # The SpMV kernels
+//!
+//! Two SpMV implementations live in [`kernel`]: the scalar reference
+//! loop and a blocked variant that unrolls each row into
+//! [`kernel::SPMV_LANES`]-wide product blocks. The blocked path computes
+//! the four jump masses of a block with independent multiplies (which
+//! the compiler packs into SIMD lanes) but keeps the scatter and the
+//! running stay-residual chain serial and in the original entry order,
+//! so it performs exactly the scalar path's floating-point operations —
+//! the two are bitwise-identical by construction, which the property
+//! suite pins on random CSR matrices. Selection is deterministic: the
+//! blocked kernel is always used unless the `SDFT_SPMV_KERNEL=scalar`
+//! environment variable forces the reference path (read once per
+//! process); it never depends on runtime CPU detection, so results can
+//! never vary across machines.
+//!
 //! # Steady-state detection
 //!
 //! Uniformization needs `O(Λt)` DTMC steps; on stiff repairable chains
@@ -27,25 +43,157 @@
 //! Poisson window is exhausted. After each step the kernel measures
 //! `δ = ‖π_{k} − π_{k-1}‖₁`. Successive-difference L1 norms are
 //! non-increasing under a stochastic matrix (`‖(π−π′)P‖₁ ≤ ‖π−π′‖₁`), so
-//! once `δ · steps_remaining ≤ ε` every future iterate is within `ε` of
-//! `π_k` in L1, and the kernel closes the Poisson series analytically:
-//! each horizon adds `(Σ remaining weights) · π_k` and stepping stops.
-//! The extra error is at most `ε` per horizon on top of the Poisson
-//! truncation error — total `≤ 2ε`. Periodic uniformized chains (no
-//! state at the maximum exit rate) simply never satisfy the criterion
-//! and run the full window; `Λ` is *not* padded, precisely so that the
-//! detection-off results stay bitwise-identical to the old solver.
+//! once `δ · remaining_h ≤ ε` every iterate inside horizon `h`'s
+//! remaining Poisson window is within `ε` of `π_k` in L1, and the kernel
+//! closes *that horizon's* series analytically: the horizon adds
+//! `(Σ its remaining weights) · π_k` and drops out of the weight pass.
+//! Each horizon is closed against its **own** remaining window — exactly
+//! the decision an independent single-horizon solve would take at the
+//! same step — so a shared multi-horizon solve returns bitwise-identical
+//! per-horizon results to solving each horizon alone, even when
+//! detection fires mid-sequence. Stepping stops once every horizon has
+//! closed (by detection or by exhausting its window). The extra error is
+//! at most `ε` per horizon on top of the Poisson truncation error —
+//! total `≤ 2ε`. Periodic uniformized chains (no state at the maximum
+//! exit rate) simply never satisfy the criterion and run the full
+//! window; `Λ` is *not* padded, precisely so that the detection-off
+//! results stay bitwise-identical to the old solver.
+//!
+//! # CSR reuse across solves
+//!
+//! A workspace remembers which chain its CSR buffers were built from
+//! (the chain's exact [`crate::ChainSignature`] plus the absorbing
+//! flag). When the next solve presents a structurally identical chain —
+//! common when near-duplicate cutset models stream through a shared
+//! [`crate::WorkspacePool`] in one epoch — the build is skipped and the
+//! buffers reused as-is. Equal signatures mean identical transition
+//! systems, so the reused CSR is bitwise the one a fresh build would
+//! produce.
 
 use crate::chain::Ctmc;
 use crate::error::CtmcError;
 use crate::poisson::PoissonWeights;
+use crate::signature::ChainSignature;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// The raw SpMV entry points, public so the property suite can pin the
+/// blocked kernel bitwise against the scalar reference on arbitrary CSR
+/// inputs (empty rows, duplicate/dangling columns, row lengths not
+/// divisible by the block width).
+pub mod kernel {
+    /// Lane width of the blocked kernel. Fixed (never CPU-detected) so
+    /// the operation order — and therefore every rounding decision — is
+    /// identical on every machine.
+    pub const SPMV_LANES: usize = 4;
+
+    /// Signature shared by both SpMV kernels:
+    /// `(row_offsets, cols, probs, current, next)`.
+    pub type SpmvFn = fn(&[u32], &[u32], &[f64], &[f64], &mut [f64]);
+
+    /// One DTMC step `next = current · P` over the CSR form — the scalar
+    /// reference loop. The diagonal is the per-row residual (clamped at
+    /// zero), matching the reference dense loop bit for bit.
+    pub fn spmv_scalar(
+        row_offsets: &[u32],
+        cols: &[u32],
+        probs: &[f64],
+        current: &[f64],
+        next: &mut [f64],
+    ) {
+        for v in next.iter_mut() {
+            *v = 0.0;
+        }
+        for (s, &mass) in current.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            let mut stay = mass;
+            for i in row_offsets[s] as usize..row_offsets[s + 1] as usize {
+                let move_mass = mass * probs[i];
+                next[cols[i] as usize] += move_mass;
+                stay -= move_mass;
+            }
+            next[s] += stay.max(0.0);
+        }
+    }
+
+    /// One DTMC step over the CSR form with rows blocked into
+    /// [`SPMV_LANES`]-wide chunks. The block's jump masses are
+    /// independent multiplies (vectorizable); the scatter and the stay
+    /// chain run serially in the original entry order, so duplicate
+    /// columns and the running residual round exactly as
+    /// [`spmv_scalar`] does — the two kernels are bitwise-identical on
+    /// every input.
+    pub fn spmv_blocked(
+        row_offsets: &[u32],
+        cols: &[u32],
+        probs: &[f64],
+        current: &[f64],
+        next: &mut [f64],
+    ) {
+        for v in next.iter_mut() {
+            *v = 0.0;
+        }
+        for (s, &mass) in current.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            let begin = row_offsets[s] as usize;
+            let end = row_offsets[s + 1] as usize;
+            let row_probs = &probs[begin..end];
+            let row_cols = &cols[begin..end];
+            let mut stay = mass;
+            let mut p_blocks = row_probs.chunks_exact(SPMV_LANES);
+            let mut c_blocks = row_cols.chunks_exact(SPMV_LANES);
+            for (p, c) in p_blocks.by_ref().zip(c_blocks.by_ref()) {
+                let m = [mass * p[0], mass * p[1], mass * p[2], mass * p[3]];
+                next[c[0] as usize] += m[0];
+                next[c[1] as usize] += m[1];
+                next[c[2] as usize] += m[2];
+                next[c[3] as usize] += m[3];
+                stay -= m[0];
+                stay -= m[1];
+                stay -= m[2];
+                stay -= m[3];
+            }
+            for (&p, &c) in p_blocks.remainder().iter().zip(c_blocks.remainder()) {
+                let move_mass = mass * p;
+                next[c as usize] += move_mass;
+                stay -= move_mass;
+            }
+            next[s] += stay.max(0.0);
+        }
+    }
+}
+
+/// Which SpMV implementation [`solve`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpmvKernel {
+    /// The scalar reference loop ([`kernel::spmv_scalar`]).
+    Scalar,
+    /// The blocked 4-lane kernel ([`kernel::spmv_blocked`]), bitwise
+    /// equal to the scalar path. The default.
+    Blocked,
+}
+
+/// The process-wide SpMV kernel selection: [`SpmvKernel::Blocked`]
+/// unless `SDFT_SPMV_KERNEL=scalar` forces the reference path. Read
+/// once, so the choice is stable for the life of the process.
+#[must_use]
+pub fn selected_spmv_kernel() -> SpmvKernel {
+    static CHOICE: OnceLock<SpmvKernel> = OnceLock::new();
+    *CHOICE.get_or_init(|| match std::env::var("SDFT_SPMV_KERNEL").as_deref() {
+        Ok("scalar") => SpmvKernel::Scalar,
+        _ => SpmvKernel::Blocked,
+    })
+}
 
 /// Knobs of the uniformization kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverOptions {
-    /// Stop stepping once successive DTMC iterates have converged and
-    /// close the Poisson series with the remaining tail mass (see the
+    /// Close each horizon's Poisson series once successive DTMC iterates
+    /// have converged within that horizon's remaining window (see the
     /// module docs). Adds at most the truncation `ε` of extra error per
     /// horizon; disable for bitwise compatibility with the plain Jensen
     /// iteration.
@@ -72,10 +220,22 @@ pub struct SolveStats {
     /// DTMC steps a full Poisson window would need (the largest
     /// horizon's truncation point).
     pub steps_budget: usize,
-    /// The step at which steady-state detection fired, if it did.
+    /// The first step at which steady-state detection closed a horizon,
+    /// if it closed any.
     pub steady_state_step: Option<usize>,
-    /// Wall-clock spent building the CSR form.
+    /// Wall-clock spent obtaining the CSR form (building it, or proving
+    /// through the chain signature that the workspace already holds it).
     pub csr_build: Duration,
+    /// Whether the CSR was reused from the workspace's previous solve
+    /// instead of rebuilt (see the module docs).
+    pub csr_shared: bool,
+    /// CSR entries the stepping loop streamed: `nonzeros × steps_taken`.
+    /// Deterministic for a fixed chain and horizon set; divide by
+    /// [`SolveStats::spmv_time`] for the kernel's sustained throughput.
+    pub spmv_nonzeros: u64,
+    /// Wall-clock of the stepping loop (SpMV plus the Poisson weight
+    /// accumulation it feeds).
+    pub spmv_time: Duration,
     /// Poisson window length (`right + 1`) per horizon — the number of
     /// weight applications each horizon needs, used to attribute the
     /// shared pass's cost across horizons.
@@ -93,7 +253,9 @@ impl SolveStats {
 /// Reusable buffers for the uniformization kernel: the CSR scratch and
 /// the current/next/result vectors. One workspace per worker thread
 /// amortizes all solver allocations across an analysis run — each solve
-/// only grows the buffers on the largest chain seen so far.
+/// only grows the buffers on the largest chain seen so far, and the CSR
+/// buffers carry their owning chain's signature so a structurally
+/// identical follow-up solve skips the rebuild entirely.
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
     row_offsets: Vec<u32>,
@@ -102,6 +264,11 @@ pub struct SolverWorkspace {
     current: Vec<f64>,
     next: Vec<f64>,
     results: Vec<Vec<f64>>,
+    /// Identity of the CSR currently in the buffers: the chain's exact
+    /// structural signature and whether failed rows were absorbed.
+    csr_key: Option<(ChainSignature, bool)>,
+    /// The uniformization constant of the memoized CSR.
+    csr_rate: f64,
 }
 
 impl SolverWorkspace {
@@ -198,27 +365,6 @@ fn build_csr(chain: &Ctmc, absorbing: bool, ws: &mut SolverWorkspace) -> f64 {
     rate
 }
 
-/// One DTMC step `next = current · P` over the CSR form. The diagonal is
-/// the per-row residual (clamped at zero), matching the reference dense
-/// loop bit for bit.
-fn dtmc_step(row_offsets: &[u32], cols: &[u32], probs: &[f64], current: &[f64], next: &mut [f64]) {
-    for v in next.iter_mut() {
-        *v = 0.0;
-    }
-    for (s, &mass) in current.iter().enumerate() {
-        if mass == 0.0 {
-            continue;
-        }
-        let mut stay = mass;
-        for i in row_offsets[s] as usize..row_offsets[s + 1] as usize {
-            let move_mass = mass * probs[i];
-            next[cols[i] as usize] += move_mass;
-            stay -= move_mass;
-        }
-        next[s] += stay.max(0.0);
-    }
-}
-
 fn prepare_results(ws: &mut SolverWorkspace, count: usize, n: usize) {
     if ws.results.len() < count {
         ws.results.resize_with(count, Vec::new);
@@ -229,9 +375,10 @@ fn prepare_results(ws: &mut SolverWorkspace, count: usize, n: usize) {
     }
 }
 
-/// The shared kernel: validate, build the CSR, run the Poisson-weighted
-/// iteration (with optional steady-state closing), and leave the
-/// per-horizon distributions in `ws.results[..horizons.len()]`.
+/// The shared kernel: validate, obtain the CSR (rebuilding only when the
+/// workspace's memoized CSR belongs to a different chain), run the
+/// Poisson-weighted iteration with per-horizon steady-state closing, and
+/// leave the per-horizon distributions in `ws.results[..horizons.len()]`.
 fn solve(
     chain: &Ctmc,
     horizons: &[f64],
@@ -254,7 +401,19 @@ fn solve(
 
     let n = chain.len();
     let build_begin = Instant::now();
-    let rate = build_csr(chain, absorbing, ws);
+    let signature = chain.structural_signature();
+    let csr_shared = ws
+        .csr_key
+        .as_ref()
+        .is_some_and(|(held, held_absorbing)| *held_absorbing == absorbing && *held == signature);
+    let rate = if csr_shared {
+        ws.csr_rate
+    } else {
+        let rate = build_csr(chain, absorbing, ws);
+        ws.csr_key = Some((signature, absorbing));
+        ws.csr_rate = rate;
+        rate
+    };
     let csr_build = build_begin.elapsed();
     prepare_results(ws, horizons.len(), n);
 
@@ -269,6 +428,9 @@ fn solve(
             steps_budget: 0,
             steady_state_step: None,
             csr_build,
+            csr_shared,
+            spmv_nonzeros: 0,
+            spmv_time: Duration::ZERO,
             per_horizon_steps: vec![1; horizons.len()],
         });
     }
@@ -277,28 +439,47 @@ fn solve(
         .iter()
         .map(|&t| PoissonWeights::new(rate * t, epsilon))
         .collect::<Result<_, _>>()?;
-    let max_right = weights.iter().map(PoissonWeights::right).max().unwrap_or(0);
+    let rights: Vec<usize> = weights.iter().map(PoissonWeights::right).collect();
+    let max_right = rights.iter().copied().max().unwrap_or(0);
 
     ws.current.clear();
     ws.current.extend_from_slice(chain.initial_distribution());
     ws.next.clear();
     ws.next.resize(n, 0.0);
 
+    let spmv: kernel::SpmvFn = match selected_spmv_kernel() {
+        SpmvKernel::Scalar => kernel::spmv_scalar,
+        SpmvKernel::Blocked => kernel::spmv_blocked,
+    };
+    let nonzeros = ws.probs.len();
     let mut steps_taken = 0;
     let mut steady_state_step = None;
+    // Horizons drop out of the weight pass as they finish: either their
+    // Poisson window is exhausted, or steady-state detection closed
+    // their series early. Stepping stops when none remain open.
+    let mut closed = vec![false; horizons.len()];
+    let mut open = horizons.len();
+    let stepping_begin = Instant::now();
     for step in 0..=max_right {
-        for (result, w) in ws.results.iter_mut().zip(&weights) {
+        for (h, (result, w)) in ws.results.iter_mut().zip(&weights).enumerate() {
+            if closed[h] {
+                continue;
+            }
             let weight = w.weight(step);
             if weight > 0.0 {
                 for (r, &c) in result.iter_mut().zip(&ws.current) {
                     *r += weight * c;
                 }
             }
+            if step == rights[h] {
+                closed[h] = true;
+                open -= 1;
+            }
         }
-        if step == max_right {
+        if open == 0 {
             break;
         }
-        dtmc_step(
+        spmv(
             &ws.row_offsets,
             &ws.cols,
             &ws.probs,
@@ -309,41 +490,54 @@ fn solve(
         steps_taken = step + 1;
 
         if options.steady_state_detection {
-            let remaining = max_right - steps_taken;
-            if remaining > 0 {
-                // `ws.next` still holds the previous iterate.
-                let delta: f64 = ws
-                    .current
-                    .iter()
-                    .zip(&ws.next)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
-                if delta * remaining as f64 <= epsilon {
-                    for (result, w) in ws.results.iter_mut().zip(&weights) {
-                        let mut tail = 0.0;
-                        for k in steps_taken..=w.right() {
-                            tail += w.weight(k);
-                        }
-                        if tail > 0.0 {
-                            for (r, &c) in result.iter_mut().zip(&ws.current) {
-                                *r += tail * c;
-                            }
+            // `ws.next` still holds the previous iterate.
+            let delta: f64 = ws
+                .current
+                .iter()
+                .zip(&ws.next)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            for (h, (result, w)) in ws.results.iter_mut().zip(&weights).enumerate() {
+                if closed[h] {
+                    continue;
+                }
+                // Each horizon is judged against its own remaining
+                // window — the identical decision an independent
+                // single-horizon solve takes at this step, so shared and
+                // independent solves agree bitwise.
+                let remaining = rights[h] - steps_taken;
+                if remaining > 0 && delta * remaining as f64 <= epsilon {
+                    let mut tail = 0.0;
+                    for k in steps_taken..=w.right() {
+                        tail += w.weight(k);
+                    }
+                    if tail > 0.0 {
+                        for (r, &c) in result.iter_mut().zip(&ws.current) {
+                            *r += tail * c;
                         }
                     }
-                    steady_state_step = Some(steps_taken);
-                    break;
+                    closed[h] = true;
+                    open -= 1;
+                    steady_state_step.get_or_insert(steps_taken);
                 }
+            }
+            if open == 0 {
+                break;
             }
         }
     }
+    let spmv_time = stepping_begin.elapsed();
 
     Ok(SolveStats {
         states: n,
-        nonzeros: ws.probs.len(),
+        nonzeros,
         steps_taken,
         steps_budget: max_right,
         steady_state_step,
         csr_build,
+        csr_shared,
+        spmv_nonzeros: nonzeros as u64 * steps_taken as u64,
+        spmv_time,
         per_horizon_steps: weights.iter().map(|w| w.right() + 1).collect(),
     })
 }
@@ -396,6 +590,28 @@ mod tests {
     }
 
     #[test]
+    fn blocked_and_scalar_kernels_agree_on_a_fixed_chain() {
+        let mut b = CtmcBuilder::new(6);
+        b.initial(0, 1.0);
+        for s in 0..6usize {
+            for k in 1..=5usize {
+                b.rate(s, (s + k) % 6, 0.01 + (s * 5 + k) as f64 * 0.13);
+            }
+        }
+        let c = b.failed(5).build().unwrap();
+        let mut ws = SolverWorkspace::new();
+        build_csr(&c, true, &mut ws);
+        let current: Vec<f64> = (0..6).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+        let mut scalar = vec![0.0; 6];
+        let mut blocked = vec![0.0; 6];
+        kernel::spmv_scalar(&ws.row_offsets, &ws.cols, &ws.probs, &current, &mut scalar);
+        kernel::spmv_blocked(&ws.row_offsets, &ws.cols, &ws.probs, &current, &mut blocked);
+        for (a, b) in scalar.iter().zip(&blocked) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn steady_state_detection_cuts_stiff_chains_short() {
         // Λt = 120 · 50 = 6000, but the two-state chain mixes in tens of
         // steps; detection must fire early and stay within ε.
@@ -433,6 +649,67 @@ mod tests {
         for (a, b) in on.iter().zip(&off) {
             assert!((a - b).abs() <= 2.0 * eps, "{a} vs {b}");
         }
+    }
+
+    /// The tentpole guarantee of the shared multi-horizon solve: every
+    /// horizon's result is bitwise the result of solving that horizon
+    /// alone, including when steady-state detection closes some horizons
+    /// mid-sequence.
+    #[test]
+    fn shared_solve_is_bitwise_identical_to_independent_solves() {
+        let stiff = birth_death(120.0, 80.0);
+        let mut b = CtmcBuilder::new(4);
+        b.initial(0, 1.0);
+        b.rate(0, 1, 0.9)
+            .rate(1, 2, 1.4)
+            .rate(2, 0, 0.3)
+            .rate(2, 3, 0.2);
+        let drifting = b.failed(3).build().unwrap();
+        for chain in [&stiff, &drifting] {
+            for options in [&SSD_ON, &SSD_OFF] {
+                let horizons = [0.5, 10.0, 50.0, 200.0];
+                let mut ws = SolverWorkspace::new();
+                let (shared, shared_stats) =
+                    reach_probability_many_with(chain, &horizons, 1e-10, options, &mut ws).unwrap();
+                for (h, &t) in horizons.iter().enumerate() {
+                    let mut solo_ws = SolverWorkspace::new();
+                    let (solo, _) =
+                        reach_probability_many_with(chain, &[t], 1e-10, options, &mut solo_ws)
+                            .unwrap();
+                    assert_eq!(
+                        shared[h].to_bits(),
+                        solo[0].to_bits(),
+                        "horizon {t}: {} vs {}",
+                        shared[h],
+                        solo[0]
+                    );
+                }
+                // The shared pass never steps past the largest horizon's
+                // own budget.
+                assert!(shared_stats.steps_taken <= shared_stats.steps_budget);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_the_csr_for_an_identical_chain() {
+        let a = birth_death(120.0, 80.0);
+        let b = birth_death(120.0, 80.0);
+        let other = birth_death(60.0, 80.0);
+        let mut ws = SolverWorkspace::new();
+        let (_, first) = reach_probability_many_with(&a, &[50.0], 1e-10, &SSD_ON, &mut ws).unwrap();
+        assert!(!first.csr_shared);
+        let (p_fresh, again) =
+            reach_probability_many_with(&b, &[50.0], 1e-10, &SSD_ON, &mut ws).unwrap();
+        assert!(again.csr_shared, "identical chain must reuse the CSR");
+        let (_, rebuilt) =
+            reach_probability_many_with(&other, &[50.0], 1e-10, &SSD_ON, &mut ws).unwrap();
+        assert!(!rebuilt.csr_shared, "different chain must rebuild");
+        // Reuse is bitwise-invisible.
+        let mut cold = SolverWorkspace::new();
+        let (p_cold, _) =
+            reach_probability_many_with(&b, &[50.0], 1e-10, &SSD_ON, &mut cold).unwrap();
+        assert_eq!(p_fresh[0].to_bits(), p_cold[0].to_bits());
     }
 
     #[test]
@@ -474,6 +751,7 @@ mod tests {
         assert_eq!(stats.steps_budget, 0);
         assert_eq!(stats.per_horizon_steps, vec![1, 1]);
         assert_eq!(stats.nonzeros, 0);
+        assert_eq!(stats.spmv_nonzeros, 0);
     }
 
     #[test]
@@ -489,6 +767,10 @@ mod tests {
         assert_eq!(
             stats.steps_budget + 1,
             *stats.per_horizon_steps.iter().max().unwrap()
+        );
+        assert_eq!(
+            stats.spmv_nonzeros,
+            stats.nonzeros as u64 * stats.steps_taken as u64
         );
     }
 

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use sdft_ctmc::{
-    reach_probability_many_with, reference, transient_distribution_many_with, Ctmc, CtmcBuilder,
-    SolverOptions, SolverWorkspace,
+    kernel, reach_probability_many_with, reference, transient_distribution_many_with, Ctmc,
+    CtmcBuilder, SolverOptions, SolverWorkspace,
 };
 
 /// A compact description of a random chain: transitions reference
@@ -111,6 +111,74 @@ proptest! {
         for (pi, reference_pi) in dists.iter().zip(&expected) {
             for (a, b) in pi.iter().zip(reference_pi) {
                 prop_assert!((a - b).abs() <= 1e-9, "{} vs {}", a, b);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The blocked SpMV kernel must be bitwise-identical to the scalar
+    /// reference on arbitrary CSR matrices: empty rows, duplicate and
+    /// never-referenced (dangling) columns, row lengths not divisible by
+    /// the lane width, and zero-mass states.
+    #[test]
+    fn blocked_spmv_is_bitwise_equal_to_the_scalar_reference(
+        row_specs in prop::collection::vec(
+            prop::collection::vec((0usize..100, 0.0f64..0.5), 0..10),
+            1..16,
+        ),
+        masses in prop::collection::vec((0usize..4, 0.0f64..1.0), 1..16),
+    ) {
+        let n = row_specs.len();
+        let mut row_offsets = vec![0u32];
+        let mut cols = Vec::new();
+        let mut probs = Vec::new();
+        for row in &row_specs {
+            for &(c, p) in row {
+                cols.push((c % n) as u32);
+                probs.push(p);
+            }
+            row_offsets.push(u32::try_from(cols.len()).unwrap());
+        }
+        let current: Vec<f64> = (0..n)
+            .map(|s| {
+                let (zero, m) = masses[s % masses.len()];
+                if zero == 0 { 0.0 } else { m }
+            })
+            .collect();
+        let mut scalar = vec![0.0f64; n];
+        let mut blocked = vec![0.0f64; n];
+        kernel::spmv_scalar(&row_offsets, &cols, &probs, &current, &mut scalar);
+        kernel::spmv_blocked(&row_offsets, &cols, &probs, &current, &mut blocked);
+        for (s, (a, b)) in scalar.iter().zip(&blocked).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "state {}: {} vs {}", s, a, b);
+        }
+    }
+
+    /// A shared multi-horizon solve must return bitwise-identical
+    /// per-horizon results to solving each horizon alone — with
+    /// steady-state detection both off and on (where it may close some
+    /// horizons mid-sequence while others keep stepping).
+    #[test]
+    fn shared_multi_horizon_solve_matches_independent_solves_bitwise(spec in arb_chain_spec()) {
+        let chain = build_chain(&spec);
+        let horizons = [0.5, 1.5, 24.0, 96.0];
+        for options in [exact(), SolverOptions::default()] {
+            let mut ws = SolverWorkspace::new();
+            let (shared, _) =
+                reach_probability_many_with(&chain, &horizons, EPSILON, &options, &mut ws)
+                    .unwrap();
+            for (h, &t) in horizons.iter().enumerate() {
+                let mut solo = SolverWorkspace::new();
+                let (alone, _) =
+                    reach_probability_many_with(&chain, &[t], EPSILON, &options, &mut solo)
+                        .unwrap();
+                prop_assert_eq!(
+                    shared[h].to_bits(), alone[0].to_bits(),
+                    "horizon {}: {} vs {}", t, shared[h], alone[0]
+                );
             }
         }
     }

@@ -151,13 +151,25 @@ struct Worker {
     pruned: u64,
     /// Tasks claimed from the shared queue.
     pulls: u64,
+    /// Epoch of the last partial this worker expanded (streaming).
+    /// Depth-first traversal keeps an epoch's partials contiguous, so a
+    /// switch means the worker is done contributing to the previous
+    /// epoch for now — its buffer is flushed immediately, letting the
+    /// watermark fire mid-run instead of at the final drain.
+    last_epoch: Option<u32>,
 }
 
 /// Cap on recycled partials per worker, bounding idle memory.
 const POOL_LIMIT: usize = 256;
 
 /// Candidates buffered per epoch before a worker flushes to the sink.
-const STREAM_BATCH: usize = 128;
+/// Large enough that the per-delivery channel cost (mutex, condvar
+/// wakeup, and — on few-core hosts — a context switch to the filter
+/// thread) amortizes to noise against the expansion work behind each
+/// candidate; deep presets move millions of candidates, so delivery
+/// count matters more than per-epoch buffer residency (bounded at
+/// `STREAM_BATCH × epochs × workers` candidates).
+const STREAM_BATCH: usize = 512;
 
 impl Worker {
     fn new(words: usize, epochs: usize) -> Self {
@@ -170,6 +182,7 @@ impl Worker {
             gate_scratch: Vec::new(),
             pruned: 0,
             pulls: 0,
+            last_epoch: None,
         }
     }
 
@@ -669,6 +682,23 @@ impl<'a> Engine<'a> {
             while let Some(partial) = worker.local.pop() {
                 if shared.abort.load(Ordering::Relaxed) {
                     return;
+                }
+                // Crossing into a different epoch: hand the previous
+                // epoch's buffered candidates to the sink now. Without
+                // this, a busy worker only flushes on the batch
+                // threshold or when it idles — single-threaded that is
+                // the very end of the run, which defeats the watermark.
+                if let Some(ctx) = self.stream {
+                    if let Some(prev) = worker.last_epoch {
+                        if prev != partial.epoch {
+                            if let Err(error) = self.flush_epoch(shared, worker, ctx, prev as usize)
+                            {
+                                shared.fail(error);
+                                return;
+                            }
+                        }
+                    }
+                    worker.last_epoch = Some(partial.epoch);
                 }
                 if let Err(error) = self.expand_one(worker, shared, partial) {
                     shared.fail(error);

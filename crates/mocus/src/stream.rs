@@ -3,16 +3,29 @@
 //! The batch entry points materialize every cutset candidate before
 //! minimization. Streaming instead pushes candidates to a
 //! [`CandidateSink`] as workers finalize them, in *epochs* carrying a
-//! subsumption watermark: two candidates can only subsume one another
-//! when they share basic events, so the children of a top-level OR
-//! whose reachable event sets are pairwise disjoint form independent
-//! epochs (a coarse form of the module argument — an epoch's candidates
-//! are final once its generation completes). Everything else — an
-//! overlapping child, the root partial itself — lands in the residual
-//! epoch 0. [`CandidateSink::epoch_complete`] fires exactly once per
-//! epoch, after the last `deliver` for it, so a downstream minimizer
-//! may release an epoch's surviving cutsets the moment it completes
-//! instead of waiting for the whole run.
+//! subsumption watermark. Two children `a`, `b` of a top-level OR are
+//! *separable* — no candidate of one can ever subsume (or equal) a
+//! candidate of the other — when either
+//!
+//! * their reachable basic-event sets are disjoint (no shared events at
+//!   all), or
+//! * each direction is blocked by a **must** event: `a` has an event
+//!   contained in *every* one of its candidates that `b` cannot reach,
+//!   and vice versa. (`must` is computed structurally: a basic event is
+//!   its own must-set, an AND gate unions its children's must-sets, and
+//!   OR / voting gates intersect them — a sound under-approximation.)
+//!
+//! Children are grouped with union–find: every non-separable pair
+//! shares a component, and each component is one epoch. The residual
+//! epoch 0 holds only the root partial itself. This is a finer plan
+//! than pairwise event-disjointness — overlapping children that differ
+//! in a mandatory private event (shared support systems, distinct
+//! sequence tails) still split, which is what lets the downstream
+//! minimizer release work while generation is still running.
+//! [`CandidateSink::epoch_complete`] fires exactly once per epoch,
+//! after the last `deliver` for it, so a downstream minimizer may
+//! release an epoch's surviving cutsets the moment it completes instead
+//! of waiting for the whole run.
 //!
 //! Completion is detected with a per-epoch outstanding counter: every
 //! live partial and every buffered (undelivered) candidate of an epoch
@@ -81,42 +94,103 @@ impl<'s> StreamCtx<'s> {
             && matches!(tree.gate_kind(root), Some(GateKind::Or))
             && assumptions.is_empty();
         if is_or_root {
-            // Dense event numbering for the per-child reachability
-            // bitsets.
+            // Dense event numbering for the reach/must bitsets.
             let mut event_index = vec![usize::MAX; tree.len()];
             let mut num_events = 0usize;
             for event in tree.basic_events() {
                 event_index[event.index()] = num_events;
                 num_events += 1;
             }
-            let words = num_events.div_ceil(64);
-            let inputs = tree.gate_inputs(root);
-            let masks: Vec<Vec<u64>> = inputs
-                .iter()
-                .map(|&c| {
-                    let mut mask = vec![0u64; words];
-                    let events = if tree.is_basic(c) {
-                        vec![c]
-                    } else {
-                        tree.subtree_basic_events(c)
-                    };
-                    for e in events {
-                        let i = event_index[e.index()];
-                        mask[i / 64] |= 1 << (i % 64);
+            let words = num_events.div_ceil(64).max(1);
+            // Per-node `reach` (all basic events in the subtree) and
+            // `must` (events present in every candidate of the subtree),
+            // as flat bitset rows filled in node-id order — ids are
+            // topological, so children are always done before their
+            // gate.
+            let mut reach = vec![0u64; tree.len() * words];
+            let mut must = vec![0u64; tree.len() * words];
+            for id in tree.node_ids() {
+                let i = id.index();
+                if tree.is_basic(id) {
+                    let e = event_index[i];
+                    reach[i * words + e / 64] |= 1 << (e % 64);
+                    must[i * words + e / 64] |= 1 << (e % 64);
+                } else if tree.is_gate(id) {
+                    let children = tree.gate_inputs(id);
+                    let (done, row) = reach.split_at_mut(i * words);
+                    for &c in children {
+                        let child = &done[c.index() * words..(c.index() + 1) * words];
+                        for (r, &m) in row[..words].iter_mut().zip(child) {
+                            *r |= m;
+                        }
                     }
-                    mask
-                })
-                .collect();
+                    let union_must = matches!(tree.gate_kind(id), Some(GateKind::And));
+                    let (done, row) = must.split_at_mut(i * words);
+                    for (k, &c) in children.iter().enumerate() {
+                        let child = &done[c.index() * words..(c.index() + 1) * words];
+                        for (r, &m) in row[..words].iter_mut().zip(child) {
+                            // OR / voting gates keep only events every
+                            // child mandates; AND mandates them all.
+                            if union_must || k == 0 {
+                                *r |= m;
+                            } else {
+                                *r &= m;
+                            }
+                        }
+                    }
+                }
+            }
+            let inputs = tree.gate_inputs(root);
+            let row = |table: &[u64], c: NodeId| -> Vec<u64> {
+                table[c.index() * words..(c.index() + 1) * words].to_vec()
+            };
+            let child_reach: Vec<Vec<u64>> = inputs.iter().map(|&c| row(&reach, c)).collect();
+            let child_must: Vec<Vec<u64>> = inputs.iter().map(|&c| row(&must, c)).collect();
+            // One direction is blocked when every candidate of `a`
+            // carries an event `b` cannot reach.
+            let blocked = |a: usize, b: usize| {
+                child_must[a]
+                    .iter()
+                    .zip(&child_reach[b])
+                    .any(|(m, r)| m & !r != 0)
+            };
+            let separable = |a: usize, b: usize| {
+                child_reach[a]
+                    .iter()
+                    .zip(&child_reach[b])
+                    .all(|(x, y)| x & y == 0)
+                    || (blocked(a, b) && blocked(b, a))
+            };
+            // Union–find over child positions; a child listed twice is
+            // never separable from itself (must ⊆ reach), so duplicate
+            // occurrences land in one component and map consistently.
+            let mut parent: Vec<usize> = (0..inputs.len()).collect();
+            fn find(parent: &mut [usize], mut x: usize) -> usize {
+                while parent[x] != x {
+                    parent[x] = parent[parent[x]];
+                    x = parent[x];
+                }
+                x
+            }
+            for i in 0..inputs.len() {
+                for j in i + 1..inputs.len() {
+                    if !separable(i, j) {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                }
+            }
+            // Components become epochs 1.. in first-occurrence order.
+            let mut component_epoch = vec![0u32; inputs.len()];
             for (i, &c) in inputs.iter().enumerate() {
-                let isolated = inputs.iter().enumerate().all(|(j, &d)| {
-                    j == i || (c != d && masks[i].iter().zip(&masks[j]).all(|(a, b)| a & b == 0))
-                });
-                // A child listed twice maps consistently to epoch 0
-                // through the `c != d` test above.
-                if isolated {
-                    child_epoch[c.index()] = epochs;
+                let root_pos = find(&mut parent, i);
+                if component_epoch[root_pos] == 0 {
+                    component_epoch[root_pos] = epochs;
                     epochs += 1;
                 }
+                child_epoch[c.index()] = component_epoch[root_pos];
             }
         }
         StreamCtx {
@@ -244,7 +318,7 @@ mod tests {
                 s.violations
                     .push(format!("delivery after completion of epoch {epoch}"));
             }
-            let drained: Vec<Cutset> = batch.drain(..).collect();
+            let drained = std::mem::take(batch);
             s.delivered.entry(epoch).or_default().extend(drained);
             true
         }

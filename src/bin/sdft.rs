@@ -276,12 +276,23 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
     );
     println!(
         "kernel: {} solves, {} DTMC steps ({} saved by steady-state detection \
-         in {} solves), CSR build {:?}",
+         in {} solves), CSR build {:?} ({} reused)",
         result.stats.kernel_solves,
         result.stats.kernel_steps,
         result.stats.kernel_steps_saved,
         result.stats.steady_state_solves,
         result.timings.csr_build,
+        result.stats.kernel_csr_reuses,
+    );
+    let spmv_seconds = result.timings.spmv.as_secs_f64();
+    let spmv_rate = if spmv_seconds > 0.0 {
+        result.stats.kernel_spmv_nonzeros as f64 / spmv_seconds / 1e6
+    } else {
+        0.0
+    };
+    println!(
+        "spmv: {} nonzeros in {:?} ({:.1}M nz/s)",
+        result.stats.kernel_spmv_nonzeros, result.timings.spmv, spmv_rate,
     );
     println!(
         "mocus: {} partials processed, {} pruned, {} subsumption tests, \
@@ -309,6 +320,10 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         result.timings.mcs_generation,
         result.timings.quantification,
         result.timings.stream_overlap,
+    );
+    println!(
+        "stage busy: generation {:?}, filter {:?}, quantification {:?}",
+        result.timings.generation_busy, result.timings.filter_busy, result.timings.quant_busy,
     );
     println!("\ntop cutsets:");
     for report in result.cutsets.iter().take(args.top) {
