@@ -14,17 +14,26 @@
 //! degenerated to batch with extra steps.
 //!
 //! ```text
-//! engine_smoke [output.json] [--scale X] [--gate-multicore]
+//! engine_smoke [output.json] [--scale X] [--repeat N] [--gate-multicore]
 //! ```
+//!
+//! `--repeat N` runs every configuration N times in interleaved rounds
+//! (batch, stream-1, stream-all, batch, …) and reports the fastest run
+//! of each: host noise and thermal drift hit whole rounds rather than
+//! whichever configuration happened to run last, so the reported
+//! ratios compare like with like. Bitwise identity is asserted on
+//! every run, not just the kept one.
 //!
 //! `--gate-multicore` additionally enforces the multicore regression
 //! gates (meant for a >= 4-core CI runner, not a laptop in power-save):
 //! streaming on all cores must beat batch on the deep preset
-//! (`speedup_vs_batch >= 1.0`) and the deep preset must report genuine
-//! stage overlap (`overlap_seconds > 0`).
+//! (`speedup_vs_batch >= 1.0`), single-quant-thread streaming must stay
+//! within 5% of batch (`stream_1_thread.seconds <= 1.05 x
+//! batch.seconds`), and the deep preset must report genuine stage
+//! overlap (`overlap_seconds > 0`).
 
 use sdft_core::{analyze, AnalysisOptions, AnalysisResult};
-use sdft_ft::{EventProbabilities, FaultTree};
+use sdft_ft::{EventProbabilities, FallbackMode, FaultTree};
 use sdft_importance::fussell_vesely_ranking;
 use sdft_mocus::{minimal_cutsets, MocusOptions};
 use sdft_models::annotate::{annotate, AnnotationConfig};
@@ -50,11 +59,24 @@ impl Run {
 }
 
 fn run(tree: &FaultTree, cutoff: f64, streaming: bool, threads: usize) -> Run {
+    run_with(tree, cutoff, streaming, threads, 0, FallbackMode::Adaptive)
+}
+
+fn run_with(
+    tree: &FaultTree,
+    cutoff: f64,
+    streaming: bool,
+    threads: usize,
+    shards: usize,
+    fallback: FallbackMode,
+) -> Run {
     let mut options = AnalysisOptions::new(24.0);
     options.mocus = MocusOptions::with_cutoff(cutoff);
     options.mocus.threads = threads;
     options.threads = threads;
     options.streaming = streaming;
+    options.filter_shards = shards;
+    options.filter_fallback = fallback;
     let begin = Instant::now();
     let result = analyze(tree, &options).expect("analysis");
     Run {
@@ -109,13 +131,25 @@ fn assert_bounded_residency(stream: &Run, label: &str) {
 
 fn run_json(r: &Run, extra: &str) -> String {
     let t = &r.result.timings;
+    let shard_list = |pick: fn(&sdft_core::FilterShardStats) -> u64| -> String {
+        r.result
+            .stats
+            .filter_shard_stats
+            .iter()
+            .map(|s| pick(s).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     format!(
         "{{ \"seconds\": {:.6}, \
          \"peak_pending_cutsets\": {}, \"peak_inflight_models\": {}, \
          \"peak_candidate_bytes\": {}, \
          \"generation_busy_seconds\": {:.6}, \"filter_busy_seconds\": {:.6}, \
          \"quant_busy_seconds\": {:.6}, \"spmv_seconds\": {:.6}, \
-         \"spmv_nonzeros\": {}, \"spmv_nonzeros_per_second\": {:.0}{extra} }}",
+         \"spmv_nonzeros\": {}, \"spmv_nonzeros_per_second\": {:.0}, \
+         \"filter_shards\": {}, \"filter_fallback_epochs\": {}, \
+         \"filter_shard_probes\": [{}], \"filter_shard_rejects\": [{}], \
+         \"filter_shard_compactions\": [{}]{extra} }}",
         r.seconds,
         r.result.stats.peak_pending_cutsets,
         r.result.stats.peak_inflight_models,
@@ -126,6 +160,11 @@ fn run_json(r: &Run, extra: &str) -> String {
         t.spmv.as_secs_f64(),
         r.result.stats.kernel_spmv_nonzeros,
         r.spmv_throughput(),
+        r.result.stats.filter_shards,
+        r.result.stats.filter_fallback_epochs,
+        shard_list(|s| s.probes),
+        shard_list(|s| s.rejects),
+        shard_list(|s| s.compactions),
     )
 }
 
@@ -163,6 +202,7 @@ fn preset_json(name: &str, cutoff: f64, batch: &Run, stream1: &Run, streamn: &Ru
 fn main() {
     let mut output = "BENCH_engine.json".to_owned();
     let mut scale = 0.15;
+    let mut repeat = 1usize;
     let mut gate_multicore = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -170,6 +210,10 @@ fn main() {
         if arg == "--scale" {
             let v = iter.next().expect("--scale needs a value");
             scale = v.parse().expect("--scale needs a number");
+        } else if arg == "--repeat" {
+            let v = iter.next().expect("--repeat needs a value");
+            repeat = v.parse().expect("--repeat needs a count");
+            assert!(repeat >= 1, "--repeat needs a count >= 1");
         } else if arg == "--gate-multicore" {
             gate_multicore = true;
         } else {
@@ -194,13 +238,51 @@ fn main() {
         ("x1_default_1e-15", 1e-15, false),
         ("x1_deep_1e-18", 1e-18, true),
     ] {
-        let batch = run(&annotated.tree, cutoff, false, 1);
-        let stream1 = run(&annotated.tree, cutoff, true, 1);
-        let streamn = run(&annotated.tree, cutoff, true, 0);
+        let mut batch = run(&annotated.tree, cutoff, false, 1);
+        let mut stream1 = run(&annotated.tree, cutoff, true, 1);
+        let mut streamn = run(&annotated.tree, cutoff, true, 0);
         assert_bitwise(&batch.result, &stream1.result, name);
         assert_bitwise(&batch.result, &streamn.result, name);
+        // Further rounds interleave the three configurations and keep
+        // the fastest run of each, so a noisy patch on the host costs a
+        // whole round instead of skewing one configuration's number.
+        let keep_min = |best: &mut Run, next: Run| {
+            if next.seconds < best.seconds {
+                *best = next;
+            }
+        };
+        for _ in 1..repeat {
+            let b = run(&annotated.tree, cutoff, false, 1);
+            let s1 = run(&annotated.tree, cutoff, true, 1);
+            let sn = run(&annotated.tree, cutoff, true, 0);
+            assert_bitwise(&b.result, &s1.result, name);
+            assert_bitwise(&b.result, &sn.result, name);
+            keep_min(&mut batch, b);
+            keep_min(&mut stream1, s1);
+            keep_min(&mut streamn, sn);
+        }
         assert_bounded_residency(&stream1, name);
         assert_bounded_residency(&streamn, name);
+        if !deep {
+            // Coverage: an odd explicit shard count plus the forced
+            // batch fallback must still be bitwise-identical (the
+            // sharded reconciliation and buffer-merge paths are easy to
+            // break silently). Not part of the emitted JSON.
+            let sharded = run_with(&annotated.tree, cutoff, true, 2, 3, FallbackMode::Always);
+            assert_bitwise(
+                &batch.result,
+                &sharded.result,
+                "x1_default sharded+fallback",
+            );
+            assert_eq!(
+                sharded.result.stats.filter_shards, 3,
+                "explicit shard count must be honored"
+            );
+            assert!(
+                sharded.result.stats.filter_fallback_epochs > 0,
+                "forced fallback must report fallback epochs"
+            );
+        }
         let speedup = batch.seconds / streamn.seconds.max(1e-12);
         let speedup1 = batch.seconds / stream1.seconds.max(1e-12);
         let overlap = streamn.result.timings.stream_overlap.as_secs_f64();
@@ -215,6 +297,13 @@ fn main() {
                 gate_failures.push(format!(
                     "{name}: stream at one quant thread must not lose to \
                      batch on a multicore host (speedup {speedup1:.3} < 1.0)"
+                ));
+            }
+            if stream1.seconds > 1.05 * batch.seconds {
+                gate_failures.push(format!(
+                    "{name}: stream_1_thread must stay within 5% of batch \
+                     ({:.3}s > 1.05 x {:.3}s)",
+                    stream1.seconds, batch.seconds
                 ));
             }
             if overlap <= 0.0 {
@@ -243,7 +332,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"sdft-bench-engine-v2\",\n  \
+         \"schema\": \"sdft-bench-engine-v3\",\n  \
          \"model\": \"industrial model 1 @ {scale}, 30% dynamic\",\n  \
          \"presets\": [\n{}\n]\n}}\n",
         blocks.join(",\n"),

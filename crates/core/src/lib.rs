@@ -72,7 +72,7 @@ pub use error::CoreError;
 pub use ftc::{build_ftc, build_ftc_with, CutsetModel, FtcContext, TriggerTreatment};
 pub use pipeline::{
     analyze, analyze_horizons, AnalysisOptions, AnalysisResult, AnalysisStats, CutsetReport,
-    Timings,
+    FilterShardStats, Timings,
 };
 pub use quantify::{
     quantify_cutset, quantify_model_many, quantify_model_many_with, CacheLookup,

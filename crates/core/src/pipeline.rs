@@ -7,7 +7,7 @@ use crate::translate::translate;
 use crate::worstcase::worst_case_probabilities;
 use sdft_bdd::ModularBddOptions;
 use sdft_ctmc::SolverWorkspace;
-use sdft_ft::{Cutset, EventProbabilities, FaultTree};
+use sdft_ft::{Cutset, EventProbabilities, FallbackMode, FaultTree};
 use sdft_mocus::MocusOptions;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -59,6 +59,17 @@ pub struct AnalysisOptions {
     /// models quantified, cache hit rate). `None` (the default) costs
     /// nothing; ignored by the batch path.
     pub progress: Option<Duration>,
+    /// Shard count of the streaming subsumption filter. `0` (the
+    /// default) picks automatically: one shard when `threads <= 1`
+    /// (everything stays inline on the filter thread), otherwise up to
+    /// four shard workers. Any shard count produces bitwise-identical
+    /// results; ignored by the batch path.
+    pub filter_shards: usize,
+    /// When the streaming filter buffers an epoch for a one-pass batch
+    /// merge instead of probing incrementally (default
+    /// [`FallbackMode::Adaptive`]). Results are bitwise-identical in
+    /// every mode; ignored by the batch path.
+    pub filter_fallback: FallbackMode,
 }
 
 impl AnalysisOptions {
@@ -77,6 +88,8 @@ impl AnalysisOptions {
             steady_state_detection: true,
             streaming: true,
             progress: None,
+            filter_shards: 0,
+            filter_fallback: FallbackMode::Adaptive,
         }
     }
 }
@@ -154,6 +167,38 @@ pub struct Timings {
     pub total: Duration,
 }
 
+/// Per-shard counters of the streaming subsumption filter, aggregated
+/// over every epoch the shard minimized. All scheduling-dependent: the
+/// split of probes across shards follows the deterministic shard key,
+/// but the counts themselves depend on candidate arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterShardStats {
+    /// Candidates routed to this shard.
+    pub offered: u64,
+    /// Subset tests the shard performed.
+    pub probes: u64,
+    /// Candidates rejected as duplicates or subsumed.
+    pub rejects: u64,
+    /// Kept sets evicted by a later-accepted subset.
+    pub evictions: u64,
+    /// Deferred-eviction sweeps run at compaction points.
+    pub compactions: u64,
+    /// Epochs this shard minimized through the batch fallback.
+    pub fallback_epochs: u64,
+}
+
+impl FilterShardStats {
+    /// Fold one epoch's filter counters into the shard totals.
+    pub(crate) fn absorb(&mut self, stats: sdft_ft::FilterStats) {
+        self.offered += stats.offered;
+        self.probes += stats.probes;
+        self.rejects += stats.rejects;
+        self.evictions += stats.evictions;
+        self.compactions += stats.compactions;
+        self.fallback_epochs += u64::from(stats.fell_back);
+    }
+}
+
 /// Aggregate statistics of an analysis run (the quantities behind the
 /// paper's Figures 2 and 3 and the §VI tables).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -223,6 +268,14 @@ pub struct AnalysisStats {
     pub mocus_peak_live_candidates: u64,
     /// Approximate peak bytes held by resident candidates.
     pub mocus_peak_candidate_bytes: u64,
+    /// Shard count of the streaming subsumption filter (0 for the batch
+    /// path, which minimizes in one pass inside generation).
+    pub filter_shards: usize,
+    /// Epochs the streaming filter minimized through the batch fallback,
+    /// summed over shards (scheduling-dependent under `Adaptive`).
+    pub filter_fallback_epochs: u64,
+    /// Per-shard filter counters, in shard order (empty for batch).
+    pub filter_shard_stats: Vec<FilterShardStats>,
     /// Which backend generated the cutsets.
     pub backend: Backend,
     /// Independent modules of `FT̄` the BDD backend built a diagram for
@@ -292,6 +345,9 @@ impl AnalysisStats {
         self.mocus_peak_partial_bytes = 0;
         self.mocus_peak_live_candidates = 0;
         self.mocus_peak_candidate_bytes = 0;
+        self.filter_shards = 0;
+        self.filter_fallback_epochs = 0;
+        self.filter_shard_stats = Vec::new();
         self
     }
 }
@@ -541,8 +597,16 @@ pub fn analyze_horizons(
             mcs_time: engine.generation_span,
             quantification_time: engine.quantification_span,
             stream_overlap: engine.overlap,
+            generation_busy: engine.generation_span,
             filter_busy: engine.filter_busy,
             quant_busy: engine.quant_busy,
+            filter_shards: engine.filter_shards,
+            filter_fallback_epochs: engine
+                .filter_shard_stats
+                .iter()
+                .map(|s| s.fallback_epochs)
+                .sum(),
+            filter_shard_stats: engine.filter_shard_stats,
         }
     } else {
         let t2 = Instant::now();
@@ -554,6 +618,7 @@ pub fn analyze_horizons(
         let t3 = Instant::now();
         let (per_horizon_reports, cache_stats, kernel_usage, quant_busy) =
             quantify_all_multi(tree, &ctx, &cutsets, horizons, options, &probs_per_horizon)?;
+        let minimize_time = gen_stats.mocus.minimize_time;
         PhaseOutput {
             subsumption_comparisons: gen_stats.mocus.subsumption_comparisons,
             // Batch materializes every candidate before minimizing and
@@ -568,8 +633,15 @@ pub fn analyze_horizons(
             mcs_time,
             quantification_time: t3.elapsed(),
             stream_overlap: Duration::ZERO,
-            filter_busy: Duration::ZERO,
+            // Attribute the one-pass minimize to the filter stage so
+            // batch and streaming filter costs compare directly; the
+            // rest of the generation phase is enumeration.
+            generation_busy: mcs_time.saturating_sub(minimize_time),
+            filter_busy: minimize_time,
             quant_busy,
+            filter_shards: 0,
+            filter_fallback_epochs: 0,
+            filter_shard_stats: Vec::new(),
         }
     };
     let PhaseOutput {
@@ -583,8 +655,12 @@ pub fn analyze_horizons(
         mcs_time,
         quantification_time,
         stream_overlap,
+        generation_busy,
         filter_busy,
         quant_busy,
+        filter_shards,
+        filter_fallback_epochs,
+        filter_shard_stats,
     } = phase;
     let mocus_stats = &gen_stats.mocus;
 
@@ -626,6 +702,9 @@ pub fn analyze_horizons(
             mocus_peak_partial_bytes: mocus_stats.peak_partial_bytes,
             mocus_peak_live_candidates: mocus_stats.peak_live_candidates,
             mocus_peak_candidate_bytes: mocus_stats.peak_candidate_bytes,
+            filter_shards,
+            filter_fallback_epochs,
+            filter_shard_stats: filter_shard_stats.clone(),
             backend: options.backend,
             ..AnalysisStats::default()
         };
@@ -661,7 +740,7 @@ pub fn analyze_horizons(
                 quantification_saved: cache_stats.time_saved,
                 csr_build: kernel_usage.csr_build,
                 stream_overlap,
-                generation_busy: mcs_time,
+                generation_busy,
                 filter_busy,
                 quant_busy,
                 spmv: kernel_usage.spmv_time,
@@ -694,10 +773,20 @@ struct PhaseOutput {
     mcs_time: Duration,
     quantification_time: Duration,
     stream_overlap: Duration,
-    /// Filter-thread busy seconds (zero for batch).
+    /// Generation busy seconds: the generation span when streaming, the
+    /// enumeration minus the one-pass minimize for batch.
+    generation_busy: Duration,
+    /// Filter busy seconds: the filter stage (dispatcher plus shard
+    /// workers) when streaming, the one-pass minimize for batch.
     filter_busy: Duration,
     /// Quantification busy seconds summed over workers.
     quant_busy: Duration,
+    /// Streaming filter shard count (0 for batch).
+    filter_shards: usize,
+    /// Epochs minimized through the batch fallback, summed over shards.
+    filter_fallback_epochs: u64,
+    /// Per-shard filter counters (empty for batch).
+    filter_shard_stats: Vec<FilterShardStats>,
 }
 
 /// Quantify one cutset against every horizon: build its `FT_C` model
@@ -1278,6 +1367,94 @@ mod streaming_tests {
         }
     }
 
+    /// Bitwise compare one streamed run against the batch reference.
+    fn assert_streamed_matches(
+        reference: &[AnalysisResult],
+        streamed: &[AnalysisResult],
+        label: &str,
+    ) {
+        for (b, s) in reference.iter().zip(streamed) {
+            assert_eq!(b.frequency.to_bits(), s.frequency.to_bits(), "{label}");
+            assert_eq!(b.cutsets.len(), s.cutsets.len(), "{label}");
+            for (rb, rs) in b.cutsets.iter().zip(&s.cutsets) {
+                assert_eq!(rb.cutset.events(), rs.cutset.events(), "{label}");
+                assert_eq!(
+                    rb.probability.to_bits(),
+                    rs.probability.to_bits(),
+                    "{label}"
+                );
+            }
+            assert_eq!(
+                b.stats.clone().deterministic(),
+                s.stats.clone().deterministic(),
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_filter_matches_batch_for_every_shard_and_thread_count() {
+        for tree in [example3(), replicated_lines()] {
+            let mut batch_opts = AnalysisOptions::new(96.0);
+            batch_opts.streaming = false;
+            batch_opts.threads = 1;
+            let reference = analyze_horizons(&tree, &batch_opts, &[24.0, 96.0]).unwrap();
+            for shards in [1, 2, 4, 8] {
+                for threads in [1, 2, 4, 8] {
+                    let mut opts = AnalysisOptions::new(96.0);
+                    opts.streaming = true;
+                    opts.threads = threads;
+                    opts.filter_shards = shards;
+                    let streamed = analyze_horizons(&tree, &opts, &[24.0, 96.0]).unwrap();
+                    assert_eq!(streamed[0].stats.filter_shards, shards);
+                    assert_eq!(streamed[0].stats.filter_shard_stats.len(), shards);
+                    assert_streamed_matches(
+                        &reference,
+                        &streamed,
+                        &format!("shards = {shards}, threads = {threads}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_modes_do_not_change_released_cutsets() {
+        let tree = replicated_lines();
+        let mut batch_opts = AnalysisOptions::new(24.0);
+        batch_opts.streaming = false;
+        batch_opts.threads = 1;
+        let reference = analyze_horizons(&tree, &batch_opts, &[24.0]).unwrap();
+        for fallback in [
+            sdft_ft::FallbackMode::Adaptive,
+            sdft_ft::FallbackMode::Always,
+            sdft_ft::FallbackMode::Never,
+        ] {
+            for shards in [1, 4] {
+                let mut opts = AnalysisOptions::new(24.0);
+                opts.streaming = true;
+                opts.threads = 2;
+                opts.filter_shards = shards;
+                opts.filter_fallback = fallback;
+                let streamed = analyze_horizons(&tree, &opts, &[24.0]).unwrap();
+                assert_streamed_matches(
+                    &reference,
+                    &streamed,
+                    &format!("fallback = {fallback}, shards = {shards}"),
+                );
+                if fallback == sdft_ft::FallbackMode::Always {
+                    assert!(
+                        streamed[0].stats.filter_fallback_epochs > 0,
+                        "forced fallback must report fallback epochs"
+                    );
+                }
+                if fallback == sdft_ft::FallbackMode::Never {
+                    assert_eq!(streamed[0].stats.filter_fallback_epochs, 0);
+                }
+            }
+        }
+    }
+
     #[test]
     fn streaming_reports_bounded_residency() {
         let t = replicated_lines();
@@ -1350,6 +1527,27 @@ mod streaming_tests {
             // The same failure under batch, for parity.
             opts.streaming = false;
             assert!(matches!(analyze(&t, &opts), Err(CoreError::Product(_))));
+        }
+    }
+
+    #[test]
+    fn quantification_errors_abort_the_sharded_filter_mid_epoch() {
+        // Shard workers may be mid-compaction (or blocked on a reply
+        // channel) when the abort lands; returning with the right error
+        // proves the dispatcher unblocked and joined every shard.
+        let t = example3();
+        for fallback in [sdft_ft::FallbackMode::Always, sdft_ft::FallbackMode::Never] {
+            let mut opts = AnalysisOptions::new(24.0);
+            opts.streaming = true;
+            opts.threads = 2;
+            opts.filter_shards = 4;
+            opts.filter_fallback = fallback;
+            opts.max_chain_states = 1;
+            let error = analyze(&t, &opts).unwrap_err();
+            assert!(
+                matches!(error, CoreError::Product(_)),
+                "expected a product chain error, got: {error}"
+            );
         }
     }
 }

@@ -36,6 +36,23 @@ impl Translated {
         }))
     }
 
+    /// Map an owned cutset back to original ids in place, reusing its
+    /// allocation. Basic events are translated first in original order,
+    /// so the id mapping is strictly monotone and the events stay
+    /// sorted — this is the same property the streaming engine's final
+    /// canonical sort relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutset contains an inserted AND gate, which cannot
+    /// happen for cutsets produced from [`Translated::tree`].
+    #[must_use]
+    pub fn cutset_into_original(&self, cutset: Cutset) -> Cutset {
+        cutset.map_events_monotone(|e| {
+            self.to_original[e.index()].expect("cutset events map back to original events")
+        })
+    }
+
     /// Map a whole cutset list back to original ids.
     #[must_use]
     pub fn cutsets_to_original(&self, list: &CutsetList) -> CutsetList {

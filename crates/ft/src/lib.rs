@@ -63,7 +63,7 @@ mod signature;
 pub mod transform;
 mod tree;
 
-pub use cutset::{Cutset, CutsetList, IncrementalMinimizer};
+pub use cutset::{Cutset, CutsetList, FallbackMode, FilterStats, IncrementalMinimizer};
 pub use error::FtError;
 pub use hash::{FxBuild, FxHasher};
 pub use modules::modules;

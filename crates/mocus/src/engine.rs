@@ -157,6 +157,16 @@ struct Worker {
     /// epoch for now — its buffer is flushed immediately, letting the
     /// watermark fire mid-run instead of at the final drain.
     last_epoch: Option<u32>,
+    /// Outstanding-count releases deferred for `debt_epoch` (streaming).
+    /// Expansion releases one count per processed partial and re-takes
+    /// counts for the children it pushes; batching the releases locally
+    /// and cancelling them against the next pushes removes two atomic
+    /// RMWs from almost every expansion. The shared counter only ever
+    /// over-counts (debt is non-negative), so an epoch can never
+    /// complete early — the debt is settled at the same boundaries that
+    /// flush the candidate buffer (epoch switch, idle, retirement).
+    debt_epoch: Option<u32>,
+    debt: usize,
 }
 
 /// Cap on recycled partials per worker, bounding idle memory.
@@ -183,6 +193,8 @@ impl Worker {
             pruned: 0,
             pulls: 0,
             last_epoch: None,
+            debt_epoch: None,
+            debt: 0,
         }
     }
 
@@ -669,7 +681,9 @@ impl<'a> Engine<'a> {
         for worker in &mut workers {
             all.append(&mut worker.found);
         }
+        let minimize_begin = std::time::Instant::now();
         let (minimized, comparisons) = CutsetList::from_vec(all).minimize_with_stats(threads);
+        stats.minimize_time = minimize_begin.elapsed();
         stats.subsumption_comparisons = comparisons;
         Ok((minimized, stats))
     }
@@ -753,7 +767,18 @@ impl<'a> Engine<'a> {
         ctx: &StreamCtx<'_>,
         epoch: usize,
     ) -> Result<(), MocusError> {
+        // Settle this epoch's deferred releases in the same counter
+        // operation as the delivered batch.
+        let debt = if worker.debt_epoch == Some(epoch as u32) {
+            worker.debt_epoch = None;
+            std::mem::take(&mut worker.debt)
+        } else {
+            0
+        };
         if worker.stream_found[epoch].is_empty() {
+            if debt > 0 && !ctx.release(epoch as u32, debt) {
+                return Err(MocusError::Aborted);
+            }
             return Ok(());
         }
         let buf = &mut worker.stream_found[epoch];
@@ -762,7 +787,7 @@ impl<'a> Engine<'a> {
         let ok = ctx.sink.deliver(epoch as u32, buf);
         buf.clear();
         shared.candidates_dropped(n, bytes);
-        if !ok || !ctx.release(epoch as u32, n) {
+        if !ok || !ctx.release(epoch as u32, n + debt) {
             return Err(MocusError::Aborted);
         }
         Ok(())
@@ -788,17 +813,46 @@ impl<'a> Engine<'a> {
     fn push_live(&self, worker: &mut Worker, shared: &Shared, partial: Partial) {
         shared.partial_created(&partial);
         if let Some(ctx) = self.stream {
-            ctx.inc(partial.epoch);
+            if worker.debt_epoch == Some(partial.epoch) && worker.debt > 0 {
+                // Transfer a deferred release of the same epoch to the
+                // new partial: the shared counter is untouched instead
+                // of paying a fetch_add/fetch_sub pair per expansion.
+                worker.debt -= 1;
+            } else {
+                ctx.inc(partial.epoch);
+            }
         }
         worker.local.push(partial);
     }
 
     /// Drop the count the partial entering `expand_one` held (it was
-    /// not finalized into a candidate). Fires the epoch's completion on
-    /// the zero crossing.
-    fn release_entry(&self, epoch: u32) -> Result<(), MocusError> {
-        if let Some(ctx) = self.stream {
-            if !ctx.release(epoch, 1) {
+    /// not finalized into a candidate). The release is deferred into the
+    /// worker's local debt rather than hitting the shared counter: the
+    /// counter then only ever over-counts, so completion can never fire
+    /// early, and the debt is settled — firing the zero crossing if due
+    /// — at the same boundaries that flush the candidate buffers (epoch
+    /// switch, batch flush, idle, retirement).
+    fn release_entry(&self, worker: &mut Worker, epoch: u32) -> Result<(), MocusError> {
+        if self.stream.is_some() {
+            if worker.debt_epoch == Some(epoch) {
+                worker.debt += 1;
+            } else {
+                self.settle_debt(worker)?;
+                worker.debt_epoch = Some(epoch);
+                worker.debt = 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Hand the worker's deferred releases back to the shared epoch
+    /// counter.
+    fn settle_debt(&self, worker: &mut Worker) -> Result<(), MocusError> {
+        if worker.debt > 0 {
+            let ctx = self.stream.expect("debt only accrues in streaming mode");
+            let epoch = worker.debt_epoch.expect("debt carries its epoch");
+            let n = std::mem::take(&mut worker.debt);
+            if !ctx.release(epoch, n) {
                 return Err(MocusError::Aborted);
             }
         }
@@ -880,12 +934,12 @@ impl<'a> Engine<'a> {
                     .any(|&c| self.tree.is_basic(c) && self.assumptions.is_failed(c));
                 if satisfied {
                     self.push_live(worker, shared, partial);
-                    return self.release_entry(entry_epoch);
+                    return self.release_entry(worker, entry_epoch);
                 }
                 let skip = |c: NodeId| self.tree.is_basic(c) && self.assumptions.is_ok(c);
                 let Some(last) = inputs.iter().rposition(|&c| !skip(c)) else {
                     worker.recycle(partial);
-                    return self.release_entry(entry_epoch);
+                    return self.release_entry(worker, entry_epoch);
                 };
                 for &child in &inputs[..last] {
                     if skip(child) {
@@ -921,7 +975,7 @@ impl<'a> Engine<'a> {
                 self.expand_atleast(worker, shared, gate, k as usize, partial)?;
             }
         }
-        self.release_entry(entry_epoch)
+        self.release_entry(worker, entry_epoch)
     }
 
     /// Add one child requirement to a partial cutset.

@@ -35,6 +35,9 @@ pub struct MocusStats {
     pub peak_live_candidates: u64,
     /// Approximate peak bytes held by resident candidate cutsets.
     pub peak_candidate_bytes: u64,
+    /// Wall-clock time of the one-pass batch minimization (zero when
+    /// streaming — the filter stage owns minimization there).
+    pub minimize_time: std::time::Duration,
 }
 
 impl MocusStats {
@@ -51,6 +54,7 @@ impl MocusStats {
         self.peak_partial_bytes = 0;
         self.peak_live_candidates = 0;
         self.peak_candidate_bytes = 0;
+        self.minimize_time = std::time::Duration::ZERO;
         self
     }
 }

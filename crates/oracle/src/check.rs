@@ -71,6 +71,10 @@ pub struct CheckConfig {
     /// static probability, and bitwise agreement between the BDD
     /// backend's own streaming and batch runs.
     pub check_backend_consistency: bool,
+    /// Shard count for the streaming subsumption filter (`0` = the
+    /// engine's automatic choice; the driver cycles it per tree so the
+    /// campaign covers the sharded reconciliation paths).
+    pub filter_shards: usize,
 }
 
 impl Default for CheckConfig {
@@ -88,6 +92,7 @@ impl Default for CheckConfig {
             check_cache_consistency: true,
             check_streaming_consistency: true,
             check_backend_consistency: true,
+            filter_shards: 0,
         }
     }
 }
@@ -166,6 +171,7 @@ pub fn analysis_options(cfg: &CheckConfig) -> AnalysisOptions {
     opts.mocus = MocusOptions::exhaustive();
     opts.mocus.threads = 1;
     opts.threads = 1;
+    opts.filter_shards = cfg.filter_shards;
     opts.epsilon = cfg.epsilon;
     opts
 }

@@ -121,6 +121,11 @@ pub fn run_oracle(cfg: &OracleConfig) -> OracleReport {
         let spec = generate_seeded(&preset, tree_seed);
         let mut check = cfg.check.clone();
         check.sim_seed = splitmix64(tree_seed ^ 0x51D);
+        // Cycle the streaming filter's shard count so the campaign
+        // exercises the inline path and the sharded reconciliation at
+        // several widths; results are shard-count-invariant, so the
+        // digest must not move.
+        check.filter_shards = [1, 2, 4, 8][index % 4];
         let outcome = check_spec(&spec, &check);
         report.trees_run += 1;
         report.digest = splitmix64(

@@ -6,6 +6,7 @@
 //! sdft analyze    <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //!                        [--backend mocus|bdd] [--fast] [--csv OUT]
 //!                        [--no-steady-state] [--no-stream] [--progress SECS]
+//!                        [--filter-shards K] [--filter-fallback adaptive|always|never]
 //! sdft mcs        <file> [--horizon H] [--cutoff C] [--top N] [--threads N]
 //! sdft exact      <file> [--horizon H]       product-chain reference (small models)
 //! sdft simulate   <file> [--horizon H] [--samples N] [--seed S]
@@ -15,7 +16,7 @@
 //! ```
 
 use sdft::core::{analyze, classify_triggering_gates, AnalysisOptions, Backend, TriggerTreatment};
-use sdft::ft::{dot, format, EventProbabilities, FaultTree};
+use sdft::ft::{dot, format, EventProbabilities, FallbackMode, FaultTree};
 use sdft::mocus::MocusOptions;
 use sdft::product::{failure_probability, ProductOptions};
 use sdft::sim::{simulate, SimOptions};
@@ -33,6 +34,8 @@ struct Args {
     fast: bool,
     steady_state: bool,
     streaming: bool,
+    filter_shards: usize,
+    filter_fallback: FallbackMode,
     progress: Option<f64>,
     csv: Option<String>,
 }
@@ -42,6 +45,7 @@ fn usage() -> ExitCode {
         "usage: sdft <check|analyze|mcs|exact|simulate|importance|metrics|dot> <file> \
          [--horizon H] [--cutoff C] [--top N] [--samples N] [--seed S] [--threads N] \
          [--backend mocus|bdd] [--fast] [--no-steady-state] [--no-stream] \
+         [--filter-shards K] [--filter-fallback adaptive|always|never] \
          [--progress SECS] [--csv OUT]"
     );
     ExitCode::from(2)
@@ -67,6 +71,8 @@ fn main() -> ExitCode {
         fast: false,
         steady_state: true,
         streaming: true,
+        filter_shards: 0,
+        filter_fallback: FallbackMode::Adaptive,
         progress: None,
         csv: None,
     };
@@ -121,6 +127,19 @@ fn main() -> ExitCode {
                 args.streaming = false;
                 Some(())
             }
+            "--filter-shards" => value("--filter-shards")
+                .and_then(|v| v.parse().ok())
+                .map(|v| args.filter_shards = v),
+            "--filter-fallback" => value("--filter-fallback").and_then(|v| match v.parse() {
+                Ok(mode) => {
+                    args.filter_fallback = mode;
+                    Some(())
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    None
+                }
+            }),
             "--progress" => value("--progress")
                 .and_then(|v| v.parse().ok())
                 .filter(|&v: &f64| v.is_finite() && v > 0.0)
@@ -229,6 +248,8 @@ fn analysis_options(args: &Args) -> AnalysisOptions {
     }
     options.steady_state_detection = args.steady_state;
     options.streaming = args.streaming;
+    options.filter_shards = args.filter_shards;
+    options.filter_fallback = args.filter_fallback;
     options.progress = args.progress.map(std::time::Duration::from_secs_f64);
     if options.progress.is_some() && !options.streaming {
         eprintln!("note: --progress reports the streaming engine; ignored with --no-stream");
@@ -325,6 +346,40 @@ fn cmd_analyze(tree: &FaultTree, args: &Args) -> CliResult {
         "stage busy: generation {:?}, filter {:?}, quantification {:?}",
         result.timings.generation_busy, result.timings.filter_busy, result.timings.quant_busy,
     );
+    if result.stats.filter_shards > 0 {
+        let probes: u64 = result
+            .stats
+            .filter_shard_stats
+            .iter()
+            .map(|s| s.probes)
+            .sum();
+        let rejects: u64 = result
+            .stats
+            .filter_shard_stats
+            .iter()
+            .map(|s| s.rejects)
+            .sum();
+        let compactions: u64 = result
+            .stats
+            .filter_shard_stats
+            .iter()
+            .map(|s| s.compactions)
+            .sum();
+        println!(
+            "filter: {} shard{}, {} probes, {} rejects, {} compactions, \
+             {} fallback epochs",
+            result.stats.filter_shards,
+            if result.stats.filter_shards == 1 {
+                ""
+            } else {
+                "s"
+            },
+            probes,
+            rejects,
+            compactions,
+            result.stats.filter_fallback_epochs,
+        );
+    }
     println!("\ntop cutsets:");
     for report in result.cutsets.iter().take(args.top) {
         let names: Vec<&str> = report
